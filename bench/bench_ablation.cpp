@@ -1,0 +1,160 @@
+// Ablations of the design choices DESIGN.md calls out.
+//
+// Not a paper figure — quantifies how the reproduction's knobs shape the
+// headline results:
+//  (a) revocation message batching (the paper's own §5.2 future-work idea)
+//      against Figure 5's tree revocation;
+//  (b) the DDL-decode cost that separates SemperOS from the M3 baseline
+//      (Table 3's +10.7% / +40.3% columns);
+//  (c) the per-peer in-flight window M_inflight of §4.1;
+//  (d) NoC link contention modelling.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "system/client.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+Cycles TreeRevoke(uint32_t children, bool batching) {
+  PlatformConfig pc;
+  pc.kernels = 13;
+  pc.users = children + 1;
+  pc.revoke_batching = batching;
+  DriverRig rig = MakeDriverRig(pc);
+  CapSel root = rig.BuildTree(children);
+  return rig.TimedOp([&](std::function<void()> done) {
+    rig.client(0).env().Revoke(root, [done](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk);
+      done();
+    });
+  });
+}
+
+void AblationBatching() {
+  bench::Header("Ablation (a): revocation message batching",
+                "paper §5.2: \"we believe that this can be further improved by the use of "
+                "message batching\"");
+  std::printf("%-10s %16s %16s %10s\n", "children", "unbatched [us]", "batched [us]", "speedup");
+  for (uint32_t n : bench::Sweep<uint32_t>({16, 32, 64, 96, 128})) {
+    Cycles plain = TreeRevoke(n, false);
+    Cycles batched = TreeRevoke(n, true);
+    std::printf("%-10u %16.2f %16.2f %9.2fx\n", n, CyclesToMicros(plain),
+                CyclesToMicros(batched), double(plain) / double(batched));
+  }
+  bench::Footnote("batching sends one request per peer kernel instead of one per child");
+}
+
+Cycles LocalExchange(Cycles ddl_decode) {
+  PlatformConfig pc;
+  pc.kernels = 1;
+  pc.users = 2;
+  pc.timing.ddl_decode = ddl_decode;
+  DriverRig rig = MakeDriverRig(pc);
+  CapSel owner_sel = rig.Grant(0);
+  return rig.TimedOp([&](std::function<void()> done) {
+    rig.client(1).env().Obtain(rig.vpe(0), owner_sel, [done](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk);
+      done();
+    });
+  });
+}
+
+void AblationDdl() {
+  bench::Header("Ablation (b): DDL key-decode cost",
+                "Table 3: \"Analyzing the DDL key ... introduces overhead in the local case\"");
+  std::printf("%-18s %18s %14s\n", "ddl_decode [cyc]", "local exchange", "vs M3 (+%)");
+  Cycles m3 = LocalExchange(0);
+  for (Cycles ddl : {0u, 58u, 115u, 230u, 460u}) {
+    Cycles t = LocalExchange(ddl);
+    std::printf("%-18llu %18llu %13.1f%%\n", (unsigned long long)ddl, (unsigned long long)t,
+                100.0 * (double(t) / double(m3) - 1.0));
+  }
+  bench::Footnote("115 cycles x 3 decodes reproduces the paper's +10.7%");
+}
+
+Cycles SpanningChainRevoke(uint32_t inflight, uint32_t length) {
+  PlatformConfig pc;
+  pc.kernels = 2;
+  pc.users = 2;
+  pc.max_inflight = inflight;
+  DriverRig rig = MakeDriverRig(pc);
+  CapSel root = rig.BuildChain(length, {0, 1});
+  return rig.TimedOp([&](std::function<void()> done) {
+    rig.client(0).env().Revoke(root, [done](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk);
+      done();
+    });
+  });
+}
+
+void AblationInflight() {
+  bench::Header("Ablation (c): in-flight window per peer kernel (M_inflight)",
+                "paper §4.1: \"we limit the number of in-flight messages to four\"");
+  std::printf("%-12s %26s\n", "M_inflight", "spanning chain(40) [us]");
+  for (uint32_t w : {1u, 2u, 4u, 8u}) {
+    Cycles t = SpanningChainRevoke(w, 40);
+    std::printf("%-12u %26.2f\n", w, CyclesToMicros(t));
+  }
+  bench::Footnote("credits return at dispatch, so the window barely gates nested revocations; "
+                  "it exists to bound receive-slot usage (64-kernel limit)");
+}
+
+void AblationContention() {
+  bench::Header("Ablation (d): NoC link-contention model",
+                "per-link FIFO queueing vs unloaded latencies");
+  for (bool contention : {true, false}) {
+    AppRunConfig config;
+    config.app = "postmark";
+    config.kernels = 8;
+    config.services = 8;
+    config.instances = 128;
+    // Piggyback on RunApp by flipping the default NocConfig via timing? The
+    // harness builds its own platform; run the microscale variant directly.
+    PlatformConfig pc;
+    pc.kernels = 8;
+    pc.users = 64;
+    pc.noc.model_contention = contention;
+    DriverRig rig = MakeDriverRig(pc);
+    // 64 concurrent spanning obtains from one hot owner.
+    CapSel owner_sel = rig.Grant(0);
+    int done = 0;
+    Cycles t0 = rig.p().sim().Now();
+    for (size_t i = 1; i < 64; ++i) {
+      rig.client(i).env().Obtain(rig.vpe(0), owner_sel, [&done](const SyscallReply& r) {
+        CHECK(r.err == ErrCode::kOk);
+        done++;
+      });
+    }
+    rig.p().RunToCompletion();
+    std::printf("  contention=%s: 63 concurrent obtains drained in %.2f us (queueing %llu cyc)\n",
+                contention ? "on " : "off", CyclesToMicros(rig.p().sim().Now() - t0),
+                (unsigned long long)rig.p().noc().stats().total_queueing);
+  }
+}
+
+void BM_TreeRevokeBatched(benchmark::State& state) {
+  bool batched = state.range(0) != 0;
+  for (auto _ : state) {
+    state.SetIterationTime(CyclesToSeconds(TreeRevoke(96, batched)));
+  }
+  state.SetLabel(batched ? "batched" : "unbatched");
+}
+BENCHMARK(BM_TreeRevokeBatched)->Arg(0)->Arg(1)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::AblationBatching();
+  semperos::AblationDdl();
+  semperos::AblationInflight();
+  semperos::AblationContention();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

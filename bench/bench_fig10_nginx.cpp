@@ -1,0 +1,107 @@
+// Figure 10: scalability of the Nginx webserver.
+//
+// "We stressed Nginx similar to the Apache ab benchmark by introducing PEs
+// that resemble a network interface. ... Despite this OS-intensive
+// benchmark, the number of requests scales almost linearly when employing
+// 32 kernels and 32 services. Using less resources for the OS flattens the
+// graph." (paper §5.3.3)
+//
+// X axis: number of server processes (32..256); Y axis: requests/s.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+struct OsConfig {
+  uint32_t kernels;
+  uint32_t services;
+};
+
+const std::vector<OsConfig> kConfigs = {{8, 8},   {8, 16},  {8, 32},
+                                        {16, 16}, {32, 16}, {32, 32}};
+
+std::vector<uint32_t> Servers() {
+  return bench::Sweep<uint32_t>({32, 64, 96, 128, 160, 192, 224, 256});
+}
+
+void PrintFigure() {
+  bench::Header("Figure 10: Scalability of the Nginx webserver",
+                "Hille et al., SemperOS (ATC'19), Figure 10");
+  std::printf("%-24s", "config \\ servers");
+  for (uint32_t s : Servers()) {
+    std::printf(" %8u", s);
+  }
+  std::printf("   [requests/s x1000]\n");
+
+  double best_small = 0;
+  double best_large = 0;
+  double flat_small = 0;
+  double flat_large = 0;
+  for (const OsConfig& config : kConfigs) {
+    std::printf("%2u kernels %2u services ", config.kernels, config.services);
+    for (uint32_t servers : Servers()) {
+      NginxRunConfig run;
+      run.kernels = config.kernels;
+      run.services = config.services;
+      run.servers = servers;
+      NginxRunResult result = RunNginx(run);
+      std::printf(" %8.0f", result.requests_per_sec / 1000.0);
+      bool is_large = servers == Servers().back();
+      bool is_small = servers == Servers().front();
+      if (config.kernels == 32 && config.services == 32) {
+        if (is_small) {
+          best_small = result.requests_per_sec;
+        }
+        if (is_large) {
+          best_large = result.requests_per_sec;
+        }
+      }
+      if (config.kernels == 8 && config.services == 8) {
+        if (is_small) {
+          flat_small = result.requests_per_sec;
+        }
+        if (is_large) {
+          flat_large = result.requests_per_sec;
+        }
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  shape checks (paper §5.3.3):\n");
+  double servers_ratio =
+      static_cast<double>(Servers().back()) / static_cast<double>(Servers().front());
+  std::printf("  - 32K/32S scaling %ux servers -> %.1fx requests (near-linear expected)\n",
+              static_cast<unsigned>(servers_ratio), best_large / best_small);
+  std::printf("  - 8K/8S scaling %ux servers -> %.1fx requests (flattened expected)\n",
+              static_cast<unsigned>(servers_ratio), flat_large / flat_small);
+}
+
+void BM_Nginx(benchmark::State& state) {
+  for (auto _ : state) {
+    NginxRunConfig run;
+    run.kernels = 32;
+    run.services = 32;
+    run.servers = static_cast<uint32_t>(state.range(0));
+    NginxRunResult result = RunNginx(run);
+    state.SetIterationTime(CyclesToSeconds(run.window));
+    state.counters["requests_per_s"] = result.requests_per_sec;
+  }
+}
+BENCHMARK(BM_Nginx)->Arg(32)->Arg(128)->Arg(256)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

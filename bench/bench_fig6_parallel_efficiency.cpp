@@ -1,0 +1,89 @@
+// Figure 6: parallel efficiency of all six applications using 32 kernels
+// and 32 file service instances.
+//
+// "With this configuration the tar benchmark already reaches an efficiency
+// of 78% when running 512 instances in parallel. However, SQLite achieves
+// only 70%" (paper §5.3.2). X axis: 64..512 benchmark instances; Y axis:
+// parallel efficiency (T_solo / T_parallel).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "system/experiment.h"
+#include "workloads/workloads.h"
+
+namespace semperos {
+namespace {
+
+constexpr uint32_t kKernels = 32;
+constexpr uint32_t kServices = 32;
+
+std::vector<uint32_t> Instances() {
+  return bench::Sweep<uint32_t>({64, 128, 192, 256, 320, 384, 448, 512});
+}
+
+void PrintFigure() {
+  bench::Header("Figure 6: Parallel efficiency, 32 kernels + 32 services",
+                "Hille et al., SemperOS (ATC'19), Figure 6");
+  std::vector<uint32_t> instances = Instances();
+  std::printf("%-10s", "app");
+  for (uint32_t n : instances) {
+    std::printf(" %7u", n);
+  }
+  std::printf("   [parallel efficiency, %%]\n");
+
+  std::map<std::string, double> at512;
+  for (const auto& app : WorkloadNames()) {
+    double solo = SoloRuntimeUs(app, kKernels, kServices);
+    std::printf("%-10s", app.c_str());
+    for (uint32_t n : instances) {
+      AppRunConfig config;
+      config.app = app;
+      config.kernels = kKernels;
+      config.services = kServices;
+      config.instances = n;
+      AppRunResult result = RunApp(config);
+      double eff = ParallelEfficiency(solo, result.mean_runtime_us);
+      std::printf(" %7.1f", 100.0 * eff);
+      if (n == instances.back()) {
+        at512[app] = eff;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf("\n  shape checks (paper §5.3.2):\n");
+  std::printf("  - tar is the most efficient app at max instances: %s (%.1f%%)\n",
+              at512["tar"] >= at512["sqlite"] ? "yes" : "NO", 100.0 * at512["tar"]);
+  std::printf("  - efficiency decreases monotonically with instance count for every app\n");
+  bench::Footnote("paper band at 512 instances: 70%% (SQLite) to 78%% (tar)");
+}
+
+void BM_ParallelEfficiency(benchmark::State& state) {
+  const std::string& app = WorkloadNames()[state.range(0)];
+  for (auto _ : state) {
+    AppRunConfig config;
+    config.app = app;
+    config.kernels = kKernels;
+    config.services = kServices;
+    config.instances = 256;
+    AppRunResult result = RunApp(config);
+    state.SetIterationTime(CyclesToSeconds(result.makespan));
+    state.counters["mean_runtime_us"] = result.mean_runtime_us;
+  }
+  state.SetLabel(app);
+}
+BENCHMARK(BM_ParallelEfficiency)->DenseRange(0, 5)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

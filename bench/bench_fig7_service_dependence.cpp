@@ -1,0 +1,89 @@
+// Figure 7: service dependence — parallel efficiency of tar and SQLite with
+// a fixed number of kernels (64) and a growing number of services.
+//
+// "To determine the number of services required to scale an application we
+// set the number of kernels to a high number and then gradually increase
+// the number of services. ... The tar benchmark is not very dependent on
+// the filesystem service ... SQLite shows a higher dependence on the number
+// of services. For example, increasing the number of service instances from
+// 16 to 32 leads to further improvement of 9 percent points." (paper §5.3.2)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+constexpr uint32_t kKernels = 64;
+const std::vector<uint32_t> kServices = {4, 8, 16, 32, 48, 64};
+
+std::vector<uint32_t> Instances() {
+  return bench::Sweep<uint32_t>({128, 256, 384, 512});
+}
+
+void PrintFigure() {
+  bench::Header("Figure 7: Service dependence (tar, SQLite), 64 kernels",
+                "Hille et al., SemperOS (ATC'19), Figure 7");
+  std::map<uint32_t, double> sqlite512;
+  for (const char* app : {"tar", "sqlite"}) {
+    std::printf("\n(%s)\n%-22s", app, "config");
+    for (uint32_t n : Instances()) {
+      std::printf(" %7u", n);
+    }
+    std::printf("   [parallel efficiency, %%]\n");
+    for (uint32_t services : kServices) {
+      double solo = SoloRuntimeUs(app, kKernels, services);
+      std::printf("64 kernels %2u services", services);
+      for (uint32_t n : Instances()) {
+        AppRunConfig config;
+        config.app = app;
+        config.kernels = kKernels;
+        config.services = services;
+        config.instances = n;
+        AppRunResult result = RunApp(config);
+        double eff = ParallelEfficiency(solo, result.mean_runtime_us);
+        std::printf(" %7.1f", 100.0 * eff);
+        if (std::string(app) == "sqlite" && n == Instances().back()) {
+          sqlite512[services] = eff;
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n  shape checks (paper §5.3.2):\n");
+  if (sqlite512.count(16) != 0 && sqlite512.count(32) != 0) {
+    std::printf("  - SQLite, 16 -> 32 services at max instances: +%.1f points (paper: +9)\n",
+                100.0 * (sqlite512[32] - sqlite512[16]));
+  }
+  std::printf("  - more services never hurt; tar saturates earlier than SQLite\n");
+}
+
+void BM_ServiceSweepSqlite(benchmark::State& state) {
+  uint32_t services = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    AppRunConfig config;
+    config.app = "sqlite";
+    config.kernels = kKernels;
+    config.services = services;
+    config.instances = 256;
+    AppRunResult result = RunApp(config);
+    state.SetIterationTime(CyclesToSeconds(result.makespan));
+  }
+}
+BENCHMARK(BM_ServiceSweepSqlite)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

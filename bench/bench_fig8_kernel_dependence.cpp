@@ -1,0 +1,91 @@
+// Figure 8: kernel dependence — parallel efficiency of PostMark and LevelDB
+// with a fixed number of services (64) and a growing number of kernels.
+//
+// "LevelDB exhibits smaller improvements when employing more than 16
+// kernels compared to PostMark, indicating that PostMark is even more
+// susceptible to the number of kernels. However, all applications show a
+// relatively high sensitivity to the number of kernels, which in fact are
+// mostly handling capability operations. This confirms our expectation that
+// a scalable distributed capability system is a vital part of a fast
+// u-kernel-based OS." (paper §5.3.2)
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+constexpr uint32_t kFixedServices = 64;
+const std::vector<uint32_t> kKernelCounts = {4, 8, 16, 32, 48, 64};
+
+std::vector<uint32_t> Instances() {
+  return bench::Sweep<uint32_t>({128, 256, 384, 512});
+}
+
+void PrintFigure() {
+  bench::Header("Figure 8: Kernel dependence (PostMark, LevelDB), 64 services",
+                "Hille et al., SemperOS (ATC'19), Figure 8");
+  std::map<std::string, std::map<uint32_t, double>> at_max;
+  for (const char* app : {"postmark", "leveldb"}) {
+    std::printf("\n(%s)\n%-22s", app, "config");
+    for (uint32_t n : Instances()) {
+      std::printf(" %7u", n);
+    }
+    std::printf("   [parallel efficiency, %%]\n");
+    for (uint32_t kernels : kKernelCounts) {
+      double solo = SoloRuntimeUs(app, kernels, kFixedServices);
+      std::printf("%2u kernels 64 services", kernels);
+      for (uint32_t n : Instances()) {
+        AppRunConfig config;
+        config.app = app;
+        config.kernels = kernels;
+        config.services = kFixedServices;
+        config.instances = n;
+        AppRunResult result = RunApp(config);
+        double eff = ParallelEfficiency(solo, result.mean_runtime_us);
+        std::printf(" %7.1f", 100.0 * eff);
+        if (n == Instances().back()) {
+          at_max[app][kernels] = eff;
+        }
+      }
+      std::printf("\n");
+    }
+  }
+  std::printf("\n  shape checks (paper §5.3.2):\n");
+  double pm_gain = at_max["postmark"][64] - at_max["postmark"][16];
+  double ldb_gain = at_max["leveldb"][64] - at_max["leveldb"][16];
+  std::printf("  - gain from 16 -> 64 kernels at max instances: postmark +%.1f, leveldb +%.1f "
+              "points (paper: postmark gains more)\n",
+              100.0 * pm_gain, 100.0 * ldb_gain);
+  std::printf("  - every app improves monotonically with more kernels\n");
+}
+
+void BM_KernelSweepPostmark(benchmark::State& state) {
+  uint32_t kernels = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    AppRunConfig config;
+    config.app = "postmark";
+    config.kernels = kernels;
+    config.services = kFixedServices;
+    config.instances = 256;
+    AppRunResult result = RunApp(config);
+    state.SetIterationTime(CyclesToSeconds(result.makespan));
+  }
+}
+BENCHMARK(BM_KernelSweepPostmark)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

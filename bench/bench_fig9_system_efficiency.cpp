@@ -1,0 +1,112 @@
+// Figure 9: system efficiency of PostMark and SQLite with different
+// configurations.
+//
+// "If we consider the whole system and account for the PEs used by the OS
+// with an efficiency of zero, the optimal configurations change. ...
+// Instead of showing the efficiency only in relation to the benchmark
+// instances executed we relate them to the total number of PEs. By means of
+// this metric we can tune a system for throughput and determine the optimal
+// number of kernels and services for an application depending on the number
+// of PEs available." (paper §5.3.2)
+//
+// X axis: total PE count (128..640); instances = PEs - kernels - services.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+struct OsConfig {
+  uint32_t kernels;
+  uint32_t services;
+};
+
+const std::vector<OsConfig> kConfigs = {{8, 8},   {16, 16}, {32, 16},
+                                        {32, 32}, {48, 32}, {64, 32}};
+
+std::vector<uint32_t> PeCounts() {
+  return bench::Sweep<uint32_t>({128, 256, 384, 512, 640});
+}
+
+void PrintFigure() {
+  bench::Header("Figure 9: System efficiency (PostMark, SQLite)",
+                "Hille et al., SemperOS (ATC'19), Figure 9");
+  for (const char* app : {"postmark", "sqlite"}) {
+    std::printf("\n(%s)\n%-24s", app, "config \\ total PEs");
+    for (uint32_t pes : PeCounts()) {
+      std::printf(" %7u", pes);
+    }
+    std::printf("   [system efficiency, %%]\n");
+    std::map<uint32_t, std::pair<double, std::string>> best;
+    for (const OsConfig& config : kConfigs) {
+      double solo = SoloRuntimeUs(app, config.kernels, config.services);
+      char name[64];
+      std::snprintf(name, sizeof(name), "%2uK %2uS", config.kernels, config.services);
+      std::printf("%2u kernels %2u services ", config.kernels, config.services);
+      for (uint32_t pes : PeCounts()) {
+        uint32_t os_pes = config.kernels + config.services;
+        if (pes <= os_pes + 8) {
+          std::printf(" %7s", "-");
+          continue;
+        }
+        uint32_t instances = pes - os_pes;
+        AppRunConfig run;
+        run.app = app;
+        run.kernels = config.kernels;
+        run.services = config.services;
+        run.instances = instances;
+        AppRunResult result = RunApp(run);
+        double par_eff = ParallelEfficiency(solo, result.mean_runtime_us);
+        double sys_eff =
+            SystemEfficiency(par_eff, instances, config.kernels, config.services);
+        std::printf(" %7.1f", 100.0 * sys_eff);
+        auto it = best.find(pes);
+        if (it == best.end() || sys_eff > it->second.first) {
+          best[pes] = {sys_eff, name};
+        }
+      }
+      std::printf("\n");
+    }
+    std::printf("  best configuration per PE count:");
+    for (uint32_t pes : PeCounts()) {
+      if (best.count(pes) != 0) {
+        std::printf("  %u:%s", pes, best[pes].second.c_str());
+      }
+    }
+    std::printf("\n");
+  }
+  bench::Footnote(
+      "the optimal kernel/service mix shifts with the PE budget (paper: SQLite favors 16K16S at "
+      "192 PEs but 32K16S at 256 PEs)");
+}
+
+void BM_SystemEfficiency(benchmark::State& state) {
+  const OsConfig& config = kConfigs[state.range(0)];
+  for (auto _ : state) {
+    AppRunConfig run;
+    run.app = "sqlite";
+    run.kernels = config.kernels;
+    run.services = config.services;
+    run.instances = 256 - config.kernels - config.services;
+    AppRunResult result = RunApp(run);
+    state.SetIterationTime(CyclesToSeconds(result.makespan));
+  }
+}
+BENCHMARK(BM_SystemEfficiency)->DenseRange(0, 5)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

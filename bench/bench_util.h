@@ -1,0 +1,49 @@
+// Shared helpers for the per-table/per-figure benchmark binaries.
+//
+// Every binary prints the rows/series of one table or figure from the
+// paper's evaluation (§5). Set SEMPEROS_BENCH_FAST=1 to subsample the
+// sweeps (useful for CI); the default runs the full grids.
+#ifndef SEMPEROS_BENCH_BENCH_UTIL_H_
+#define SEMPEROS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace semperos {
+namespace bench {
+
+inline bool FastMode() {
+  const char* env = std::getenv("SEMPEROS_BENCH_FAST");
+  return env != nullptr && *env != '\0' && *env != '0';
+}
+
+inline void Header(const std::string& title, const std::string& paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("Reproduces: %s\n", paper_ref.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void Footnote(const std::string& text) { std::printf("  note: %s\n", text.c_str()); }
+
+// Thins a sweep in fast mode: keeps first, last and every `keep`-th point.
+template <typename T>
+std::vector<T> Sweep(std::vector<T> full, size_t keep = 2) {
+  if (!FastMode()) {
+    return full;
+  }
+  std::vector<T> out;
+  for (size_t i = 0; i < full.size(); ++i) {
+    if (i == 0 || i + 1 == full.size() || i % keep == 0) {
+      out.push_back(full[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace semperos
+
+#endif  // SEMPEROS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Quickstart: boot a two-kernel SemperOS system, exchange a capability
+// across PE groups, use it, and revoke it.
+//
+// This walks through the core mechanism of the paper: group-spanning
+// capability exchange and recursive revocation between independent kernels
+// that coordinate only through inter-kernel calls.
+//
+// Build & run:   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "system/client.h"
+
+using namespace semperos;
+
+int main() {
+  std::printf("SemperOS quickstart\n");
+  std::printf("===================\n\n");
+
+  // A platform with 2 kernels and 2 user PEs. The platform places one user
+  // in each kernel's PE group and boots the system: kernels configure their
+  // DTU endpoints, exchange HELLOs, and downgrade every user DTU so the
+  // only path to resources leads through capabilities (NoC-level
+  // isolation).
+  DriverRig rig = MakeDriverRig(/*kernels=*/2, /*users=*/2);
+  Platform& p = rig.p();
+  std::printf("booted: %u PEs in a %ux%u mesh, %u kernels\n", p.pe_count(), p.noc().config().width,
+              p.noc().config().height, p.kernel_count());
+  std::printf("  alice = VPE %u (kernel %u)\n", rig.vpe(0), rig.kernel_of_client(0)->id());
+  std::printf("  bob   = VPE %u (kernel %u)\n\n", rig.vpe(1), rig.kernel_of_client(1)->id());
+
+  // Give alice a memory capability for 1 MiB on a memory tile.
+  CapSel alice_mem = rig.Grant(0, 1 << 20);
+  std::printf("alice holds a 1 MiB memory capability (selector %u)\n", alice_mem);
+
+  // Bob obtains it. Bob's kernel forwards the request to alice's kernel
+  // (Figure 3, sequence B); alice's kernel asks alice, links the new child
+  // capability into the mapping database via DDL keys, and bob's kernel
+  // materializes bob's copy.
+  CapSel bob_copy = kInvalidSel;
+  rig.client(1).env().Obtain(rig.vpe(0), alice_mem, [&](const SyscallReply& r) {
+    CHECK(r.err == ErrCode::kOk);
+    bob_copy = r.sel;
+  });
+  p.RunToCompletion();
+  std::printf("bob obtained a copy (selector %u) after %.2f us — a group-spanning exchange\n",
+              bob_copy, CyclesToMicros(p.sim().Now()));
+
+  // Bob binds the capability to a DTU memory endpoint and reads through it.
+  // After activation, no kernel is involved in the data path.
+  rig.client(1).env().Activate(bob_copy, user_ep::kMem0, [](const SyscallReply& r) {
+    CHECK(r.err == ErrCode::kOk);
+  });
+  p.RunToCompletion();
+  bool read_done = false;
+  rig.client(1).env().ReadMem(user_ep::kMem0, 0, 4096, [&] { read_done = true; });
+  p.RunToCompletion();
+  std::printf("bob read 4 KiB through his DTU memory endpoint (kernel not involved): %s\n",
+              read_done ? "ok" : "FAILED");
+
+  // Alice revokes. The two-phase mark-and-sweep walks the capability tree
+  // across both kernels, deletes bob's copy, and invalidates his endpoint.
+  Cycles t0 = p.sim().Now();
+  rig.client(0).env().Revoke(alice_mem, [](const SyscallReply& r) {
+    CHECK(r.err == ErrCode::kOk);
+  });
+  p.RunToCompletion();
+  std::printf("alice revoked recursively in %.2f us\n", CyclesToMicros(p.sim().Now() - t0));
+
+  bool bob_ep_valid = p.pe(rig.vpe(1))->dtu().EpValid(user_ep::kMem0);
+  std::printf("bob's endpoint after revoke: %s\n", bob_ep_valid ? "STILL VALID (bug!)" : "invalidated");
+  std::printf("bob's capability after revoke: %s\n",
+              rig.kernel_of_client(1)->CapOf(rig.vpe(1), bob_copy) == nullptr ? "gone" : "alive");
+
+  KernelStats stats = p.TotalKernelStats();
+  std::printf("\nsystem totals: %llu syscalls, %llu IKC messages, %llu caps created, "
+              "%llu caps revoked, %llu messages lost\n",
+              (unsigned long long)stats.syscalls, (unsigned long long)stats.ikc_sent,
+              (unsigned long long)stats.caps_created, (unsigned long long)stats.caps_deleted,
+              (unsigned long long)p.TotalDrops());
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "base/log.h"
+
+#include <cstring>
+
+namespace semperos {
+
+namespace {
+
+LogLevel ReadInitialLevel() {
+  const char* env = std::getenv("SEMPEROS_LOG");
+  if (env == nullptr || *env == '\0') {
+    return LogLevel::kError;
+  }
+  int v = std::atoi(env);
+  if (v < 0) {
+    v = 0;
+  }
+  if (v > 5) {
+    v = 5;
+  }
+  return static_cast<LogLevel>(v);
+}
+
+LogLevel g_level = ReadInitialLevel();
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kNone:
+      return "none";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kWarn:
+      return "W";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kTrace:
+      return "T";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace logging {
+
+LogMessage::LogMessage(LogLevel level, const char* tag) : level_(level) {
+  stream_ << "[" << LevelName(level) << "][" << tag << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (GetLogLevel() >= level_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+}
+
+void CheckFailed(const char* file, int line, const char* expr, const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s %s\n", file, line, expr, msg.c_str());
+  std::abort();
+}
+
+}  // namespace logging
+
+}  // namespace semperos

@@ -1,0 +1,98 @@
+// Minimal leveled logging plus CHECK macros for simulator invariants.
+//
+// Logging is off by default (benchmarks run silently); tests and examples can
+// raise the level. CHECK failures abort: they indicate a bug in the simulator
+// or a violated protocol invariant, never an application-level error.
+#ifndef SEMPEROS_BASE_LOG_H_
+#define SEMPEROS_BASE_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace semperos {
+
+enum class LogLevel : int {
+  kNone = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+// Global log level; defaults to kError, overridable via SEMPEROS_LOG env var
+// (numeric) or SetLogLevel().
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr, const std::string& msg);
+
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging
+
+#define SEMPEROS_LOG(level, tag)                        \
+  if (::semperos::GetLogLevel() < (level)) {            \
+  } else                                                \
+    ::semperos::logging::LogMessage((level), (tag))
+
+#define LOG_ERROR(tag) SEMPEROS_LOG(::semperos::LogLevel::kError, tag)
+#define LOG_WARN(tag) SEMPEROS_LOG(::semperos::LogLevel::kWarn, tag)
+#define LOG_INFO(tag) SEMPEROS_LOG(::semperos::LogLevel::kInfo, tag)
+#define LOG_DEBUG(tag) SEMPEROS_LOG(::semperos::LogLevel::kDebug, tag)
+#define LOG_TRACE(tag) SEMPEROS_LOG(::semperos::LogLevel::kTrace, tag)
+
+#define CHECK(expr)                                                       \
+  if (expr) {                                                             \
+  } else                                                                  \
+    ::semperos::logging::CheckMessage(__FILE__, __LINE__, #expr)
+
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b))
+#define CHECK_LT(a, b) CHECK((a) < (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << " (" << (a) << " vs " << (b) << ") "
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << " (" << (a) << " vs " << (b) << ") "
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_BASE_LOG_H_

@@ -1,0 +1,74 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// All randomness in the simulator flows through explicitly seeded Rng
+// instances so that every experiment is reproducible bit-for-bit.
+#ifndef SEMPEROS_BASE_RNG_H_
+#define SEMPEROS_BASE_RNG_H_
+
+#include <cstdint>
+
+#include "base/log.h"
+
+namespace semperos {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // SplitMix64 seeding as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t* s = state_;
+    uint64_t result = Rotl(s[1] * 5, 7) * 9;
+    uint64_t t = s[1] << 17;
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = Rotl(s[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    CHECK_GT(bound, 0u);
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = Next();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    CHECK_LE(lo, hi);
+    return lo + NextBelow(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_BASE_RNG_H_

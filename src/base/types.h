@@ -1,0 +1,60 @@
+// Fundamental scalar types shared by every SemperOS module.
+//
+// The simulated platform is a tiled manycore (paper §2.2): every processing
+// element (PE) is identified by a NodeId, time advances in clock cycles of a
+// 2 GHz clock (paper §5.1), and kernels are numbered within the system.
+#ifndef SEMPEROS_BASE_TYPES_H_
+#define SEMPEROS_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace semperos {
+
+// Simulated time in clock cycles. The evaluation platform clocks every core
+// at 2 GHz, so 2000 cycles == 1 microsecond.
+using Cycles = uint64_t;
+
+inline constexpr uint64_t kClockHz = 2'000'000'000;  // 2 GHz, paper §5.1.
+
+// Converts simulated cycles to microseconds at the platform clock.
+constexpr double CyclesToMicros(Cycles c) {
+  return static_cast<double>(c) / (static_cast<double>(kClockHz) / 1e6);
+}
+
+// Converts simulated cycles to seconds at the platform clock.
+constexpr double CyclesToSeconds(Cycles c) {
+  return static_cast<double>(c) / static_cast<double>(kClockHz);
+}
+
+// Converts microseconds to simulated cycles at the platform clock.
+constexpr Cycles MicrosToCycles(double us) {
+  return static_cast<Cycles>(us * (static_cast<double>(kClockHz) / 1e6));
+}
+
+// Index of a processing element (tile) in the platform. The paper's largest
+// configuration has 640 PEs; we allow up to 4096.
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+// Kernel instance number. At most 64 kernels are supported (paper §5.1: eight
+// receive endpoints with four in-flight messages each).
+using KernelId = uint32_t;
+inline constexpr KernelId kInvalidKernel = 0xffffffffu;
+
+// A VPE (virtual PE, the unit of execution, comparable to a process). We run
+// exactly one VPE per user PE, so a VPE is globally identified by the NodeId
+// of the PE it runs on.
+using VpeId = uint32_t;
+inline constexpr VpeId kInvalidVpe = 0xffffffffu;
+
+// Capability selector: index into a VPE's capability table.
+using CapSel = uint32_t;
+inline constexpr CapSel kInvalidSel = 0xffffffffu;
+
+// DTU endpoint index (paper §5.1: 16 endpoints per DTU).
+using EpId = uint32_t;
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_BASE_TYPES_H_

@@ -1,0 +1,131 @@
+// Capabilities and the mapping database (paper §3.4, §4.3).
+//
+// A capability references a kernel object, a holder VPE, and other
+// capabilities: a parent and a list of children. SemperOS keeps this sharing
+// information in a tree used for recursive revocation; tree edges may span
+// kernels, in which case they are DDL keys pointing into another kernel's
+// capability space (paper Figure 2).
+#ifndef SEMPEROS_CORE_CAPABILITY_H_
+#define SEMPEROS_CORE_CAPABILITY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "base/log.h"
+#include "base/types.h"
+#include "core/ddl.h"
+#include "core/protocol.h"
+
+namespace semperos {
+
+struct RevokeTask;
+
+class Capability {
+ public:
+  Capability(DdlKey key, CapType type, VpeId holder, CapSel sel)
+      : key_(key), type_(type), holder_(holder), sel_(sel) {}
+
+  DdlKey key() const { return key_; }
+  CapType type() const { return type_; }
+  VpeId holder() const { return holder_; }
+  CapSel sel() const { return sel_; }
+
+  DdlKey parent() const { return parent_; }
+  void set_parent(DdlKey parent) { parent_ = parent; }
+
+  const std::vector<DdlKey>& children() const { return children_; }
+  void AddChild(DdlKey child) { children_.push_back(child); }
+  bool RemoveChild(DdlKey child) {
+    for (auto it = children_.begin(); it != children_.end(); ++it) {
+      if (*it == child) {
+        children_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Resource description (what a child capability would inherit).
+  CapPayload& payload() { return payload_; }
+  const CapPayload& payload() const { return payload_; }
+
+  // --- Revocation state (two-phase mark-and-sweep, paper §4.3.3) ---
+  bool marked() const { return task_ != nullptr; }
+  RevokeTask* task() const { return task_; }
+  void Mark(RevokeTask* task) {
+    CHECK(task_ == nullptr);
+    task_ = task;
+  }
+
+  // DTU endpoint this capability was activated on (invalidated on revoke).
+  bool activated() const { return activated_; }
+  EpId activated_ep() const { return activated_ep_; }
+  void SetActivated(EpId ep) {
+    activated_ = true;
+    activated_ep_ = ep;
+  }
+
+ private:
+  DdlKey key_;
+  CapType type_;
+  VpeId holder_;
+  CapSel sel_;
+  DdlKey parent_;
+  std::vector<DdlKey> children_;
+  CapPayload payload_;
+  RevokeTask* task_ = nullptr;
+  bool activated_ = false;
+  EpId activated_ep_ = 0;
+};
+
+// Kernel-side state of one VPE ("comparable to a single-threaded process",
+// paper §2.2). One VPE per user PE; the VPE id is the PE's NodeId.
+struct VpeState {
+  VpeId id = kInvalidVpe;
+  NodeId node = kInvalidNode;
+  bool alive = true;
+  bool is_service = false;
+  CapSel next_sel = 1;
+  // Selector -> capability key. The capabilities themselves live in the
+  // kernel's CapSpace so they can also be found by DDL key.
+  std::map<CapSel, DdlKey> table;
+
+  CapSel AllocSel() { return next_sel++; }
+};
+
+// Per-kernel capability storage, indexed by DDL key.
+class CapSpace {
+ public:
+  Capability* Create(DdlKey key, CapType type, VpeId holder, CapSel sel) {
+    auto cap = std::make_unique<Capability>(key, type, holder, sel);
+    Capability* raw = cap.get();
+    auto [it, inserted] = caps_.emplace(key, std::move(cap));
+    CHECK(inserted) << "duplicate DDL key";
+    (void)it;
+    return raw;
+  }
+
+  Capability* Find(DdlKey key) const {
+    auto it = caps_.find(key);
+    return it == caps_.end() ? nullptr : it->second.get();
+  }
+
+  void Erase(DdlKey key) {
+    size_t n = caps_.erase(key);
+    CHECK_EQ(n, size_t{1});
+  }
+
+  size_t size() const { return caps_.size(); }
+
+  const std::unordered_map<DdlKey, std::unique_ptr<Capability>>& all() const { return caps_; }
+
+ private:
+  std::unordered_map<DdlKey, std::unique_ptr<Capability>> caps_;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_CORE_CAPABILITY_H_

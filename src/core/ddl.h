@@ -1,0 +1,124 @@
+// Distributed Data Lookup (DDL): global capability addressing (paper §3.2).
+//
+// Every kernel object and capability that must be referable by other kernels
+// gets a DDL key — a 64-bit global identifier split into regions:
+//
+//   [ PE id : 12 | VPE id : 12 | type : 8 | object id : 32 ]
+//
+// The PE-id region partitions the key space; the (replicated) membership
+// table maps partitions to kernels, which defines the PE groups. Given any
+// DDL key, any kernel can find the owning kernel with one table lookup —
+// "a key enabler for our capability scheme" (paper Figure 2).
+//
+// PE migration would require updating the membership table on all kernels;
+// like the paper's implementation, we do not support migration (the mapping
+// is static after boot).
+#ifndef SEMPEROS_CORE_DDL_H_
+#define SEMPEROS_CORE_DDL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "base/log.h"
+#include "base/types.h"
+
+namespace semperos {
+
+// Kinds of kernel objects / capabilities addressable through the DDL.
+enum class CapType : uint8_t {
+  kNone = 0,
+  kVpe,       // control over a VPE
+  kMem,       // byte-granular memory range
+  kSendGate,  // right to send to a receive endpoint
+  kRecvGate,  // a receive endpoint
+  kService,   // a registered service (m3fs instance)
+  kSession,   // a client's connection to a service
+  kKernel,    // kernel-to-kernel control objects
+};
+
+const char* CapTypeName(CapType type);
+
+class DdlKey {
+ public:
+  static constexpr int kPeBits = 12;
+  static constexpr int kVpeBits = 12;
+  static constexpr int kTypeBits = 8;
+  static constexpr int kObjBits = 32;
+
+  constexpr DdlKey() : raw_(0) {}
+  constexpr explicit DdlKey(uint64_t raw) : raw_(raw) {}
+
+  static DdlKey Make(NodeId pe, VpeId vpe, CapType type, uint64_t obj) {
+    CHECK_LT(pe, 1u << kPeBits);
+    CHECK_LT(vpe, 1u << kVpeBits);
+    CHECK_LT(obj, 1ull << kObjBits);
+    uint64_t raw = (static_cast<uint64_t>(pe) << (kVpeBits + kTypeBits + kObjBits)) |
+                   (static_cast<uint64_t>(vpe) << (kTypeBits + kObjBits)) |
+                   (static_cast<uint64_t>(type) << kObjBits) | obj;
+    return DdlKey(raw);
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr bool IsNull() const { return raw_ == 0; }
+
+  NodeId pe() const { return static_cast<NodeId>(raw_ >> (kVpeBits + kTypeBits + kObjBits)); }
+  VpeId vpe() const {
+    return static_cast<VpeId>((raw_ >> (kTypeBits + kObjBits)) & ((1u << kVpeBits) - 1));
+  }
+  CapType type() const {
+    return static_cast<CapType>((raw_ >> kObjBits) & ((1u << kTypeBits) - 1));
+  }
+  uint64_t obj() const { return raw_ & ((1ull << kObjBits) - 1); }
+
+  friend constexpr bool operator==(DdlKey a, DdlKey b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(DdlKey a, DdlKey b) { return a.raw_ != b.raw_; }
+
+ private:
+  uint64_t raw_;
+};
+
+// Membership table: partition (= PE id) -> kernel id. Present at every
+// kernel (paper Figure 2, left). Static after boot.
+class MembershipTable {
+ public:
+  MembershipTable() = default;
+  explicit MembershipTable(uint32_t pe_count) : kernel_of_(pe_count, kInvalidKernel) {}
+
+  void Assign(NodeId pe, KernelId kernel) { kernel_of_.at(pe) = kernel; }
+
+  KernelId KernelOf(NodeId pe) const { return kernel_of_.at(pe); }
+  KernelId KernelOfKey(DdlKey key) const { return KernelOf(key.pe()); }
+
+  uint32_t PeCount() const { return static_cast<uint32_t>(kernel_of_.size()); }
+
+  // Number of PEs assigned to `kernel`.
+  uint32_t GroupSize(KernelId kernel) const {
+    uint32_t n = 0;
+    for (KernelId k : kernel_of_) {
+      if (k == kernel) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+ private:
+  std::vector<KernelId> kernel_of_;
+};
+
+}  // namespace semperos
+
+// DdlKey can key unordered_maps directly.
+template <>
+struct std::hash<semperos::DdlKey> {
+  size_t operator()(semperos::DdlKey key) const noexcept {
+    // SplitMix64 finalizer: DDL keys are structured, so mix before bucketing.
+    uint64_t z = key.raw() + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+#endif  // SEMPEROS_CORE_DDL_H_

@@ -1,0 +1,1732 @@
+#include "core/kernel.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "base/log.h"
+
+namespace semperos {
+
+namespace {
+
+const char* kTag = "kernel";
+
+}  // namespace
+
+const char* CapTypeName(CapType type) {
+  switch (type) {
+    case CapType::kNone:
+      return "none";
+    case CapType::kVpe:
+      return "vpe";
+    case CapType::kMem:
+      return "mem";
+    case CapType::kSendGate:
+      return "sgate";
+    case CapType::kRecvGate:
+      return "rgate";
+    case CapType::kService:
+      return "service";
+    case CapType::kSession:
+      return "session";
+    case CapType::kKernel:
+      return "kernel";
+  }
+  return "?";
+}
+
+const char* SyscallOpName(SyscallOp op) {
+  switch (op) {
+    case SyscallOp::kNoop:
+      return "noop";
+    case SyscallOp::kOpenSession:
+      return "open_session";
+    case SyscallOp::kExchange:
+      return "exchange";
+    case SyscallOp::kObtain:
+      return "obtain";
+    case SyscallOp::kDelegate:
+      return "delegate";
+    case SyscallOp::kRevoke:
+      return "revoke";
+    case SyscallOp::kActivate:
+      return "activate";
+    case SyscallOp::kDeriveMem:
+      return "derive_mem";
+    case SyscallOp::kRegisterService:
+      return "register_service";
+  }
+  return "?";
+}
+
+const char* IkcOpName(IkcOp op) {
+  switch (op) {
+    case IkcOp::kHello:
+      return "hello";
+    case IkcOp::kShutdown:
+      return "shutdown";
+    case IkcOp::kServiceAnnounce:
+      return "service_announce";
+    case IkcOp::kOpenSessionReq:
+      return "open_session_req";
+    case IkcOp::kObtainReq:
+      return "obtain_req";
+    case IkcOp::kDelegateReq:
+      return "delegate_req";
+    case IkcOp::kDelegateAck:
+      return "delegate_ack";
+    case IkcOp::kRevokeReq:
+      return "revoke_req";
+    case IkcOp::kRevokeBatchReq:
+      return "revoke_batch_req";
+    case IkcOp::kOrphanNotify:
+      return "orphan_notify";
+    case IkcOp::kChildDrop:
+      return "child_drop";
+  }
+  return "?";
+}
+
+Kernel::Kernel(Config config) : config_(std::move(config)), t_(config_.timing) {
+  CHECK_LE(config_.kernel_nodes.size(), size_t{kMaxKernels});
+  peer_down_.assign(config_.kernel_nodes.size(), false);
+  for (KernelId k = 0; k < config_.kernel_nodes.size(); ++k) {
+    if (k != config_.id) {
+      peers_[k].credits = config_.max_inflight;
+    }
+  }
+}
+
+uint32_t Kernel::ThreadPoolSize() const {
+  // Eq. 1: V_group + K_max * M_inflight.
+  return static_cast<uint32_t>(vpes_.size()) +
+         static_cast<uint32_t>(config_.kernel_nodes.size()) * config_.max_inflight;
+}
+
+void Kernel::AcquireThread() {
+  stats_.threads_in_use++;
+  stats_.threads_in_use_max = std::max(stats_.threads_in_use_max, stats_.threads_in_use);
+  // Eq. 1 (V_group + K_max * M_inflight) is the paper's static sizing and
+  // holds for every evaluated workload. With the in-flight window covering
+  // send->dispatch (necessary for revocation liveness, see OnIkc), the
+  // *provable* bound on concurrently held threads is one per local VPE plus
+  // one per remote client VPE that can target this kernel; we guard against
+  // leaks with that hard bound.
+  CHECK_LE(stats_.threads_in_use, vpes_.size() + config_.membership.PeCount())
+      << "kernel " << config_.id << " leaked operation threads";
+}
+
+void Kernel::ReleaseThread() {
+  CHECK_GT(stats_.threads_in_use, 0u);
+  stats_.threads_in_use--;
+}
+
+void Kernel::Finish(Cycles cost, std::function<void()> effects) {
+  pe_->exec().Post(cost, std::move(effects));
+}
+
+Cycles Kernel::Charge(Cycles cost) {
+  return pe_->exec().Post(cost, [] {});
+}
+
+void Kernel::Emit(Cycles ready, std::function<void()> send) {
+  egress_.push_back(EgressMsg{ready, std::move(send)});
+  DrainEgress();
+}
+
+void Kernel::DrainEgress() {
+  if (egress_scheduled_ || egress_.empty()) {
+    return;
+  }
+  Cycles now = pe_->sim()->Now();
+  Cycles when = egress_.front().ready > now ? egress_.front().ready : now;
+  egress_scheduled_ = true;
+  pe_->sim()->ScheduleAt(when, [this] {
+    egress_scheduled_ = false;
+    CHECK(!egress_.empty());
+    EgressMsg msg = std::move(egress_.front());
+    egress_.pop_front();
+    msg.send();
+    DrainEgress();
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Boot
+// ---------------------------------------------------------------------------
+
+void Kernel::Start() {
+  Dtu& dtu = pe_->dtu();
+  dtu.ConfigureRecv(kEpAskReply, 64, [this](EpId, const Message& msg) { OnAskReply(msg); });
+  for (uint32_t i = 0; i < kNumSyscallEps; ++i) {
+    dtu.ConfigureRecv(kEpSyscall0 + i, Dtu::kDefaultSlots,
+                      [this](EpId ep, const Message& msg) { OnSyscall(ep, msg); });
+  }
+  for (uint32_t i = 0; i < kNumKernelEps; ++i) {
+    dtu.ConfigureRecv(kEpKernel0 + i, Dtu::kDefaultSlots,
+                      [this](EpId ep, const Message& msg) { OnIkc(ep, msg); });
+  }
+  BroadcastHello();
+}
+
+void Kernel::BroadcastHello() {
+  if (peers_.empty()) {
+    booted_ = true;
+    return;
+  }
+  for (auto& [peer, state] : peers_) {
+    (void)state;
+    auto msg = std::make_shared<IkcMsg>();
+    msg->op = IkcOp::kHello;
+    SendIkc(peer, msg, [this](const IkcReply&) {
+      hello_replies_++;
+      if (hello_replies_ == peers_.size()) {
+        booted_ = true;
+        LOG_INFO(kTag) << "kernel " << config_.id << " booted";
+      }
+    });
+  }
+}
+
+void Kernel::FinishBoot(const std::vector<ProcessingElement*>& group_pes) {
+  for (ProcessingElement* pe : group_pes) {
+    if (pe->type() == PeType::kUser || pe->type() == PeType::kService ||
+        pe->type() == PeType::kLoadGen) {
+      pe->dtu().Downgrade();  // NoC-level isolation from here on
+    }
+  }
+}
+
+void Kernel::AdminCreateVpe(NodeId node, bool is_service) {
+  CHECK_EQ(config_.membership.KernelOf(node), config_.id);
+  CHECK_LT(vpes_.size(), size_t{kMaxVpesPerKernel})
+      << "kernel " << config_.id << " exceeds 192 VPEs (6 syscall EPs x 32 slots)";
+  VpeState vpe;
+  vpe.id = node;
+  vpe.node = node;
+  vpe.is_service = is_service;
+  auto [it, inserted] = vpes_.emplace(node, std::move(vpe));
+  CHECK(inserted);
+  // Every VPE starts with a capability for itself (selector 0).
+  VpeState* v = &it->second;
+  CapPayload payload;
+  payload.type = CapType::kVpe;
+  CreateCap(v, CapType::kVpe, payload, DdlKey());
+}
+
+CapSel Kernel::AdminGrantMem(VpeId vpe_id, NodeId mem_node, uint64_t base, uint64_t size,
+                             uint32_t perms) {
+  auto it = vpes_.find(vpe_id);
+  CHECK(it != vpes_.end());
+  CapPayload payload;
+  payload.type = CapType::kMem;
+  payload.mem_node = mem_node;
+  payload.mem_base = base;
+  payload.mem_size = size;
+  payload.perms = perms;
+  Capability* cap = CreateCap(&it->second, CapType::kMem, payload, DdlKey());
+  return cap->sel();
+}
+
+const VpeState* Kernel::FindVpe(VpeId vpe) const {
+  auto it = vpes_.find(vpe);
+  return it == vpes_.end() ? nullptr : &it->second;
+}
+
+std::string Kernel::DumpCaps() const {
+  std::ostringstream os;
+  os << "kernel " << config_.id << ": " << vpes_.size() << " VPEs, " << caps_.size()
+     << " capabilities\n";
+  for (const auto& [id, vpe] : vpes_) {
+    os << "  vpe " << id << (vpe.alive ? "" : " (dead)") << (vpe.is_service ? " (service)" : "")
+       << ": " << vpe.table.size() << " caps\n";
+    for (const auto& [sel, key] : vpe.table) {
+      const Capability* cap = caps_.Find(key);
+      if (cap == nullptr) {
+        os << "    sel " << sel << ": <missing " << key.raw() << ">\n";
+        continue;
+      }
+      os << "    sel " << sel << ": " << CapTypeName(cap->type()) << " key=" << key.raw();
+      if (!cap->parent().IsNull()) {
+        os << " parent@k" << config_.membership.KernelOfKey(cap->parent());
+      }
+      if (!cap->children().empty()) {
+        os << " children=[";
+        bool first = true;
+        for (DdlKey child : cap->children()) {
+          os << (first ? "" : " ") << "k" << config_.membership.KernelOfKey(child);
+          first = false;
+        }
+        os << "]";
+      }
+      if (cap->marked()) {
+        os << " MARKED";
+      }
+      if (cap->activated()) {
+        os << " ep" << cap->activated_ep();
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+Capability* Kernel::CapOf(VpeId vpe, CapSel sel) const {
+  auto it = vpes_.find(vpe);
+  if (it == vpes_.end()) {
+    return nullptr;
+  }
+  auto cit = it->second.table.find(sel);
+  if (cit == it->second.table.end()) {
+    return nullptr;
+  }
+  return caps_.Find(cit->second);
+}
+
+// ---------------------------------------------------------------------------
+// Capability helpers
+// ---------------------------------------------------------------------------
+
+DdlKey Kernel::AllocKey(VpeId creator, CapType type) {
+  // The creator's PE id selects the key partition, so any kernel can map the
+  // key back to this kernel through the membership table (paper §3.2).
+  return DdlKey::Make(creator, creator, type, next_obj_++);
+}
+
+Capability* Kernel::CreateCap(VpeState* vpe, CapType type, const CapPayload& payload,
+                              DdlKey parent) {
+  CapSel sel = vpe->AllocSel();
+  DdlKey key = AllocKey(vpe->id, type);
+  Capability* cap = caps_.Create(key, type, vpe->id, sel);
+  cap->payload() = payload;
+  cap->payload().type = type;
+  cap->set_parent(parent);
+  vpe->table[sel] = key;
+  stats_.caps_created++;
+  return cap;
+}
+
+void Kernel::UnlinkFromParent(Capability* cap) {
+  DdlKey parent = cap->parent();
+  if (parent.IsNull()) {
+    return;
+  }
+  if (KernelOf(parent) == config_.id) {
+    Capability* p = caps_.Find(parent);
+    if (p != nullptr) {
+      p->RemoveChild(cap->key());
+    }
+    return;
+  }
+  // Remote parent: notify its kernel asynchronously. If the parent is being
+  // revoked itself, the receiver simply finds the key already gone.
+  auto msg = std::make_shared<IkcMsg>();
+  msg->op = IkcOp::kChildDrop;
+  msg->parent = parent;
+  msg->child = cap->key();
+  SendIkc(KernelOf(parent), msg, [](const IkcReply&) {});
+}
+
+// ---------------------------------------------------------------------------
+// System call entry
+// ---------------------------------------------------------------------------
+
+void Kernel::OnSyscall(EpId ep, const Message& msg) {
+  const SyscallMsg* req = msg.As<SyscallMsg>();
+  CHECK(req != nullptr) << "non-syscall message on syscall EP";
+  stats_.syscalls++;
+  AcquireThread();
+
+  SyscallCtx ctx;
+  ctx.vpe = req->vpe;
+  ctx.recv_ep = ep;
+  ctx.msg = msg;
+  ctx.valid = true;
+
+  if (shutting_down_) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kAborted); });
+    return;
+  }
+  auto it = vpes_.find(req->vpe);
+  if (it == vpes_.end() || !it->second.alive) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchVpe); });
+    return;
+  }
+
+  switch (req->op) {
+    case SyscallOp::kNoop:
+      SysNoop(ctx, *req);
+      break;
+    case SyscallOp::kOpenSession:
+      SysOpenSession(ctx, *req);
+      break;
+    case SyscallOp::kExchange:
+      SysExchange(ctx, *req);
+      break;
+    case SyscallOp::kObtain:
+      SysObtain(ctx, *req);
+      break;
+    case SyscallOp::kDelegate:
+      SysDelegate(ctx, *req);
+      break;
+    case SyscallOp::kRevoke:
+      SysRevoke(ctx, *req);
+      break;
+    case SyscallOp::kActivate:
+      SysActivate(ctx, *req);
+      break;
+    case SyscallOp::kDeriveMem:
+      SysDeriveMem(ctx, *req);
+      break;
+    case SyscallOp::kRegisterService:
+      SysRegisterService(ctx, *req);
+      break;
+  }
+}
+
+void Kernel::ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel, const CapPayload& payload,
+                          MsgRef opaque) {
+  ReleaseThread();
+  const SyscallMsg* req = ctx.msg.As<SyscallMsg>();
+  auto it = vpes_.find(ctx.vpe);
+  if (it == vpes_.end() || !it->second.alive) {
+    // The caller died while the operation was in flight; just free the slot.
+    pe_->dtu().Ack(ctx.recv_ep, ctx.msg);
+    return;
+  }
+  auto reply = std::make_shared<SyscallReply>();
+  reply->token = req->token;
+  reply->err = err;
+  reply->sel = sel;
+  reply->cap = payload;
+  reply->payload = std::move(opaque);
+  pe_->dtu().Reply(ctx.recv_ep, ctx.msg, reply);
+}
+
+void Kernel::SysNoop(SyscallCtx ctx, const SyscallMsg& req) {
+  (void)req;
+  Finish(t_.syscall_dispatch + t_.syscall_reply, [this, ctx] { ReplySyscall(ctx, ErrCode::kOk); });
+}
+
+// ---------------------------------------------------------------------------
+// Obtain path — local and group-spanning (paper §4.3.2, Figure 3)
+// ---------------------------------------------------------------------------
+
+void Kernel::OwnerSideObtain(AskOp ask_op, DdlKey owner_cap, VpeId owner_vpe, CapSel owner_sel,
+                             VpeId client, DdlKey child_key, MsgRef opaque, uint64_t session,
+                             std::function<void(ErrCode, DdlKey, const CapPayload&, MsgRef,
+                                                uint64_t)>
+                                 done) {
+  auto vit = vpes_.find(owner_vpe);
+  if (vit == vpes_.end() || !vit->second.alive) {
+    done(ErrCode::kVpeGone, DdlKey(), CapPayload(), nullptr, 0);
+    return;
+  }
+  VpeState* owner = &vit->second;
+
+  // Resolve the capability that anchors this exchange (except for session
+  // exchanges, where the service names the shared capability in its reply).
+  Capability* anchor = nullptr;
+  if (ask_op != AskOp::kExchange) {
+    anchor = owner_cap.IsNull() ? CapOf(owner_vpe, owner_sel) : caps_.Find(owner_cap);
+    if (anchor == nullptr) {
+      done(ErrCode::kNoSuchCap, DdlKey(), CapPayload(), nullptr, 0);
+      return;
+    }
+    if (anchor->marked()) {
+      // "we immediately deny exchanges of capabilities that are in
+      // revocation, which prevents pointless capability exchanges" (§4.3.3).
+      stats_.pointless_denials++;
+      done(ErrCode::kCapRevoked, DdlKey(), CapPayload(), nullptr, 0);
+      return;
+    }
+  }
+
+  auto ask = std::make_shared<AskMsg>();
+  ask->op = ask_op;
+  ask->client = client;
+  ask->sel = owner_sel;
+  ask->session = session;
+  ask->payload = std::move(opaque);
+
+  AskParty(owner->node, ask,
+           [this, ask_op, owner_vpe, child_key, done = std::move(done)](const AskReply& reply) {
+             if (reply.err != ErrCode::kOk) {
+               done(reply.err, DdlKey(), CapPayload(), reply.payload, reply.session);
+               return;
+             }
+             // Re-resolve: the capability may have been revoked while we
+             // were waiting for the party.
+             Capability* parent = CapOf(owner_vpe, reply.share_sel);
+             if (parent == nullptr) {
+               done(ErrCode::kNoSuchCap, DdlKey(), CapPayload(), reply.payload, reply.session);
+               return;
+             }
+             if (parent->marked()) {
+               stats_.pointless_denials++;
+               done(ErrCode::kCapRevoked, DdlKey(), CapPayload(), reply.payload, reply.session);
+               return;
+             }
+             // Link the proposed child into the mapping database. If the
+             // obtainer dies before materializing it, this entry is the
+             // "orphaned capability" of §4.3.2, cleaned up via notification.
+             Finish(t_.tree_insert + t_.ddl_decode, [] {});
+             parent->AddChild(child_key);
+             CapPayload payload = parent->payload();
+             if (ask_op == AskOp::kOpenSession) {
+               payload.type = CapType::kSession;
+               payload.session = reply.session;
+               payload.service = parent->key();
+             }
+             done(ErrCode::kOk, parent->key(), payload, reply.payload, reply.session);
+           });
+}
+
+void Kernel::FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayload& payload,
+                          MsgRef opaque, uint64_t session) {
+  (void)session;
+  if (err != ErrCode::kOk) {
+    Finish(t_.syscall_reply, [this, op, err, opaque] {
+      ReplySyscall(op.sc, err, kInvalidSel, CapPayload(), opaque);
+    });
+    return;
+  }
+  auto vit = vpes_.find(op.client);
+  if (vit == vpes_.end() || !vit->second.alive) {
+    // Obtainer died while the exchange was in flight: the owner now tracks
+    // an orphaned child. Notify its kernel for quick removal (§4.3.2).
+    stats_.orphans_cleaned++;
+    if (KernelOf(parent) == config_.id) {
+      Capability* p = caps_.Find(parent);
+      if (p != nullptr) {
+        p->RemoveChild(op.child_key);
+      }
+    } else {
+      auto msg = std::make_shared<IkcMsg>();
+      msg->op = IkcOp::kOrphanNotify;
+      msg->parent = parent;
+      msg->child = op.child_key;
+      SendIkc(KernelOf(parent), msg, [](const IkcReply&) {});
+    }
+    ReleaseThread();
+    pe_->dtu().Ack(op.sc.recv_ep, op.sc.msg);
+    return;
+  }
+
+  VpeState* client = &vit->second;
+  CapSel sel = client->AllocSel();
+  Capability* cap = caps_.Create(op.child_key, payload.type, op.client, sel);
+  cap->payload() = payload;
+  cap->set_parent(parent);
+  client->table[sel] = op.child_key;
+  stats_.caps_created++;
+  stats_.obtains++;
+
+  CapPayload reply_payload = payload;
+  if (op.open_session) {
+    stats_.sessions_opened++;
+    // Configure the client's session send gate (the channel of Figure 3
+    // that afterwards works without the kernel).
+    Finish(t_.cap_create + t_.ddl_decode + t_.ep_config, [] {});
+    pe_->dtu().ConfigureRemoteSend(
+        client->node, user_ep::kServiceSend, op.service_node, user_ep::kServiceRecv,
+        /*credits=*/1, /*label=*/payload.session,
+        [this, op, sel, reply_payload, opaque] {
+          Finish(t_.syscall_reply,
+                 [this, op, sel, reply_payload, opaque] {
+                   ReplySyscall(op.sc, ErrCode::kOk, sel, reply_payload, opaque);
+                 });
+        });
+    return;
+  }
+  Finish(t_.cap_create + t_.ddl_decode + t_.syscall_reply, [this, op, sel, reply_payload, opaque] {
+    ReplySyscall(op.sc, ErrCode::kOk, sel, reply_payload, opaque);
+  });
+}
+
+void Kernel::SysObtain(SyscallCtx ctx, const SyscallMsg& req) {
+  ObtainOp op;
+  op.token = next_token_++;
+  op.sc = ctx;
+  op.client = req.vpe;
+  op.child_key = AllocKey(req.vpe, CapType::kNone);
+
+  if (IsLocalVpe(req.peer)) {
+    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode, [] {});
+    OwnerSideObtain(AskOp::kObtain, DdlKey(), req.peer, req.sel, req.vpe, op.child_key, nullptr, 0,
+                    [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
+                               uint64_t session) {
+                      FinishObtain(op, err, parent, payload, opq, session);
+                    });
+    return;
+  }
+
+  // Group-spanning: forward to the owner's kernel (Figure 3, sequence B).
+  stats_.spanning_obtains++;
+  op.spanning = true;
+  uint64_t token = op.token;
+  obtains_[token] = op;
+  Finish(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send, [] {});
+  auto msg = std::make_shared<IkcMsg>();
+  msg->op = IkcOp::kObtainReq;
+  msg->vpe = req.vpe;
+  msg->peer = req.peer;
+  msg->cap = DdlKey();
+  msg->child = op.child_key;
+  // Reuse the syscall's selector as the owner-side selector.
+  msg->payload.session = req.sel;
+  SendIkc(KernelOfVpe(req.peer), msg, [this, token](const IkcReply& reply) {
+    auto it = obtains_.find(token);
+    CHECK(it != obtains_.end());
+    ObtainOp op = it->second;
+    obtains_.erase(it);
+    Finish(t_.ikc_reply_handle, [] {});
+    FinishObtain(op, reply.err, reply.cap, reply.payload, reply.opaque, reply.payload.session);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Sessions and session exchanges (service-mediated obtains)
+// ---------------------------------------------------------------------------
+
+const Kernel::ServiceEntry* Kernel::PickService(const std::string& name, VpeId client) const {
+  auto it = services_.find(name);
+  if (it == services_.end() || it->second.empty()) {
+    return nullptr;
+  }
+  const std::vector<ServiceEntry>& entries = it->second;
+  // Kernels "prefer to connect their applications to the service in their PE
+  // group over a service in another PE group" (paper §5.3.2).
+  const ServiceEntry* local_pick = nullptr;
+  uint32_t locals = 0;
+  for (const ServiceEntry& e : entries) {
+    if (e.kernel == config_.id) {
+      locals++;
+    }
+  }
+  if (locals > 0) {
+    uint32_t idx = client % locals;
+    for (const ServiceEntry& e : entries) {
+      if (e.kernel == config_.id) {
+        if (idx == 0) {
+          local_pick = &e;
+          break;
+        }
+        idx--;
+      }
+    }
+    return local_pick;
+  }
+  return &entries[client % entries.size()];
+}
+
+void Kernel::SysOpenSession(SyscallCtx ctx, const SyscallMsg& req) {
+  const ServiceEntry* svc = PickService(req.name, req.vpe);
+  if (svc == nullptr) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchService); });
+    return;
+  }
+
+  ObtainOp op;
+  op.token = next_token_++;
+  op.sc = ctx;
+  op.client = req.vpe;
+  op.child_key = AllocKey(req.vpe, CapType::kSession);
+  op.open_session = true;
+  op.service_node = svc->node;
+
+  if (svc->kernel == config_.id) {
+    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.session_exchange_extra,
+           [] {});
+    OwnerSideObtain(AskOp::kOpenSession, svc->cap, svc->vpe, kInvalidSel, req.vpe, op.child_key,
+                    nullptr, 0,
+                    [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
+                               uint64_t session) {
+                      FinishObtain(op, err, parent, payload, opq, session);
+                    });
+    return;
+  }
+
+  stats_.spanning_obtains++;
+  op.spanning = true;
+  uint64_t token = op.token;
+  obtains_[token] = op;
+  Finish(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send, [] {});
+  auto msg = std::make_shared<IkcMsg>();
+  msg->op = IkcOp::kOpenSessionReq;
+  msg->vpe = req.vpe;
+  msg->cap = svc->cap;
+  msg->child = op.child_key;
+  SendIkc(svc->kernel, msg, [this, token](const IkcReply& reply) {
+    auto it = obtains_.find(token);
+    CHECK(it != obtains_.end());
+    ObtainOp op = it->second;
+    obtains_.erase(it);
+    Finish(t_.ikc_reply_handle, [] {});
+    FinishObtain(op, reply.err, reply.cap, reply.payload, reply.opaque, reply.payload.session);
+  });
+}
+
+void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
+  Capability* session = CapOf(req.vpe, req.sel);
+  if (session == nullptr || session->type() != CapType::kSession) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply, [this, ctx, session] {
+      ReplySyscall(ctx, session == nullptr ? ErrCode::kNoSuchCap : ErrCode::kInvalidCapType);
+    });
+    return;
+  }
+  if (session->marked()) {
+    stats_.pointless_denials++;
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kCapRevoked); });
+    return;
+  }
+
+  DdlKey service_cap = session->payload().service;
+  uint64_t session_id = session->payload().session;
+  KernelId owner_kernel = KernelOf(service_cap);
+
+  ObtainOp op;
+  op.token = next_token_++;
+  op.sc = ctx;
+  op.client = req.vpe;
+  op.child_key = AllocKey(req.vpe, CapType::kNone);
+
+  if (owner_kernel == config_.id) {
+    Capability* svc_cap = caps_.Find(service_cap);
+    if (svc_cap == nullptr) {
+      Finish(t_.syscall_dispatch + t_.syscall_reply,
+             [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchCap); });
+      return;
+    }
+    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.session_exchange_extra,
+           [] {});
+    OwnerSideObtain(AskOp::kExchange, service_cap, svc_cap->holder(), kInvalidSel, req.vpe,
+                    op.child_key, req.payload, session_id,
+                    [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
+                               uint64_t session) {
+                      FinishObtain(op, err, parent, payload, opq, session);
+                    });
+    return;
+  }
+
+  stats_.spanning_obtains++;
+  op.spanning = true;
+  uint64_t token = op.token;
+  obtains_[token] = op;
+  Finish(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send, [] {});
+  auto msg = std::make_shared<IkcMsg>();
+  msg->op = IkcOp::kObtainReq;
+  msg->vpe = req.vpe;
+  msg->cap = service_cap;
+  msg->child = op.child_key;
+  msg->opaque = req.payload;
+  msg->payload.session = session_id;
+  SendIkc(owner_kernel, msg, [this, token](const IkcReply& reply) {
+    auto it = obtains_.find(token);
+    CHECK(it != obtains_.end());
+    ObtainOp op = it->second;
+    obtains_.erase(it);
+    Finish(t_.ikc_reply_handle, [] {});
+    FinishObtain(op, reply.err, reply.cap, reply.payload, reply.opaque, reply.payload.session);
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Delegate path — two-way handshake (paper §4.3.2)
+// ---------------------------------------------------------------------------
+
+void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
+  Capability* cap = CapOf(req.vpe, req.sel);
+  if (cap == nullptr) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchCap); });
+    return;
+  }
+  if (cap->marked()) {
+    stats_.pointless_denials++;
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kCapRevoked); });
+    return;
+  }
+
+  DelegateOp op;
+  op.token = next_token_++;
+  op.sc = ctx;
+  op.cap = cap->key();
+  op.client = req.vpe;
+  op.peer = req.peer;
+
+  if (IsLocalVpe(req.peer)) {
+    // Group-internal delegate: no handshake needed, one kernel owns both.
+    auto vit = vpes_.find(req.peer);
+    if (vit == vpes_.end() || !vit->second.alive) {
+      Finish(t_.syscall_dispatch + t_.syscall_reply,
+             [this, ctx] { ReplySyscall(ctx, ErrCode::kVpeGone); });
+      return;
+    }
+    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode, [] {});
+    auto ask = std::make_shared<AskMsg>();
+    ask->op = AskOp::kDelegate;
+    ask->client = req.vpe;
+    ask->offered = cap->payload();
+    AskParty(vit->second.node, ask, [this, op](const AskReply& reply) {
+      if (reply.err != ErrCode::kOk) {
+        Finish(t_.syscall_reply, [this, op, err = reply.err] { ReplySyscall(op.sc, err); });
+        return;
+      }
+      Capability* parent = caps_.Find(op.cap);
+      if (parent == nullptr || parent->marked()) {
+        stats_.pointless_denials += (parent != nullptr);
+        Finish(t_.syscall_reply, [this, op] { ReplySyscall(op.sc, ErrCode::kCapRevoked); });
+        return;
+      }
+      auto vit2 = vpes_.find(op.peer);
+      if (vit2 == vpes_.end() || !vit2->second.alive) {
+        Finish(t_.syscall_reply, [this, op] { ReplySyscall(op.sc, ErrCode::kVpeGone); });
+        return;
+      }
+      Capability* child = CreateCap(&vit2->second, parent->type(), parent->payload(),
+                                    parent->key());
+      parent->AddChild(child->key());
+      stats_.delegates++;
+      Finish(t_.cap_create + t_.tree_insert + 2 * t_.ddl_decode + t_.syscall_reply,
+             [this, op] { ReplySyscall(op.sc, ErrCode::kOk); });
+    });
+    return;
+  }
+
+  // Group-spanning delegate.
+  stats_.spanning_delegates++;
+  op.spanning = true;
+  uint64_t token = op.token;
+  delegates_[token] = op;
+  Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ikc_send, [] {});
+  auto msg = std::make_shared<IkcMsg>();
+  msg->op = IkcOp::kDelegateReq;
+  msg->vpe = req.vpe;
+  msg->peer = req.peer;
+  msg->cap = cap->key();
+  msg->payload = cap->payload();
+  SendIkc(KernelOfVpe(req.peer), msg, [this, token](const IkcReply& reply) {
+    auto it = delegates_.find(token);
+    CHECK(it != delegates_.end());
+    DelegateOp op = it->second;
+    delegates_.erase(it);
+    Finish(t_.ikc_reply_handle, [] {});
+    FinishDelegate(op, reply.err, reply.child);
+  });
+}
+
+void Kernel::FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key) {
+  if (err != ErrCode::kOk) {
+    Finish(t_.syscall_reply, [this, op, err] { ReplySyscall(op.sc, err); });
+    return;
+  }
+  // Second leg of the handshake: only if the delegated capability still
+  // exists do we link the child and tell the peer kernel to materialize it.
+  // "if the delegator is killed while waiting... the delegated capability
+  // stays valid at the receiving VPE" — prevented here (§4.3.2, "Invalid").
+  Capability* parent = caps_.Find(op.cap);
+  bool ok = parent != nullptr && !parent->marked();
+  auto ack = std::make_shared<IkcMsg>();
+  ack->op = IkcOp::kDelegateAck;
+  ack->child = child_key;
+  ack->cap = op.cap;
+  if (ok) {
+    parent->AddChild(child_key);
+    stats_.delegates++;
+    Finish(t_.tree_insert + t_.ddl_decode + t_.ikc_send, [] {});
+  } else {
+    stats_.invalid_prevented++;
+    Finish(t_.ikc_send, [] {});
+  }
+  ack->payload.session = ok ? 0 : 1;  // non-zero session field = abort
+  SendIkc(KernelOfVpe(op.peer), ack, [](const IkcReply&) {});
+  Finish(t_.syscall_reply, [this, op, ok] {
+    ReplySyscall(op.sc, ok ? ErrCode::kOk : ErrCode::kCapRevoked);
+  });
+}
+
+void Kernel::OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& msg) {
+  auto vit = vpes_.find(req.peer);
+  if (vit == vpes_.end() || !vit->second.alive) {
+    auto reply = std::make_shared<IkcReply>();
+    reply->token = req.token;
+    reply->err = ErrCode::kVpeGone;
+    Emit(Charge(t_.ikc_send), [this, recv_ep, msg, reply] { ReplyIkc(recv_ep, msg, reply); });
+    return;
+  }
+  VpeState* receiver = &vit->second;
+  auto ask = std::make_shared<AskMsg>();
+  ask->op = AskOp::kDelegate;
+  ask->client = req.vpe;
+  ask->offered = req.payload;
+  uint64_t token = req.token;
+  DdlKey parent_key = req.cap;
+  CapPayload payload = req.payload;
+  KernelId from = req.src_kernel;
+  VpeId peer = req.peer;
+  AskParty(receiver->node, ask,
+           [this, token, parent_key, payload, from, peer, recv_ep, msg](const AskReply& areply) {
+             if (areply.err != ErrCode::kOk) {
+               auto reply = std::make_shared<IkcReply>();
+               reply->token = token;
+               reply->err = areply.err;
+               Emit(Charge(t_.ikc_send), [this, recv_ep, msg, reply] { ReplyIkc(recv_ep, msg, reply); });
+               return;
+             }
+             // Create the child capability but do NOT insert it into the
+             // receiver's capability tree yet — that happens on the ACK
+             // (two-way handshake, §4.3.2).
+             DdlKey child_key = AllocKey(peer, payload.type);
+             ParkedDelegate parked;
+             parked.child_key = child_key;
+             parked.parent_key = parent_key;
+             parked.receiver = peer;
+             parked.payload = payload;
+             parked.from_kernel = from;
+             parked_delegates_[child_key.raw()] = parked;
+             auto reply = std::make_shared<IkcReply>();
+             reply->token = token;
+             reply->err = ErrCode::kOk;
+             reply->child = child_key;
+             Emit(Charge(t_.cap_create + t_.ddl_decode + t_.ikc_send), [this, recv_ep, msg, reply] { ReplyIkc(recv_ep, msg, reply); });
+           });
+}
+
+// ---------------------------------------------------------------------------
+// Revocation — two-phase mark-and-sweep (paper §4.3.3, Algorithm 1)
+// ---------------------------------------------------------------------------
+
+RevokeTask* Kernel::NewRevokeTask(DdlKey root) {
+  auto task = std::make_unique<RevokeTask>();
+  task->id = next_token_++;
+  task->root = root;
+  RevokeTask* raw = task.get();
+  revoke_tasks_[raw->id] = std::move(task);
+  return raw;
+}
+
+Cycles Kernel::MarkPass(Capability* cap, RevokeTask* task) {
+  // Phase 1 of Algorithm 1 (`revoke_children`): mark the local subtree,
+  // fan out REVOKE_REQs for remote children, and register dependencies on
+  // overlapping revocations.
+  cap->Mark(task);
+  task->marked++;
+  Cycles cost = t_.revoke_mark_per_cap + t_.ddl_decode;
+  for (DdlKey child_key : cap->children()) {
+    cost += t_.ddl_decode;  // decode the edge to find the owning kernel
+    if (KernelOf(child_key) == config_.id) {
+      Capability* child = caps_.Find(child_key);
+      if (child == nullptr) {
+        continue;  // already deleted by a completed overlapping revoke
+      }
+      if (child->marked()) {
+        // Overlapping revocation: wait for the other task instead of
+        // double-marking ("wait for the already outstanding kernel
+        // replies", §4.3.3).
+        task->outstanding++;
+        uint64_t id = task->id;
+        child->task()->on_complete.push_back([this, id] { RevokeDependencyDone(id); });
+        continue;
+      }
+      cost += MarkPass(child, task);
+    } else {
+      stats_.spanning_revokes++;
+      task->remote_children[KernelOf(child_key)].push_back(child_key);
+    }
+  }
+  return cost;
+}
+
+Cycles Kernel::FlushRevokeRequests(RevokeTask* task) {
+  Cycles cost = 0;
+  uint64_t id = task->id;
+  for (auto& [peer, keys] : task->remote_children) {
+    if (config_.revoke_batching) {
+      // One message per peer kernel carrying every child key (§5.2 future
+      // work); the peer replies once when its whole share is gone.
+      task->outstanding++;
+      cost += t_.ikc_send + static_cast<Cycles>(keys.size()) * 30;
+      auto msg = std::make_shared<IkcMsg>();
+      msg->op = IkcOp::kRevokeBatchReq;
+      msg->caps = keys;
+      SendIkc(peer, msg, [this, id](const IkcReply&) {
+        Finish(t_.ikc_reply_handle, [] {});
+        RevokeDependencyDone(id);
+      });
+    } else {
+      // "the kernel managing the root capability sends out one message for
+      // each child capability" (paper §5.2).
+      for (DdlKey key : keys) {
+        task->outstanding++;
+        cost += t_.ikc_send;
+        auto msg = std::make_shared<IkcMsg>();
+        msg->op = IkcOp::kRevokeReq;
+        msg->cap = key;
+        SendIkc(peer, msg, [this, id](const IkcReply&) {
+          Finish(t_.ikc_reply_handle, [] {});
+          RevokeDependencyDone(id);
+        });
+      }
+    }
+  }
+  task->remote_children.clear();
+  return cost;
+}
+
+void Kernel::RevokeDependencyDone(uint64_t task_id) {
+  auto it = revoke_tasks_.find(task_id);
+  CHECK(it != revoke_tasks_.end());
+  RevokeTask* task = it->second.get();
+  CHECK_GT(task->outstanding, 0u);
+  task->outstanding--;
+  CheckRevokeComplete(task);
+}
+
+void Kernel::CheckRevokeComplete(RevokeTask* task) {
+  if (task->outstanding > 0) {
+    return;  // the kernel thread stays suspended (paper §4.2)
+  }
+  // Phase 2: every remote child confirmed; delete the local subtree. The
+  // sweep cost must be charged before the completion reply is posted —
+  // acknowledgements only go out once the deletion work is done.
+  uint32_t deleted = 0;
+  Cycles cost = SweepPass(task->root, task, &deleted);
+  Finish(cost, [] {});
+  CompleteRevokeTask(task);
+}
+
+Cycles Kernel::SweepPass(DdlKey key, RevokeTask* task, uint32_t* deleted) {
+  Capability* cap = caps_.Find(key);
+  if (cap == nullptr || cap->task() != task) {
+    return 0;  // remote child, or owned by an overlapping task
+  }
+  Cycles cost = 0;
+  for (DdlKey child : cap->children()) {
+    cost += SweepPass(child, task, deleted);
+  }
+  cost += t_.revoke_sweep_per_cap + t_.ddl_decode;
+  if (cap->type() == CapType::kSession) {
+    // The client's connection is gone; tell the service so it can drop the
+    // session state (m3fs frees open-file bookkeeping).
+    auto ask = std::make_shared<AskMsg>();
+    ask->op = AskOp::kCloseSession;
+    ask->session = cap->payload().session;
+    AskParty(cap->payload().dst_node, ask, [](const AskReply&) {});
+  }
+  if (cap->activated()) {
+    // Enforce the revocation: invalidate the DTU endpoint this capability
+    // was bound to (NoC-level isolation makes this sufficient).
+    cost += t_.ep_invalidate;
+    auto vit = vpes_.find(cap->holder());
+    if (vit != vpes_.end()) {
+      pe_->dtu().InvalidateRemoteEp(vit->second.node, cap->activated_ep(), nullptr);
+    }
+  }
+  auto vit = vpes_.find(cap->holder());
+  if (vit != vpes_.end()) {
+    vit->second.table.erase(cap->sel());
+  }
+  caps_.Erase(key);
+  stats_.caps_deleted++;
+  (*deleted)++;
+  return cost;
+}
+
+void Kernel::CompleteRevokeTask(RevokeTask* task) {
+  // Unlink the root from its (possibly remote) parent, unless that parent
+  // is being revoked by the kernel that asked us (the usual recursive case).
+  if (task->initiator || task->admin) {
+    Capability* root = caps_.Find(task->root);
+    // The root was deleted by the sweep; its parent unlink happened through
+    // the pre-recorded parent key.
+    (void)root;
+  }
+  if (!task->parent_unlink.IsNull()) {
+    if (KernelOf(task->parent_unlink) == config_.id) {
+      Capability* p = caps_.Find(task->parent_unlink);
+      if (p != nullptr) {
+        p->RemoveChild(task->root);
+      }
+    } else {
+      auto msg = std::make_shared<IkcMsg>();
+      msg->op = IkcOp::kChildDrop;
+      msg->parent = task->parent_unlink;
+      msg->child = task->root;
+      SendIkc(KernelOf(task->parent_unlink), msg, [](const IkcReply&) {});
+    }
+  }
+
+  if (task->initiator) {
+    stats_.revokes++;
+    SyscallCtx sc;
+    sc.vpe = task->vpe;
+    sc.recv_ep = task->reply_recv_ep;
+    sc.msg = task->reply_msg;
+    sc.valid = true;
+    Cycles wake = task->suspended ? t_.revoke_resume : 0;
+    Finish(wake + t_.revoke_finish + t_.syscall_reply,
+           [this, sc] { ReplySyscall(sc, ErrCode::kOk); });
+  } else if (task->admin) {
+    if (task->admin_done) {
+      Finish(t_.revoke_finish, task->admin_done);
+    }
+  } else {
+    // Participant: reply to the requesting kernel only now that our entire
+    // part of the subtree (including everything below remote children) is
+    // gone — never acknowledge an incomplete revoke (§4.3.1 "Incomplete").
+    auto reply = std::make_shared<IkcReply>();
+    reply->token = task->req_token;
+    reply->err = ErrCode::kOk;
+    EpId ep = task->reply_recv_ep;
+    Message msg = task->reply_msg;
+    Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+  }
+
+  for (auto& hook : task->on_complete) {
+    hook();
+  }
+  revoke_tasks_.erase(task->id);
+}
+
+void Kernel::SysRevoke(SyscallCtx ctx, const SyscallMsg& req) {
+  Capability* cap = CapOf(req.vpe, req.sel);
+  if (cap == nullptr) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchCap); });
+    return;
+  }
+  if (cap->marked()) {
+    // An overlapping revoke already covers this capability; wait for it so
+    // our acknowledgement is never early (§4.3.3).
+    cap->task()->on_complete.push_back([this, ctx] {
+      Finish(t_.revoke_finish + t_.syscall_reply, [this, ctx] { ReplySyscall(ctx, ErrCode::kOk); });
+    });
+    return;
+  }
+
+  RevokeTask* task = NewRevokeTask(cap->key());
+  task->initiator = true;
+  task->vpe = ctx.vpe;
+  task->reply_recv_ep = ctx.recv_ep;
+  task->reply_msg = ctx.msg;
+  task->parent_unlink = cap->parent();
+  Cycles cost = t_.syscall_dispatch + t_.revoke_entry + MarkPass(cap, task);
+  cost += FlushRevokeRequests(task);
+  if (task->outstanding > 0) {
+    // The syscall thread pauses at its preemption point until every remote
+    // reply arrived ("wait_for_remote_children", Algorithm 1 / §4.2).
+    task->suspended = true;
+    cost += t_.revoke_suspend;
+  }
+  Finish(cost, [] {});
+  CheckRevokeComplete(task);
+}
+
+void Kernel::OnRevokeReq(EpId ep, const Message& msg, const IkcMsg& req) {
+  // "Our solution uses a maximum of two threads per kernel" for incoming
+  // revocations, preventing denial-of-service through capability ping-pong
+  // chains (§4.3.3). Crucially — exactly as in Algorithm 1 — the thread is
+  // held only for the marking pass and is NOT paused while waiting for
+  // remote replies ("the thread will not be paused to stay at a fixed
+  // number of threads"); completion is driven by the reply counters. This
+  // is what keeps deep alternating chains deadlock-free with two threads.
+  bool batch = req.op == IkcOp::kRevokeBatchReq;
+  if (revoke_threads_busy_ >= kMaxRevokeThreads) {
+    stats_.revoke_reqs_queued++;
+    revoke_queue_.push_back([this, ep, msg, req, batch] {
+      if (batch) {
+        ProcessRevokeBatch(ep, msg, req);
+      } else {
+        ProcessRevokeReq(ep, msg, req);
+      }
+    });
+    return;
+  }
+  revoke_threads_busy_++;
+  if (batch) {
+    ProcessRevokeBatch(ep, msg, req);
+  } else {
+    ProcessRevokeReq(ep, msg, req);
+  }
+  revoke_threads_busy_--;
+  DrainRevokeQueue();
+}
+
+void Kernel::DrainRevokeQueue() {
+  while (!revoke_queue_.empty() && revoke_threads_busy_ < kMaxRevokeThreads) {
+    auto fn = std::move(revoke_queue_.front());
+    revoke_queue_.pop_front();
+    revoke_threads_busy_++;
+    fn();
+    revoke_threads_busy_--;
+  }
+}
+
+void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
+  Capability* cap = caps_.Find(req.cap);
+  if (cap == nullptr) {
+    // Already revoked by an overlapping operation — the subtree is gone.
+    auto reply = std::make_shared<IkcReply>();
+    reply->token = req.token;
+    reply->err = ErrCode::kOk;
+    Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+    return;
+  }
+  if (cap->marked()) {
+    // A running revocation covers this capability; reply when it finished.
+    uint64_t token = req.token;
+    cap->task()->on_complete.push_back([this, ep, msg, token] {
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = token;
+      reply->err = ErrCode::kOk;
+      Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+    });
+    Finish(t_.ikc_dispatch, [] {});
+    return;
+  }
+
+  RevokeTask* task = NewRevokeTask(cap->key());
+  task->initiator = false;
+  task->reply_recv_ep = ep;
+  task->reply_msg = msg;
+  task->req_token = req.token;
+  Cycles cost = t_.ikc_dispatch + MarkPass(cap, task);
+  cost += FlushRevokeRequests(task);
+  Finish(cost, [] {});
+  CheckRevokeComplete(task);
+}
+
+void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
+  // Batched variant: revoke every key, reply once when all of them —
+  // including their remote subtrees — are gone. Each key runs as an
+  // admin-style sub-task feeding a shared countdown.
+  auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(req.caps.size()) + 1);
+  uint64_t token = req.token;
+  auto maybe_reply = [this, remaining, ep, msg, token] {
+    if (--*remaining != 0) {
+      return;
+    }
+    auto reply = std::make_shared<IkcReply>();
+    reply->token = token;
+    reply->err = ErrCode::kOk;
+    Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+  };
+  Cycles cost = t_.ikc_dispatch;
+  for (DdlKey key : req.caps) {
+    Capability* cap = caps_.Find(key);
+    if (cap == nullptr) {
+      maybe_reply();
+      continue;
+    }
+    if (cap->marked()) {
+      cap->task()->on_complete.push_back(maybe_reply);
+      continue;
+    }
+    RevokeTask* task = NewRevokeTask(key);
+    task->admin = true;
+    task->admin_done = maybe_reply;
+    cost += MarkPass(cap, task);
+    cost += FlushRevokeRequests(task);
+    CheckRevokeComplete(task);
+  }
+  Finish(cost, [] {});
+  maybe_reply();
+}
+
+// ---------------------------------------------------------------------------
+// VPE kill (admin) — revokes everything the VPE holds
+// ---------------------------------------------------------------------------
+
+void Kernel::AdminKillVpe(VpeId vpe, std::function<void()> done) {
+  auto it = vpes_.find(vpe);
+  CHECK(it != vpes_.end());
+  VpeState* v = &it->second;
+  v->alive = false;
+
+  // Snapshot the selectors: revocations mutate the table.
+  std::vector<DdlKey> roots;
+  roots.reserve(v->table.size());
+  for (const auto& [sel, key] : v->table) {
+    roots.push_back(key);
+  }
+  auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(roots.size()) + 1);
+  auto maybe_done = [remaining, done]() {
+    if (--*remaining == 0 && done) {
+      done();
+    }
+  };
+  for (DdlKey key : roots) {
+    Capability* cap = caps_.Find(key);
+    if (cap == nullptr) {
+      maybe_done();
+      continue;
+    }
+    if (cap->marked()) {
+      cap->task()->on_complete.push_back(maybe_done);
+      continue;
+    }
+    RevokeTask* task = NewRevokeTask(cap->key());
+    task->admin = true;
+    task->admin_done = maybe_done;
+    task->parent_unlink = cap->parent();
+    Cycles cost = t_.revoke_entry + MarkPass(cap, task);
+    cost += FlushRevokeRequests(task);
+    Finish(cost, [] {});
+    CheckRevokeComplete(task);
+  }
+  maybe_done();
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown (IKC functional group 1)
+// ---------------------------------------------------------------------------
+
+void Kernel::AdminShutdown(std::function<void()> done) {
+  CHECK(!shutting_down_);
+  shutting_down_ = true;
+
+  // Tear down every VPE of the group; their capabilities — including copies
+  // delegated into other groups — are revoked recursively.
+  std::vector<VpeId> ids;
+  for (const auto& [id, vpe] : vpes_) {
+    if (vpe.alive) {
+      ids.push_back(id);
+    }
+  }
+  auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(ids.size()) +
+                                              static_cast<uint32_t>(peers_.size()) + 1);
+  auto maybe_done = [remaining, done] {
+    if (--*remaining == 0 && done) {
+      done();
+    }
+  };
+  for (VpeId id : ids) {
+    AdminKillVpe(id, maybe_done);
+  }
+  // Announce the shutdown so peers stop routing requests to this group.
+  for (auto& [peer, state] : peers_) {
+    (void)state;
+    auto msg = std::make_shared<IkcMsg>();
+    msg->op = IkcOp::kShutdown;
+    SendIkc(peer, msg, [maybe_done](const IkcReply&) { maybe_done(); });
+  }
+  maybe_done();
+}
+
+// ---------------------------------------------------------------------------
+// Activate & derive
+// ---------------------------------------------------------------------------
+
+void Kernel::SysActivate(SyscallCtx ctx, const SyscallMsg& req) {
+  Capability* cap = CapOf(req.vpe, req.sel);
+  if (cap == nullptr) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchCap); });
+    return;
+  }
+  if (cap->marked()) {
+    stats_.pointless_denials++;
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kCapRevoked); });
+    return;
+  }
+  auto vit = vpes_.find(req.vpe);
+  NodeId node = vit->second.node;
+  stats_.activates++;
+  Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ep_config, [] {});
+
+  if (cap->type() == CapType::kMem) {
+    cap->SetActivated(req.ep);
+    const CapPayload& p = cap->payload();
+    MemPerms perms{(p.perms & kPermR) != 0, (p.perms & kPermW) != 0};
+    pe_->dtu().ConfigureRemoteMem(node, req.ep, p.mem_node, p.mem_base, p.mem_size, perms,
+                                  [this, ctx] {
+                                    Finish(t_.syscall_reply,
+                                           [this, ctx] { ReplySyscall(ctx, ErrCode::kOk); });
+                                  });
+    return;
+  }
+  if (cap->type() == CapType::kSession || cap->type() == CapType::kSendGate) {
+    cap->SetActivated(req.ep);
+    const CapPayload& p = cap->payload();
+    pe_->dtu().ConfigureRemoteSend(node, req.ep, p.dst_node, p.dst_ep, /*credits=*/1,
+                                   /*label=*/p.session, [this, ctx] {
+                                     Finish(t_.syscall_reply,
+                                            [this, ctx] { ReplySyscall(ctx, ErrCode::kOk); });
+                                   });
+    return;
+  }
+  Finish(t_.syscall_reply, [this, ctx] { ReplySyscall(ctx, ErrCode::kInvalidCapType); });
+}
+
+void Kernel::SysDeriveMem(SyscallCtx ctx, const SyscallMsg& req) {
+  Capability* cap = CapOf(req.vpe, req.sel);
+  if (cap == nullptr || cap->type() != CapType::kMem) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply, [this, ctx, cap] {
+      ReplySyscall(ctx, cap == nullptr ? ErrCode::kNoSuchCap : ErrCode::kInvalidCapType);
+    });
+    return;
+  }
+  if (cap->marked()) {
+    stats_.pointless_denials++;
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kCapRevoked); });
+    return;
+  }
+  const CapPayload& p = cap->payload();
+  if (req.arg0 + req.arg1 > p.mem_size || (req.perms & ~p.perms) != 0) {
+    Finish(t_.syscall_dispatch + t_.syscall_reply,
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoPerm); });
+    return;
+  }
+  CapPayload child_payload = p;
+  child_payload.mem_base = p.mem_base + req.arg0;
+  child_payload.mem_size = req.arg1;
+  child_payload.perms = req.perms;
+  auto vit = vpes_.find(req.vpe);
+  Capability* child = CreateCap(&vit->second, CapType::kMem, child_payload, cap->key());
+  cap->AddChild(child->key());
+  stats_.derives++;
+  CapSel sel = child->sel();
+  Finish(t_.syscall_dispatch + t_.exchange_validate + t_.cap_create + t_.tree_insert +
+             3 * t_.ddl_decode + t_.syscall_reply,
+         [this, ctx, sel, child_payload] {
+           ReplySyscall(ctx, ErrCode::kOk, sel, child_payload);
+         });
+}
+
+// ---------------------------------------------------------------------------
+// Service registry
+// ---------------------------------------------------------------------------
+
+void Kernel::SysRegisterService(SyscallCtx ctx, const SyscallMsg& req) {
+  auto vit = vpes_.find(req.vpe);
+  VpeState* vpe = &vit->second;
+  vpe->is_service = true;
+  CapPayload payload;
+  payload.type = CapType::kService;
+  payload.dst_node = vpe->node;
+  payload.dst_ep = user_ep::kServiceRecv;
+  Capability* cap = CreateCap(vpe, CapType::kService, payload, DdlKey());
+
+  ServiceEntry entry;
+  entry.name = req.name;
+  entry.kernel = config_.id;
+  entry.cap = cap->key();
+  entry.node = vpe->node;
+  entry.vpe = vpe->id;
+  services_[req.name].push_back(entry);
+
+  // Announce to all peer kernels (IKC functional group 2, §4.1).
+  for (auto& [peer, state] : peers_) {
+    (void)state;
+    auto msg = std::make_shared<IkcMsg>();
+    msg->op = IkcOp::kServiceAnnounce;
+    msg->name = req.name;
+    msg->cap = cap->key();
+    msg->node = vpe->node;
+    msg->vpe = vpe->id;
+    SendIkc(peer, msg, [](const IkcReply&) {});
+  }
+  CapSel sel = cap->sel();
+  Finish(t_.syscall_dispatch + t_.cap_create + t_.syscall_reply,
+         [this, ctx, sel] { ReplySyscall(ctx, ErrCode::kOk, sel); });
+}
+
+// ---------------------------------------------------------------------------
+// IKC engine — flow-controlled kernel-to-kernel messaging (paper §4.1)
+// ---------------------------------------------------------------------------
+
+void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
+                     std::function<void(const IkcReply&)> cb) {
+  CHECK_NE(peer, config_.id);
+  msg->src_kernel = config_.id;
+  if (msg->token == 0) {
+    msg->token = next_token_++;
+  }
+  PendingIkc pending;
+  pending.token = msg->token;
+  pending.cb = std::move(cb);
+  ikcs_[msg->token] = std::move(pending);
+
+  PeerState& state = peers_.at(peer);
+  if (state.credits == 0) {
+    // All four in-flight slots at the peer are taken (paper §4.1); the
+    // request waits here instead of overflowing the peer's receive EP.
+    stats_.ikc_flow_queued++;
+  }
+  state.queue.push_back(std::move(msg));
+  DispatchIkc(peer);
+}
+
+void Kernel::DispatchIkc(KernelId peer) {
+  PeerState& state = peers_.at(peer);
+  while (state.credits > 0 && !state.queue.empty()) {
+    std::shared_ptr<IkcMsg> msg = std::move(state.queue.front());
+    state.queue.pop_front();
+    state.credits--;
+    stats_.ikc_sent++;
+    NodeId peer_node = config_.kernel_nodes.at(peer);
+    // Peer receive EP: 8 + (sender % 8) — eight senders share one EP, four
+    // in-flight messages each: 8 EPs x 32 slots cover 64 kernels (§5.1).
+    EpId dst_ep = kEpKernel0 + (config_.id % kNumKernelEps);
+    EpId reply_ep = kEpKernel0 + (peer % kNumKernelEps);
+    Emit(pe_->sim()->Now(), [this, peer_node, dst_ep, reply_ep, msg = std::move(msg)] {
+      pe_->dtu().SendTo(peer_node, dst_ep, msg, reply_ep);
+    });
+  }
+}
+
+void Kernel::ReplyIkc(EpId recv_ep, const Message& msg, std::shared_ptr<IkcReply> reply) {
+  // The request's slot was already freed at dispatch (see OnIkc); logical
+  // replies travel as reply-typed messages that need no slot.
+  (void)recv_ep;
+  pe_->dtu().SendDeferredReply(msg, std::move(reply));
+}
+
+void Kernel::OnIkc(EpId ep, const Message& msg) {
+  if (msg.is_reply) {
+    if (const IkcCredit* credit = msg.As<IkcCredit>()) {
+      // Flow control: the peer dispatched one of our requests; its receive
+      // slot is free again, so another request may go out (§4.1).
+      PeerState& state = peers_.at(credit->from);
+      state.credits++;
+      CHECK_LE(state.credits, config_.max_inflight);
+      DispatchIkc(credit->from);
+      return;
+    }
+    const IkcReply* reply = msg.As<IkcReply>();
+    CHECK(reply != nullptr);
+    auto it = ikcs_.find(reply->token);
+    CHECK(it != ikcs_.end()) << "IKC reply for unknown token";
+    auto cb = std::move(it->second.cb);
+    ikcs_.erase(it);
+    if (cb) {
+      cb(*reply);
+    }
+    return;
+  }
+
+  const IkcMsg* req = msg.As<IkcMsg>();
+  CHECK(req != nullptr);
+  stats_.ikc_received++;
+  // Pull the message out of the DTU: free the slot and return the sender's
+  // in-flight credit immediately. The logical reply is deferred — for
+  // revocations possibly for a long time — without blocking the channel,
+  // which keeps deep alternating revocation chains deadlock-free (§4.3.3).
+  pe_->dtu().Ack(ep, msg);
+  auto credit = std::make_shared<IkcCredit>();
+  credit->from = config_.id;
+  Emit(pe_->sim()->Now(), [this, msg, credit] { pe_->dtu().SendDeferredReply(msg, credit); });
+
+  switch (req->op) {
+    case IkcOp::kHello: {
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kShutdown: {
+      // The peer's group is going away: stop routing sessions to its
+      // services and remember that it is down.
+      peer_down_.at(req->src_kernel) = true;
+      for (auto& [name, entries] : services_) {
+        (void)name;
+        std::erase_if(entries,
+                      [&](const ServiceEntry& e) { return e.kernel == req->src_kernel; });
+      }
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kServiceAnnounce: {
+      ServiceEntry entry;
+      entry.name = req->name;
+      entry.kernel = req->src_kernel;
+      entry.cap = req->cap;
+      entry.node = req->node;
+      entry.vpe = req->vpe;
+      services_[req->name].push_back(entry);
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kObtainReq:
+    case IkcOp::kOpenSessionReq: {
+      AcquireThread();
+      bool open_session = req->op == IkcOp::kOpenSessionReq;
+      bool service_mediated = open_session || req->opaque != nullptr;
+      Finish(t_.ikc_dispatch + t_.ikc_exchange_extra + t_.exchange_validate + t_.ddl_decode +
+                 (service_mediated ? t_.session_exchange_extra : 0),
+             [] {});
+      AskOp ask_op = open_session ? AskOp::kOpenSession
+                                  : (req->opaque ? AskOp::kExchange : AskOp::kObtain);
+      VpeId owner_vpe;
+      CapSel owner_sel = kInvalidSel;
+      if (req->cap.IsNull()) {
+        owner_vpe = req->peer;
+        owner_sel = static_cast<CapSel>(req->payload.session);
+      } else {
+        Capability* anchor = caps_.Find(req->cap);
+        if (anchor == nullptr) {
+          auto reply = std::make_shared<IkcReply>();
+          reply->token = req->token;
+          reply->err = ErrCode::kNoSuchCap;
+          Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+          ReleaseThread();
+          break;
+        }
+        owner_vpe = anchor->holder();
+      }
+      uint64_t token = req->token;
+      uint64_t session = req->payload.session;
+      OwnerSideObtain(ask_op, req->cap, owner_vpe, owner_sel, req->vpe, req->child,
+                      req->opaque, session,
+                      [this, ep, msg, token](ErrCode err, DdlKey parent,
+                                             const CapPayload& payload, MsgRef opq,
+                                             uint64_t new_session) {
+                        auto reply = std::make_shared<IkcReply>();
+                        reply->token = token;
+                        reply->err = err;
+                        reply->cap = parent;
+                        reply->payload = payload;
+                        reply->payload.session =
+                            new_session != 0 ? new_session : reply->payload.session;
+                        reply->opaque = std::move(opq);
+                        Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+                        ReleaseThread();
+                      });
+      break;
+    }
+    case IkcOp::kDelegateReq: {
+      Finish(t_.ikc_dispatch + t_.ikc_exchange_extra, [] {});
+      OwnerSideDelegate(*req, ep, msg);
+      break;
+    }
+    case IkcOp::kDelegateAck: {
+      bool abort = req->payload.session != 0;
+      auto it = parked_delegates_.find(req->child.raw());
+      CHECK(it != parked_delegates_.end()) << "delegate ack for unknown parked child";
+      ParkedDelegate parked = it->second;
+      parked_delegates_.erase(it);
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      if (!abort) {
+        auto vit = vpes_.find(parked.receiver);
+        if (vit != vpes_.end() && vit->second.alive) {
+          VpeState* receiver = &vit->second;
+          CapSel sel = receiver->AllocSel();
+          Capability* cap =
+              caps_.Create(parked.child_key, parked.payload.type, parked.receiver, sel);
+          cap->payload() = parked.payload;
+          cap->set_parent(parked.parent_key);
+          receiver->table[sel] = parked.child_key;
+          stats_.caps_created++;
+          Emit(Charge(t_.ikc_reply_handle + t_.tree_insert + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+        } else {
+          // Receiver died while waiting for the ACK: tell the delegator's
+          // kernel to drop the orphaned child entry (§4.3.2).
+          stats_.orphans_cleaned++;
+          auto orphan = std::make_shared<IkcMsg>();
+          orphan->op = IkcOp::kOrphanNotify;
+          orphan->parent = parked.parent_key;
+          orphan->child = parked.child_key;
+          SendIkc(parked.from_kernel, orphan, [](const IkcReply&) {});
+          reply->err = ErrCode::kVpeGone;
+          Emit(Charge(t_.ikc_reply_handle + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+        }
+      } else {
+        Emit(Charge(t_.ikc_reply_handle + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      }
+      break;
+    }
+    case IkcOp::kRevokeReq:
+    case IkcOp::kRevokeBatchReq: {
+      OnRevokeReq(ep, msg, *req);
+      break;
+    }
+    case IkcOp::kOrphanNotify: {
+      Capability* parent = caps_.Find(req->parent);
+      if (parent != nullptr) {
+        parent->RemoveChild(req->child);
+        stats_.orphans_cleaned++;
+      }
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kChildDrop: {
+      Capability* parent = caps_.Find(req->parent);
+      if (parent != nullptr) {
+        parent->RemoveChild(req->child);
+      }
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Party asks
+// ---------------------------------------------------------------------------
+
+void Kernel::AskParty(NodeId node, std::shared_ptr<AskMsg> ask,
+                      std::function<void(const AskReply&)> cb) {
+  ask->token = next_token_++;
+  PendingAsk pending;
+  pending.token = ask->token;
+  pending.cb = std::move(cb);
+  asks_[ask->token] = std::move(pending);
+
+  AskWindow& window = ask_windows_[node];
+  auto send = [this, node, ask] {
+    pe_->dtu().SendTo(node, user_ep::kAsk, ask, kEpAskReply);
+  };
+  if (window.inflight < config_.service_ask_inflight) {
+    window.inflight++;
+    send();
+  } else {
+    window.queue.push_back([this, node, send] {
+      (void)node;
+      send();
+    });
+  }
+  ask_nodes_[ask->token] = node;
+}
+
+void Kernel::OnAskReply(const Message& msg) {
+  const AskReply* reply = msg.As<AskReply>();
+  CHECK(reply != nullptr);
+  auto it = asks_.find(reply->token);
+  CHECK(it != asks_.end()) << "ask reply for unknown token";
+  auto cb = std::move(it->second.cb);
+  asks_.erase(it);
+  auto nit = ask_nodes_.find(reply->token);
+  CHECK(nit != ask_nodes_.end());
+  AskWindow& window = ask_windows_[nit->second];
+  ask_nodes_.erase(nit);
+  window.inflight--;
+  if (!window.queue.empty()) {
+    auto fn = std::move(window.queue.front());
+    window.queue.pop_front();
+    window.inflight++;
+    fn();
+  }
+  if (cb) {
+    cb(*reply);
+  }
+}
+
+}  // namespace semperos

@@ -1,0 +1,396 @@
+// The SemperOS microkernel (paper §3, §4).
+//
+// One Kernel instance runs on each kernel PE and exclusively manages the PEs
+// of its group: their VPEs, their capabilities, and their DTU endpoints.
+// Kernels coordinate through inter-kernel calls (IKCs) to present a single
+// system image. This file implements the paper's primary contribution — the
+// distributed capability management protocols:
+//
+//  * capability exchange (obtain/delegate) with the anomaly mitigations of
+//    §4.3.2: obtain leaves the obtainer's tree untouched until the owner
+//    confirmed (orphans cleaned up via notification); delegate uses a
+//    two-way handshake so a revoked parent can never yield a valid child;
+//  * two-phase mark-and-sweep revocation per Algorithm 1 (§4.3.3): phase 1
+//    marks the subtree and fans out REVOKE_REQ IKCs for remote children;
+//    phase 2 deletes the local subtree only after every remote reply
+//    arrived, so completed revokes are always complete ("Incomplete"
+//    anomaly); exchanges touching marked capabilities are denied
+//    ("Pointless" anomaly); at most two kernel threads service incoming
+//    revoke IKCs (denial-of-service bound for capability ping-pong chains);
+//  * cooperative multithreading (§4.2): operations that wait on other
+//    kernels suspend as explicit pending-operation objects instead of
+//    blocking the kernel, which keeps cyclic revocations (A1 -> B2 -> C1)
+//    deadlock-free; the thread pool is statically sized
+//    V_group + K_max * M_inflight (Eq. 1) and never grows at runtime;
+//  * kernel-to-kernel flow control (§4.1): at most `max_inflight` (4)
+//    request messages per peer kernel are in flight; excess requests queue
+//    at the sender so DTU receive slots can never overflow.
+//
+// Execution model: the kernel PE is a serial resource (one single-threaded
+// core, §4.2). Message handlers mutate kernel state in arrival order and
+// charge their modelled cycle cost to the PE's executor; outgoing messages
+// become visible when the handler's cost has elapsed. Interleavings between
+// suspended operations correspond to the paper's preemption points.
+#ifndef SEMPEROS_CORE_KERNEL_H_
+#define SEMPEROS_CORE_KERNEL_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "core/capability.h"
+#include "core/ddl.h"
+#include "core/protocol.h"
+#include "core/timing.h"
+#include "pe/pe.h"
+
+namespace semperos {
+
+// Aggregate counters exposed for benchmarks and tests.
+struct KernelStats {
+  uint64_t syscalls = 0;
+  uint64_t obtains = 0;
+  uint64_t delegates = 0;
+  uint64_t revokes = 0;
+  uint64_t derives = 0;
+  uint64_t activates = 0;
+  uint64_t sessions_opened = 0;
+  uint64_t spanning_obtains = 0;
+  uint64_t spanning_delegates = 0;
+  uint64_t spanning_revokes = 0;
+  uint64_t ikc_sent = 0;
+  uint64_t ikc_received = 0;
+  uint64_t ikc_flow_queued = 0;     // requests delayed by the 4-in-flight cap
+  uint64_t caps_created = 0;
+  uint64_t caps_deleted = 0;
+  uint64_t orphans_cleaned = 0;     // "Orphaned" anomaly cleanups
+  uint64_t pointless_denials = 0;   // exchanges denied on marked caps
+  uint64_t invalid_prevented = 0;   // delegate acks failed: parent revoked
+  uint64_t revoke_reqs_queued = 0;  // waited for one of the 2 revoke threads
+  uint32_t threads_in_use = 0;
+  uint32_t threads_in_use_max = 0;
+};
+
+// A revocation in progress (one per revoke root per kernel). Implements the
+// bookkeeping of Algorithm 1: a counter of outstanding remote replies and
+// the deferred sweep.
+struct RevokeTask {
+  uint64_t id = 0;
+  DdlKey root;
+  uint32_t outstanding = 0;  // remote REVOKE_REQs + local-task dependencies
+  uint32_t marked = 0;       // capabilities marked by this task (phase 1)
+  bool initiator = false;    // true: local syscall; false: peer kernel IKC
+  bool admin = false;        // true: kernel-internal (VPE kill)
+  bool suspended = false;    // the initiating thread paused on remote replies
+  // Initiator: syscall context to reply to. Participant: IKC msg to reply to.
+  VpeId vpe = kInvalidVpe;
+  EpId reply_recv_ep = 0;
+  Message reply_msg;
+  uint64_t req_token = 0;
+  std::function<void()> admin_done;
+  // Parent to unlink the root from once the subtree is gone (initiator and
+  // admin tasks only; for participant tasks the requesting kernel's own
+  // revocation covers the parent).
+  DdlKey parent_unlink;
+  // Tasks / requests waiting for this task's completion (overlapping
+  // revokes; "revoke_syscall_hdlr will also wait for the already
+  // outstanding kernel replies", §4.3.3).
+  std::vector<std::function<void()>> on_complete;
+  // Remote children discovered by the marking pass, grouped by owning
+  // kernel; flushed as one request per child, or one per peer when
+  // revocation batching is enabled.
+  std::map<KernelId, std::vector<DdlKey>> remote_children;
+};
+
+class Kernel : public Program {
+ public:
+  // DTU endpoint layout of a kernel PE (paper §5.1): 2 send + 14 receive.
+  // EP 0 receives replies from asked parties/services, EPs 2..7 receive
+  // system calls (6 x 32 slots = 192 VPEs max per kernel), EPs 8..15
+  // receive inter-kernel calls (8 x 32 slots; 4 in flight per peer => 64
+  // kernels max).
+  static constexpr EpId kEpAskReply = 0;
+  static constexpr EpId kEpSyscall0 = 2;
+  static constexpr uint32_t kNumSyscallEps = 6;
+  static constexpr EpId kEpKernel0 = 8;
+  static constexpr uint32_t kNumKernelEps = 8;
+  static constexpr uint32_t kMaxVpesPerKernel = kNumSyscallEps * 32;
+  static constexpr uint32_t kMaxKernels = 64;
+  static constexpr uint32_t kMaxRevokeThreads = 2;  // paper §4.3.3
+
+  struct Config {
+    KernelId id = 0;
+    KernelMode mode = KernelMode::kSemperOSMulti;
+    TimingModel timing;
+    MembershipTable membership;          // PE -> kernel (replicated, static)
+    std::vector<NodeId> kernel_nodes;    // kernel id -> kernel PE
+    uint32_t max_inflight = 4;           // M_inflight per peer kernel
+    uint32_t service_ask_inflight = 64;  // kernel -> service ask window
+    // Extension (paper §5.2 future work): batch all REVOKE_REQs to the
+    // same peer kernel into one message instead of one per child.
+    bool revoke_batching = false;
+  };
+
+  explicit Kernel(Config config);
+
+  // --- Program interface ---
+  void Start() override;
+
+  // --- Platform/admin interface (boot-time wiring and tests) ---
+
+  // Registers a VPE running on `node` with this kernel. Must happen before
+  // the VPE issues system calls.
+  void AdminCreateVpe(NodeId node, bool is_service);
+
+  // Installs a root memory capability (selector returned) for `vpe`,
+  // covering [base, base+size) on memory tile `mem_node`. Used at boot to
+  // give services their filesystem image region.
+  CapSel AdminGrantMem(VpeId vpe, NodeId mem_node, uint64_t base, uint64_t size, uint32_t perms);
+
+  // Kills a VPE: marks it dead and revokes every capability it holds.
+  // `done` fires when all revocations completed.
+  void AdminKillVpe(VpeId vpe, std::function<void()> done);
+
+  // Graceful shutdown (IKC functional group 1, paper §4.1): kills every
+  // VPE of this group (revoking all their capabilities, including remote
+  // copies), refuses further system calls, and notifies all peer kernels.
+  // `done` fires when the teardown settled.
+  void AdminShutdown(std::function<void()> done);
+  bool shutting_down() const { return shutting_down_; }
+
+  // --- Introspection ---
+  // Human-readable dump of this kernel's capability forest (per VPE:
+  // selector, type, DDL key, parent and child edges). Cross-kernel edges
+  // are marked with the owning kernel id.
+  std::string DumpCaps() const;
+
+  KernelId id() const { return config_.id; }
+  const KernelStats& stats() const { return stats_; }
+  KernelStats& mutable_stats() { return stats_; }
+  const Config& config() const { return config_; }
+  bool booted() const { return booted_; }
+  const VpeState* FindVpe(VpeId vpe) const;
+  Capability* FindCap(DdlKey key) const { return caps_.Find(key); }
+  const CapSpace& caps() const { return caps_; }
+  Capability* CapOf(VpeId vpe, CapSel sel) const;
+  size_t PendingOps() const {
+    return obtains_.size() + delegates_.size() + revoke_tasks_.size() + parked_delegates_.size() +
+           asks_.size() + ikcs_.size();
+  }
+  uint32_t ThreadPoolSize() const;  // Eq. 1: V_group + K_max * M_inflight
+
+  // Called by the platform once all programs configured their endpoints;
+  // downgrades every user DTU in the group (NoC-level isolation).
+  void FinishBoot(const std::vector<ProcessingElement*>& group_pes);
+
+ private:
+  // ===== Pending distributed operations (suspended kernel threads) =====
+
+  struct SyscallCtx {
+    VpeId vpe = kInvalidVpe;
+    EpId recv_ep = 0;
+    Message msg;
+    bool valid = false;
+  };
+
+  struct ObtainOp {
+    uint64_t token = 0;
+    SyscallCtx sc;
+    DdlKey child_key;        // key proposed for the new capability
+    VpeId client = kInvalidVpe;
+    bool spanning = false;
+    bool open_session = false;
+    NodeId service_node = kInvalidNode;  // for session EP setup
+  };
+
+  struct DelegateOp {
+    uint64_t token = 0;
+    SyscallCtx sc;
+    DdlKey cap;  // the delegated (parent) capability, owned locally
+    VpeId client = kInvalidVpe;
+    VpeId peer = kInvalidVpe;
+    bool spanning = false;
+  };
+
+  // Receiver-side parked delegate (two-way handshake, waiting for the ACK).
+  struct ParkedDelegate {
+    DdlKey child_key;
+    DdlKey parent_key;
+    VpeId receiver = kInvalidVpe;
+    CapPayload payload;
+    KernelId from_kernel = kInvalidKernel;
+  };
+
+  // Ask sent to a party/service, waiting for the AskReply.
+  struct PendingAsk {
+    uint64_t token = 0;
+    std::function<void(const AskReply&)> cb;
+  };
+
+  // IKC request awaiting its reply.
+  struct PendingIkc {
+    uint64_t token = 0;
+    std::function<void(const IkcReply&)> cb;
+  };
+
+  // Per-peer-kernel flow control state (§4.1).
+  struct PeerState {
+    uint32_t credits = 0;
+    std::deque<std::shared_ptr<IkcMsg>> queue;
+  };
+
+  // ===== Message handlers =====
+  void OnSyscall(EpId ep, const Message& msg);
+  void OnIkc(EpId ep, const Message& msg);
+  void OnAskReply(const Message& msg);
+
+  // ===== System call implementations =====
+  void SysNoop(SyscallCtx ctx, const SyscallMsg& req);
+  void SysOpenSession(SyscallCtx ctx, const SyscallMsg& req);
+  void SysExchange(SyscallCtx ctx, const SyscallMsg& req);
+  void SysObtain(SyscallCtx ctx, const SyscallMsg& req);
+  void SysDelegate(SyscallCtx ctx, const SyscallMsg& req);
+  void SysRevoke(SyscallCtx ctx, const SyscallMsg& req);
+  void SysActivate(SyscallCtx ctx, const SyscallMsg& req);
+  void SysDeriveMem(SyscallCtx ctx, const SyscallMsg& req);
+  void SysRegisterService(SyscallCtx ctx, const SyscallMsg& req);
+
+  // ===== Obtain path (also used for open-session and session exchange) =====
+  // Owner-side: ask the party, link the proposed child under the shared
+  // capability, return its description.
+  void OwnerSideObtain(AskOp ask_op, DdlKey owner_cap, VpeId owner_vpe, CapSel owner_sel,
+                       VpeId client, DdlKey child_key, MsgRef opaque, uint64_t session,
+                       std::function<void(ErrCode, DdlKey parent, const CapPayload&, MsgRef,
+                                          uint64_t session)>
+                           done);
+  void FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayload& payload,
+                    MsgRef opaque, uint64_t session);
+
+  // ===== Delegate path =====
+  void OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& msg);
+  void FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key);
+
+  // ===== Revocation (Algorithm 1) =====
+  RevokeTask* NewRevokeTask(DdlKey root);
+  // Phase 1: returns the extra kernel-cycle cost of the marking pass.
+  Cycles MarkPass(Capability* cap, RevokeTask* task);
+  // Sends the REVOKE_REQs collected by the marking pass (per child, or per
+  // peer kernel with batching). Returns the send cost.
+  Cycles FlushRevokeRequests(RevokeTask* task);
+  void OnRevokeReq(EpId ep, const Message& msg, const IkcMsg& req);
+  void ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req);
+  void ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req);
+  void RevokeDependencyDone(uint64_t task_id);
+  void CheckRevokeComplete(RevokeTask* task);
+  // Phase 2: deletes this task's marked subtree; returns (cost, deleted).
+  Cycles SweepPass(DdlKey key, RevokeTask* task, uint32_t* deleted);
+  void CompleteRevokeTask(RevokeTask* task);
+  void DrainRevokeQueue();
+
+  // ===== Capability helpers =====
+  DdlKey AllocKey(VpeId creator, CapType type);
+  Capability* CreateCap(VpeState* vpe, CapType type, const CapPayload& payload, DdlKey parent);
+  void UnlinkFromParent(Capability* cap);
+
+  // ===== IKC engine =====
+  KernelId KernelOf(DdlKey key) const { return config_.membership.KernelOfKey(key); }
+  KernelId KernelOfVpe(VpeId vpe) const { return config_.membership.KernelOf(vpe); }
+  bool IsLocalVpe(VpeId vpe) const { return KernelOfVpe(vpe) == config_.id; }
+  void SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg, std::function<void(const IkcReply&)> cb);
+  void DispatchIkc(KernelId peer);
+  void ReplyIkc(EpId recv_ep, const Message& msg, std::shared_ptr<IkcReply> reply);
+  void BroadcastHello();
+
+  // ===== Party asks =====
+  void AskParty(NodeId node, std::shared_ptr<AskMsg> ask, std::function<void(const AskReply&)> cb);
+
+  // ===== Service directory =====
+  struct ServiceEntry {
+    std::string name;
+    KernelId kernel = kInvalidKernel;
+    DdlKey cap;  // the service capability (owned by `kernel`)
+    NodeId node = kInvalidNode;
+    VpeId vpe = kInvalidVpe;
+  };
+  const ServiceEntry* PickService(const std::string& name, VpeId client) const;
+
+  // ===== Replies & cost accounting =====
+  void ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel = kInvalidSel,
+                    const CapPayload& payload = {}, MsgRef opaque = nullptr);
+  // Charges `cost` on the kernel core, then runs `effects` (sends replies).
+  void Finish(Cycles cost, std::function<void()> effects);
+  // Charges `cost` and returns the completion time (for Emit below).
+  Cycles Charge(Cycles cost);
+
+  // ===== Kernel-to-kernel egress sequencer =====
+  // State mutations happen when a handler runs; the messages announcing
+  // them may only leave after the handler's charged cost. To uphold the
+  // pairwise FIFO precondition of §4.3.1 *between* operations (e.g. an
+  // obtain reply that links a child must reach the peer before a later
+  // revocation's REVOKE_REQ for that child), every kernel-to-kernel message
+  // is enqueued here at mutation time and released strictly in that order,
+  // each no earlier than its `ready` (charge-completion) time.
+  void Emit(Cycles ready, std::function<void()> send);
+  void DrainEgress();
+
+  // Thread-pool accounting (Eq. 1). CHECK-fails if the statically sized
+  // pool would be exceeded — the sizing argument of §4.2 guarantees it
+  // never is, and tests rely on that.
+  void AcquireThread();
+  void ReleaseThread();
+
+  Config config_;
+  TimingModel t_;
+  KernelStats stats_;
+  bool booted_ = false;
+  bool shutting_down_ = false;
+  // Peers that announced their shutdown; no further IKC traffic to them.
+  std::vector<bool> peer_down_;
+
+  std::map<VpeId, VpeState> vpes_;
+  CapSpace caps_;
+  uint64_t next_obj_ = 1;
+  uint64_t next_token_ = 1;
+
+  std::unordered_map<uint64_t, ObtainOp> obtains_;
+  std::unordered_map<uint64_t, DelegateOp> delegates_;
+  std::unordered_map<uint64_t, ParkedDelegate> parked_delegates_;
+  std::unordered_map<uint64_t, PendingAsk> asks_;
+  std::unordered_map<uint64_t, NodeId> ask_nodes_;  // token -> asked node
+  std::unordered_map<uint64_t, PendingIkc> ikcs_;
+  std::unordered_map<uint64_t, std::unique_ptr<RevokeTask>> revoke_tasks_;
+
+  std::map<KernelId, PeerState> peers_;
+  std::map<std::string, std::vector<ServiceEntry>> services_;
+
+  // Incoming REVOKE_REQs beyond the two revocation threads wait here.
+  std::deque<std::function<void()>> revoke_queue_;
+  uint32_t revoke_threads_busy_ = 0;
+
+  // Kernel-to-kernel egress (see Emit).
+  struct EgressMsg {
+    Cycles ready;
+    std::function<void()> send;
+  };
+  std::deque<EgressMsg> egress_;
+  bool egress_scheduled_ = false;
+
+  // Kernel -> service ask flow control.
+  struct AskWindow {
+    uint32_t inflight = 0;
+    std::deque<std::function<void()>> queue;
+  };
+  std::map<NodeId, AskWindow> ask_windows_;
+
+  uint32_t hello_replies_ = 0;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_CORE_KERNEL_H_

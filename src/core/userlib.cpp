@@ -1,0 +1,212 @@
+#include "core/userlib.h"
+
+namespace semperos {
+
+void UserEnv::SetupEps(bool is_service) {
+  Dtu& dtu = pe_->dtu();
+  EpId kernel_syscall_ep = Kernel::kEpSyscall0 + (vpe() % Kernel::kNumSyscallEps);
+  dtu.ConfigureSend(user_ep::kSyscallSend, kernel_node_, kernel_syscall_ep, /*credits=*/1);
+  dtu.ConfigureRecv(user_ep::kSyscallReply, 2,
+                    [this](EpId, const Message& msg) { OnSyscallReply(msg); });
+  dtu.ConfigureRecv(user_ep::kAsk, 64, [this](EpId, const Message& msg) { OnAsk(msg); });
+  dtu.ConfigureRecv(user_ep::kServiceReply, 2,
+                    [this](EpId, const Message& msg) { OnServiceReply(msg); });
+  if (is_service) {
+    // Slot count models the aggregate of per-send-gate credit carving: every
+    // client holds one credit, so the total in-flight requests equal the
+    // number of clients (see DESIGN.md).
+    dtu.ConfigureRecv(user_ep::kServiceRecv, 4096,
+                      [this](EpId, const Message& msg) { OnRequest(msg); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System calls
+// ---------------------------------------------------------------------------
+
+void UserEnv::Syscall(std::shared_ptr<SyscallMsg> msg,
+                      std::function<void(const SyscallReply&)> cb) {
+  CHECK(!syscall_pending_) << "VPE " << vpe() << " issued a second blocking syscall";
+  syscall_pending_ = true;
+  syscall_cb_ = std::move(cb);
+  syscalls_issued_++;
+  msg->vpe = vpe();
+  msg->token = next_token_++;
+  Status st = pe_->dtu().Send(user_ep::kSyscallSend, std::move(msg), user_ep::kSyscallReply);
+  CHECK(st.ok()) << "syscall send failed: " << st.name();
+}
+
+void UserEnv::OnSyscallReply(const Message& msg) {
+  const SyscallReply* reply = msg.As<SyscallReply>();
+  CHECK(reply != nullptr);
+  CHECK(syscall_pending_);
+  syscall_pending_ = false;
+  auto cb = std::move(syscall_cb_);
+  syscall_cb_ = nullptr;
+  if (cb) {
+    cb(*reply);
+  }
+}
+
+void UserEnv::OpenSession(const std::string& name, std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kOpenSession;
+  msg->name = name;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::Exchange(CapSel session, MsgRef payload,
+                       std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kExchange;
+  msg->sel = session;
+  msg->payload = std::move(payload);
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::Obtain(VpeId peer, CapSel peer_sel, std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kObtain;
+  msg->peer = peer;
+  msg->sel = peer_sel;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::Delegate(CapSel sel, VpeId peer, std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kDelegate;
+  msg->sel = sel;
+  msg->peer = peer;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::Revoke(CapSel sel, std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kRevoke;
+  msg->sel = sel;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::Activate(CapSel sel, EpId ep, std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kActivate;
+  msg->sel = sel;
+  msg->ep = ep;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::DeriveMem(CapSel sel, uint64_t offset, uint64_t size, uint32_t perms,
+                        std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kDeriveMem;
+  msg->sel = sel;
+  msg->arg0 = offset;
+  msg->arg1 = size;
+  msg->perms = perms;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+void UserEnv::RegisterService(const std::string& name,
+                              std::function<void(const SyscallReply&)> cb) {
+  auto msg = std::make_shared<SyscallMsg>();
+  msg->op = SyscallOp::kRegisterService;
+  msg->name = name;
+  Syscall(std::move(msg), std::move(cb));
+}
+
+// ---------------------------------------------------------------------------
+// Exchange-asks (serialized with client requests)
+// ---------------------------------------------------------------------------
+
+void UserEnv::OnAsk(const Message& msg) {
+  const AskMsg* ask = msg.As<AskMsg>();
+  CHECK(ask != nullptr);
+  Message copy = msg;
+  work_.push_back([this, copy] {
+    const AskMsg& a = *copy.As<AskMsg>();
+    auto reply_fn = [this, copy](AskReply reply_value) {
+      auto reply = std::make_shared<AskReply>(std::move(reply_value));
+      reply->token = copy.As<AskMsg>()->token;
+      // Answering costs the party `ask_cost_` cycles on its own core.
+      pe_->exec().Post(ask_cost_, [this, copy, reply] {
+        pe_->dtu().Reply(user_ep::kAsk, copy, reply);
+        work_busy_ = false;
+        PumpWork();
+      });
+    };
+    if (ask_handler_) {
+      ask_handler_(a, std::move(reply_fn));
+    } else {
+      // Default policy (plain VPEs in tests/benchmarks): accept, sharing
+      // exactly the capability the kernel asked about.
+      AskReply reply;
+      reply.err = ErrCode::kOk;
+      reply.share_sel = a.sel;
+      reply_fn(std::move(reply));
+    }
+  });
+  PumpWork();
+}
+
+void UserEnv::PumpWork() {
+  if (work_busy_ || work_.empty()) {
+    return;
+  }
+  work_busy_ = true;
+  auto fn = std::move(work_.front());
+  work_.pop_front();
+  fn();
+}
+
+// ---------------------------------------------------------------------------
+// Client <-> service IPC
+// ---------------------------------------------------------------------------
+
+void UserEnv::Request(MsgRef body, std::function<void(const Message&)> cb) {
+  CHECK(!request_pending_) << "VPE " << vpe() << " issued a second service request";
+  request_pending_ = true;
+  request_cb_ = std::move(cb);
+  Status st = pe_->dtu().Send(user_ep::kServiceSend, std::move(body), user_ep::kServiceReply);
+  CHECK(st.ok()) << "service request send failed: " << st.name();
+}
+
+void UserEnv::OnServiceReply(const Message& msg) {
+  CHECK(request_pending_);
+  request_pending_ = false;
+  auto cb = std::move(request_cb_);
+  request_cb_ = nullptr;
+  if (cb) {
+    cb(msg);
+  }
+}
+
+void UserEnv::OnRequest(const Message& msg) {
+  Message copy = msg;
+  work_.push_back([this, copy] {
+    CHECK(request_handler_) << "service PE " << vpe() << " has no request handler";
+    request_handler_(copy);
+  });
+  PumpWork();
+}
+
+void UserEnv::ReplyRequest(const Message& msg, MsgRef body) {
+  pe_->dtu().Reply(user_ep::kServiceRecv, msg, std::move(body));
+  work_busy_ = false;
+  PumpWork();
+}
+
+// ---------------------------------------------------------------------------
+// Memory access
+// ---------------------------------------------------------------------------
+
+void UserEnv::ReadMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done) {
+  Status st = pe_->dtu().Read(ep, offset, bytes, std::move(done));
+  CHECK(st.ok()) << "mem read failed: " << st.name();
+}
+
+void UserEnv::WriteMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done) {
+  Status st = pe_->dtu().Write(ep, offset, bytes, std::move(done));
+  CHECK(st.ok()) << "mem write failed: " << st.name();
+}
+
+}  // namespace semperos

@@ -1,0 +1,111 @@
+// User-level runtime: the simulator's equivalent of M3's userspace library.
+//
+// Every user/service program owns a UserEnv, which manages the PE's DTU
+// endpoint layout (see user_ep in protocol.h), provides the blocking-style
+// system-call RPC to the group's kernel (one outstanding call per VPE, which
+// is what sizes the kernel's syscall endpoints: 6 EPs x 32 slots = 192 VPEs,
+// paper §5.1), answers the kernel's exchange-asks, and implements the
+// client<->service IPC path that, once established, works without any kernel
+// involvement (paper §2.2).
+#ifndef SEMPEROS_CORE_USERLIB_H_
+#define SEMPEROS_CORE_USERLIB_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "base/log.h"
+#include "base/status.h"
+#include "core/kernel.h"
+#include "core/protocol.h"
+#include "pe/pe.h"
+
+namespace semperos {
+
+class UserEnv {
+ public:
+  // `ask_cost` is charged on this PE for every exchange-ask it answers
+  // (the "K2 asks V2" step of §4.3.2).
+  UserEnv(ProcessingElement* pe, NodeId kernel_node, Cycles ask_cost)
+      : pe_(pe), kernel_node_(kernel_node), ask_cost_(ask_cost) {}
+
+  VpeId vpe() const { return pe_->node(); }
+  ProcessingElement* pe() const { return pe_; }
+
+  // Configures this PE's endpoints. Must run during boot, before the kernel
+  // downgrades the DTU.
+  void SetupEps(bool is_service);
+
+  // ---- System calls (single outstanding; asserts the VPE respects it) ----
+  void Syscall(std::shared_ptr<SyscallMsg> msg, std::function<void(const SyscallReply&)> cb);
+
+  void OpenSession(const std::string& name, std::function<void(const SyscallReply&)> cb);
+  void Exchange(CapSel session, MsgRef payload, std::function<void(const SyscallReply&)> cb);
+  void Obtain(VpeId peer, CapSel peer_sel, std::function<void(const SyscallReply&)> cb);
+  void Delegate(CapSel sel, VpeId peer, std::function<void(const SyscallReply&)> cb);
+  void Revoke(CapSel sel, std::function<void(const SyscallReply&)> cb);
+  void Activate(CapSel sel, EpId ep, std::function<void(const SyscallReply&)> cb);
+  void DeriveMem(CapSel sel, uint64_t offset, uint64_t size, uint32_t perms,
+                 std::function<void(const SyscallReply&)> cb);
+  void RegisterService(const std::string& name, std::function<void(const SyscallReply&)> cb);
+
+  // ---- Exchange-asks from the kernel ----
+  // The handler must eventually invoke the reply functor exactly once.
+  // Asks are serialized: the next ask is delivered only after the current
+  // one was answered, so handlers may issue system calls in between.
+  using AskHandler = std::function<void(const AskMsg&, std::function<void(AskReply)>)>;
+  void SetAskHandler(AskHandler handler) { ask_handler_ = std::move(handler); }
+
+  // ---- Client -> service IPC (no kernel involved) ----
+  // Sends on the session send gate (configured by the kernel at session
+  // open). One outstanding request per client.
+  void Request(MsgRef body, std::function<void(const Message&)> cb);
+
+  // Service side: handler for incoming client requests. The handler must
+  // eventually call ReplyRequest(msg, ...) exactly once; requests and asks
+  // are serialized through one work queue.
+  using RequestHandler = std::function<void(const Message&)>;
+  void SetRequestHandler(RequestHandler handler) { request_handler_ = std::move(handler); }
+  void ReplyRequest(const Message& msg, MsgRef body);
+
+  // ---- Remote memory through an activated memory endpoint ----
+  void ReadMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
+  void WriteMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
+
+  // Occupies this PE's core for `cost` cycles (compute phases).
+  void Compute(Cycles cost, std::function<void()> then) { pe_->Compute(cost, std::move(then)); }
+
+  uint64_t syscalls_issued() const { return syscalls_issued_; }
+
+ private:
+  void OnSyscallReply(const Message& msg);
+  void OnAsk(const Message& msg);
+  void OnServiceReply(const Message& msg);
+  void OnRequest(const Message& msg);
+  void PumpWork();
+
+  ProcessingElement* pe_;
+  NodeId kernel_node_;
+  Cycles ask_cost_;
+
+  uint64_t next_token_ = 1;
+  uint64_t syscalls_issued_ = 0;
+  bool syscall_pending_ = false;
+  std::function<void(const SyscallReply&)> syscall_cb_;
+
+  bool request_pending_ = false;
+  std::function<void(const Message&)> request_cb_;
+
+  AskHandler ask_handler_;
+  RequestHandler request_handler_;
+
+  // Serialized service work: asks and client requests.
+  std::deque<std::function<void()>> work_;
+  bool work_busy_ = false;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_CORE_USERLIB_H_

@@ -1,0 +1,176 @@
+// Data Transfer Unit (DTU) model.
+//
+// The DTU is M3's per-PE hardware component and "the only possibility for a
+// core to interact with other components" (paper §2.2). It provides a fixed
+// number of endpoints, each configurable as:
+//   * send endpoint    — targets a (node, endpoint) pair, holds credits;
+//   * receive endpoint — holds a fixed number of message slots; messages
+//                        arriving with no free slot are LOST (real hardware
+//                        behaviour; the kernels' flow-control protocol must
+//                        prevent this — tests assert zero drops);
+//   * memory endpoint  — grants access to a byte range of another PE's or a
+//                        memory tile's memory (remote read/write).
+//
+// Only a privileged DTU may configure endpoints. All DTUs boot privileged and
+// the kernel downgrades every user PE during boot, keeping only kernel PEs
+// privileged (paper §2.2). In the simulator the kernel configures remote
+// endpoints through Dtu::ConfigureRemote*, which models the privileged
+// NoC-level configuration packet.
+//
+// Platform parameters follow paper §5.1: 16 endpoints, 32 message slots each.
+#ifndef SEMPEROS_DTU_DTU_H_
+#define SEMPEROS_DTU_DTU_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "base/status.h"
+#include "base/types.h"
+#include "dtu/message.h"
+#include "noc/noc.h"
+#include "sim/simulation.h"
+
+namespace semperos {
+
+class Dtu;
+
+// Maps NodeId -> Dtu for message delivery; owned by the platform.
+class DtuFabric {
+ public:
+  explicit DtuFabric(Noc* noc) : noc_(noc), dtus_(noc->NodeCount(), nullptr) {}
+
+  void Register(NodeId node, Dtu* dtu) { dtus_.at(node) = dtu; }
+  Dtu* At(NodeId node) const { return dtus_.at(node); }
+  Noc* noc() const { return noc_; }
+
+ private:
+  Noc* noc_;
+  std::vector<Dtu*> dtus_;
+};
+
+struct MemPerms {
+  bool read = false;
+  bool write = false;
+};
+
+struct DtuStats {
+  uint64_t msgs_sent = 0;
+  uint64_t msgs_received = 0;
+  uint64_t msgs_dropped = 0;  // arrived with no free slot (protocol bug!)
+  uint64_t sends_denied = 0;  // no credits / bad endpoint
+  uint64_t mem_reads = 0;
+  uint64_t mem_writes = 0;
+  uint64_t mem_bytes = 0;
+};
+
+class Dtu {
+ public:
+  static constexpr uint32_t kNumEps = 16;        // paper §5.1
+  static constexpr uint32_t kDefaultSlots = 32;  // paper §5.1
+
+  using MsgHandler = std::function<void(EpId ep, const Message& msg)>;
+
+  Dtu(Simulation* sim, DtuFabric* fabric, NodeId node);
+
+  NodeId node() const { return node_; }
+  bool privileged() const { return privileged_; }
+
+  // Local (privileged) endpoint configuration. CHECK-fails on a downgraded
+  // DTU — the kernel must use ConfigureRemote* for user PEs.
+  void ConfigureSend(EpId ep, NodeId dst_node, EpId dst_ep, uint32_t credits,
+                     uint64_t label = 0);
+  void ConfigureRecv(EpId ep, uint32_t slots, MsgHandler handler);
+  void ConfigureMem(EpId ep, NodeId dst_node, uint64_t base, uint64_t size, MemPerms perms);
+  void InvalidateEp(EpId ep);
+
+  // Strips the privileged bit (kernel does this to user PEs at boot).
+  void Downgrade() { privileged_ = false; }
+
+  // Privileged remote configuration: models the kernel writing another DTU's
+  // endpoint registers over the NoC. `done` fires when the config packet has
+  // been applied at the remote DTU.
+  void ConfigureRemoteSend(NodeId target, EpId ep, NodeId dst_node, EpId dst_ep, uint32_t credits,
+                           uint64_t label, std::function<void()> done);
+  void ConfigureRemoteMem(NodeId target, EpId ep, NodeId dst_node, uint64_t base, uint64_t size,
+                          MemPerms perms, std::function<void()> done);
+  void InvalidateRemoteEp(NodeId target, EpId ep, std::function<void()> done);
+
+  // Sends a message through send endpoint `ep`. Consumes one credit; the
+  // credit returns when the receiver replies (or acks with credit return).
+  Status Send(EpId ep, MsgRef body, EpId reply_ep = kNoReplyEp);
+
+  // Privileged raw send to an arbitrary (node, endpoint). Models the M3
+  // kernel's ability to retarget its send endpoint per message; flow control
+  // for this path lives in the kernel (IKC credits), not in the DTU.
+  Status SendTo(NodeId dst_node, EpId dst_ep, MsgRef body, EpId reply_ep = kNoReplyEp,
+                uint64_t label = 0);
+
+  // Replies to a received message: frees the slot, returns the sender's
+  // credit, and delivers `body` to the sender's reply endpoint.
+  Status Reply(EpId recv_ep, const Message& msg, MsgRef body);
+
+  // Frees the slot of a received message without sending a payload back.
+  // Still returns the sender's credit (models M3's ACK).
+  void Ack(EpId recv_ep, const Message& msg);
+
+  // Sends `body` as a reply-typed message to the sender of `msg` without
+  // touching slot accounting. Used for deferred replies after the slot was
+  // already freed with Ack() — the receiver reserved reply context when it
+  // sent the request, so reply delivery never competes for request slots.
+  Status SendDeferredReply(const Message& msg, MsgRef body);
+
+  // Remote memory access through a memory endpoint. Timing only — data is
+  // not moved. Deliberately uncontended (paper §5.3.1 excludes memory
+  // contention; see DESIGN.md §2). `done` fires on completion.
+  Status Read(EpId mem_ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
+  Status Write(EpId mem_ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
+
+  // Introspection for tests.
+  uint32_t Credits(EpId ep) const;
+  uint32_t FreeSlots(EpId ep) const;
+  bool EpValid(EpId ep) const;
+  const DtuStats& stats() const { return stats_; }
+
+ private:
+  enum class EpType { kInvalid, kSend, kReceive, kMemory };
+
+  struct Endpoint {
+    EpType type = EpType::kInvalid;
+    // Send
+    NodeId dst_node = kInvalidNode;
+    EpId dst_ep = 0;
+    uint32_t credits = 0;
+    uint32_t max_credits = 0;
+    uint64_t label = 0;
+    // Receive
+    uint32_t slots = 0;
+    uint32_t occupied = 0;
+    MsgHandler handler;
+    // Memory
+    uint64_t mem_base = 0;
+    uint64_t mem_size = 0;
+    MemPerms perms;
+  };
+
+  // Called by the fabric when a message arrives at this DTU.
+  void Deliver(EpId ep, Message msg);
+  void ReturnCredit(EpId send_ep);
+
+  Status MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write,
+                   std::function<void()> done);
+
+  Simulation* sim_;
+  DtuFabric* fabric_;
+  NodeId node_;
+  bool privileged_ = true;
+  std::vector<Endpoint> eps_;
+  DtuStats stats_;
+
+  friend class DtuFabric;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_DTU_DTU_H_

@@ -1,0 +1,49 @@
+// Message representation for DTU communication.
+//
+// Real DTUs move byte buffers; the simulator moves typed, immutable message
+// bodies (shared_ptr<const MsgBody>) and charges NoC time for the body's
+// declared wire size. Every protocol (system calls, inter-kernel calls,
+// service requests) derives its message structs from MsgBody.
+#ifndef SEMPEROS_DTU_MESSAGE_H_
+#define SEMPEROS_DTU_MESSAGE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "base/types.h"
+
+namespace semperos {
+
+// Base class for all simulated message payloads.
+class MsgBody {
+ public:
+  virtual ~MsgBody() = default;
+
+  // Approximate serialized size in bytes, used for NoC timing. The default
+  // matches a small fixed-size control message (one cache line).
+  virtual uint32_t WireSize() const { return 64; }
+};
+
+using MsgRef = std::shared_ptr<const MsgBody>;
+
+// Endpoint id used when the sender expects no reply.
+inline constexpr EpId kNoReplyEp = 0xffffffffu;
+
+// A message as seen by the receiving program.
+struct Message {
+  NodeId src_node = kInvalidNode;  // PE the message came from
+  EpId src_send_ep = 0;            // sender's send endpoint (credit return)
+  EpId reply_ep = kNoReplyEp;      // receive endpoint at sender for replies
+  uint64_t label = 0;              // receiver-assigned channel label
+  bool is_reply = false;           // true if this is a reply message
+  MsgRef body;
+
+  template <typename T>
+  const T* As() const {
+    return dynamic_cast<const T*>(body.get());
+  }
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_DTU_MESSAGE_H_

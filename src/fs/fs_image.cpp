@@ -1,0 +1,98 @@
+#include "fs/fs_image.h"
+
+namespace semperos {
+
+namespace {
+
+uint64_t RoundUpToExtent(uint64_t bytes) {
+  if (bytes == 0) {
+    return kFsExtentBytes;
+  }
+  return (bytes + kFsExtentBytes - 1) / kFsExtentBytes * kFsExtentBytes;
+}
+
+}  // namespace
+
+std::string FsImage::ParentOf(const std::string& path) const {
+  size_t pos = path.find_last_of('/');
+  if (pos == 0 || pos == std::string::npos) {
+    return "/";
+  }
+  return path.substr(0, pos);
+}
+
+void FsImage::AddDir(const std::string& path) {
+  if (inodes_.count(path) != 0) {
+    return;
+  }
+  if (path != "/") {
+    CHECK(inodes_.count(ParentOf(path)) != 0) << "parent of " << path << " missing";
+  }
+  Inode inode;
+  inode.ino = next_ino_++;
+  inode.is_dir = true;
+  inodes_[path] = inode;
+}
+
+const Inode* FsImage::AddFile(const std::string& path, uint64_t size, uint64_t reserve) {
+  CHECK(inodes_.count(path) == 0) << path << " exists";
+  CHECK(inodes_.count(ParentOf(path)) != 0) << "parent of " << path << " missing";
+  Inode inode;
+  inode.ino = next_ino_++;
+  inode.is_dir = false;
+  inode.size = size;
+  inode.reserved = RoundUpToExtent(reserve > size ? reserve : size);
+  inode.offset = next_offset_;
+  next_offset_ += inode.reserved;
+  auto [it, ok] = inodes_.emplace(path, inode);
+  CHECK(ok);
+  return &it->second;
+}
+
+const Inode* FsImage::Lookup(const std::string& path) const {
+  auto it = inodes_.find(path);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+Inode* FsImage::LookupMutable(const std::string& path) {
+  auto it = inodes_.find(path);
+  return it == inodes_.end() ? nullptr : &it->second;
+}
+
+uint32_t FsImage::CountEntries(const std::string& dir) const {
+  std::string prefix = dir == "/" ? "/" : dir + "/";
+  uint32_t n = 0;
+  for (const auto& [path, inode] : inodes_) {
+    (void)inode;
+    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+        path.find('/', prefix.size()) == std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+bool FsImage::Unlink(const std::string& path) {
+  auto it = inodes_.find(path);
+  if (it == inodes_.end() || it->second.is_dir) {
+    return false;
+  }
+  inodes_.erase(it);
+  return true;
+}
+
+void FsImage::Grow(Inode* inode, uint64_t new_size) {
+  CHECK(inode != nullptr);
+  if (new_size <= inode->size) {
+    return;
+  }
+  if (new_size > inode->reserved) {
+    // Relocate to the end of the log (m3fs-style append allocation).
+    inode->reserved = RoundUpToExtent(new_size);
+    inode->offset = next_offset_;
+    next_offset_ += inode->reserved;
+  }
+  inode->size = new_size;
+}
+
+}  // namespace semperos

@@ -1,0 +1,79 @@
+// In-memory filesystem image: superblock, inodes, directory tree, extents.
+//
+// m3fs is an in-memory filesystem (paper §2.2): file contents live in a
+// contiguous memory region on a memory tile, and the service hands out
+// memory capabilities to extent-sized ranges of that region. Every service
+// instance owns its own copy of the image (paper §5.3.1).
+//
+// The image is a functional model: lookups, directory listings, creation,
+// growth and unlinking all work; file *contents* are never materialized
+// (data movement is pure timing, see Dtu::Read/Write).
+#ifndef SEMPEROS_FS_FS_IMAGE_H_
+#define SEMPEROS_FS_FS_IMAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/log.h"
+#include "base/status.h"
+
+namespace semperos {
+
+// Extent size: the unit in which m3fs hands out memory capabilities. A
+// client crossing an extent boundary must request an additional capability
+// ("If the application exceeds this range ... it is provided with an
+// additional memory capability to the next range", paper §5.3.1).
+inline constexpr uint64_t kFsExtentBytes = 1024 * 1024;  // 1 MiB
+
+struct Inode {
+  uint64_t ino = 0;
+  bool is_dir = false;
+  uint64_t size = 0;    // current file size in bytes
+  uint64_t offset = 0;  // byte offset of extent 0 inside the image region
+  uint64_t reserved = 0;  // bytes reserved in the image (capacity)
+};
+
+class FsImage {
+ public:
+  FsImage() { AddDir("/"); }
+
+  // Creates a directory (parents must exist).
+  void AddDir(const std::string& path);
+
+  // Creates a file with `reserve` bytes of image space; `size` bytes are
+  // considered written. Returns the inode.
+  const Inode* AddFile(const std::string& path, uint64_t size, uint64_t reserve = 0);
+
+  const Inode* Lookup(const std::string& path) const;
+  Inode* LookupMutable(const std::string& path);
+
+  // Number of entries directly inside `dir`.
+  uint32_t CountEntries(const std::string& dir) const;
+
+  // Removes a file (not a directory). The image space is not reclaimed
+  // (m3fs-style log allocation). Returns false if the path is unknown.
+  bool Unlink(const std::string& path);
+
+  // Grows `inode` to hold at least `new_size` bytes, extending the image
+  // region if needed.
+  void Grow(Inode* inode, uint64_t new_size);
+
+  // Total bytes of image space in use (the service's memory region size
+  // must cover this; callers reserve headroom for growth).
+  uint64_t bytes_used() const { return next_offset_; }
+
+  size_t inode_count() const { return inodes_.size(); }
+
+ private:
+  std::string ParentOf(const std::string& path) const;
+
+  std::map<std::string, Inode> inodes_;  // keyed by absolute path
+  uint64_t next_ino_ = 1;
+  uint64_t next_offset_ = 0;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_FS_FS_IMAGE_H_

@@ -1,0 +1,369 @@
+#include "fs/service.h"
+
+#include <utility>
+
+#include "base/log.h"
+
+namespace semperos {
+
+namespace {
+const char* kTag = "m3fs";
+}  // namespace
+
+const char* FsOpName(FsOp op) {
+  switch (op) {
+    case FsOp::kOpen:
+      return "open";
+    case FsOp::kNextExtent:
+      return "next_extent";
+    case FsOp::kClose:
+      return "close";
+    case FsOp::kStat:
+      return "stat";
+    case FsOp::kMkdir:
+      return "mkdir";
+    case FsOp::kUnlink:
+      return "unlink";
+    case FsOp::kReadDir:
+      return "readdir";
+  }
+  return "?";
+}
+
+FsService::FsService(std::string name, FsImage image, NodeId kernel_node,
+                     const TimingModel& timing, CapSel mem_root_sel)
+    : name_(std::move(name)),
+      image_(std::move(image)),
+      kernel_node_(kernel_node),
+      t_(timing),
+      mem_root_sel_(mem_root_sel) {}
+
+void FsService::Setup() {
+  // Ask costs are charged per-operation inside the handlers, not uniformly.
+  env_ = std::make_unique<UserEnv>(pe_, kernel_node_, /*ask_cost=*/0);
+  env_->SetupEps(/*is_service=*/true);
+  env_->SetAskHandler([this](const AskMsg& ask, std::function<void(AskReply)> reply) {
+    OnAsk(ask, std::move(reply));
+  });
+  env_->SetRequestHandler([this](const Message& msg) { OnRequest(msg); });
+}
+
+void FsService::Start() {
+  env_->RegisterService(name_, [this](const SyscallReply& reply) {
+    CHECK(reply.err == ErrCode::kOk);
+    service_sel_ = reply.sel;
+    LOG_INFO(kTag) << name_ << " registered (sel " << service_sel_ << ")";
+  });
+}
+
+FsService::Session* FsService::SessionOf(uint64_t id) {
+  auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel exchange-asks
+// ---------------------------------------------------------------------------
+
+void FsService::OnAsk(const AskMsg& ask, std::function<void(AskReply)> reply) {
+  switch (ask.op) {
+    case AskOp::kOpenSession:
+      AskOpenSession(ask, std::move(reply));
+      return;
+    case AskOp::kExchange:
+      AskExchange(ask, std::move(reply));
+      return;
+    case AskOp::kCloseSession: {
+      sessions_.erase(ask.session);
+      AskReply r;
+      reply(std::move(r));
+      return;
+    }
+    default: {
+      AskReply r;
+      r.err = ErrCode::kInvalidArgs;
+      reply(std::move(r));
+      return;
+    }
+  }
+}
+
+void FsService::AskOpenSession(const AskMsg& ask, std::function<void(AskReply)> reply) {
+  Session session;
+  session.id = next_session_++;
+  session.client = ask.client;
+  sessions_[session.id] = session;
+  fs_stats_.sessions++;
+  uint64_t id = session.id;
+  env_->Compute(t_.svc_open, [this, id, reply = std::move(reply)] {
+    AskReply r;
+    r.err = ErrCode::kOk;
+    r.share_sel = service_sel_;
+    r.session = id;
+    reply(std::move(r));
+  });
+}
+
+void FsService::AskExchange(const AskMsg& ask, std::function<void(AskReply)> reply) {
+  Session* session = SessionOf(ask.session);
+  const FsRequest* req = ask.payload ? dynamic_cast<const FsRequest*>(ask.payload.get()) : nullptr;
+  if (session == nullptr || req == nullptr) {
+    AskReply r;
+    r.err = ErrCode::kInvalidArgs;
+    reply(std::move(r));
+    return;
+  }
+  switch (req->op) {
+    case FsOp::kOpen:
+      HandleOpen(session, *req, std::move(reply));
+      return;
+    case FsOp::kNextExtent:
+      HandleNextExtent(session, *req, std::move(reply));
+      return;
+    default: {
+      AskReply r;
+      r.err = ErrCode::kInvalidArgs;
+      reply(std::move(r));
+      return;
+    }
+  }
+}
+
+void FsService::DeriveExtent(Inode* inode, uint64_t offset, bool write,
+                             std::function<void(CapSel, uint64_t)> cb) {
+  uint64_t extent_start = offset / kFsExtentBytes * kFsExtentBytes;
+  if (write) {
+    image_.Grow(inode, extent_start + kFsExtentBytes);
+  }
+  uint64_t limit = write ? inode->reserved : inode->size;
+  CHECK_GT(limit, extent_start) << "extent request beyond file";
+  uint64_t extent_len = std::min(kFsExtentBytes, limit - extent_start);
+  uint32_t perms = write ? kPermRW : kPermR;
+  env_->DeriveMem(mem_root_sel_, inode->offset + extent_start, extent_len, perms,
+                  [this, extent_len, cb = std::move(cb)](const SyscallReply& reply) {
+                    CHECK(reply.err == ErrCode::kOk) << "derive failed";
+                    fs_stats_.extents_handed++;
+                    cb(reply.sel, extent_len);
+                  });
+}
+
+void FsService::HandleOpen(Session* session, const FsRequest& req,
+                           std::function<void(AskReply)> reply) {
+  bool write = (req.flags & kOpenWrite) != 0;
+  Inode* inode = image_.LookupMutable(req.path);
+  if (inode == nullptr && (req.flags & kOpenCreate) != 0) {
+    image_.AddFile(req.path, 0);
+    inode = image_.LookupMutable(req.path);
+  }
+  if (inode == nullptr || inode->is_dir) {
+    env_->Compute(t_.svc_open, [reply = std::move(reply)] {
+      AskReply r;
+      r.err = ErrCode::kNoSuchFile;
+      reply(std::move(r));
+    });
+    return;
+  }
+  uint64_t fid = next_fid_++;
+  OpenFile file;
+  file.path = req.path;
+  file.fid = fid;
+  file.flags = req.flags;
+  fs_stats_.opens++;
+  uint64_t size = inode->size;
+  uint64_t session_id = session->id;
+  env_->Compute(t_.svc_open, [this, inode, write, fid, size, session_id,
+                              file = std::move(file), reply = std::move(reply)]() mutable {
+    DeriveExtent(inode, 0, write,
+                 [this, fid, size, session_id, file = std::move(file),
+                  reply = std::move(reply)](CapSel sel, uint64_t extent_len) mutable {
+                   file.handed.push_back(sel);
+                   Session* session = SessionOf(session_id);
+                   CHECK(session != nullptr);
+                   session->files[fid] = std::move(file);
+                   auto fs_reply = std::make_shared<FsReply>();
+                   fs_reply->err = ErrCode::kOk;
+                   fs_reply->fid = fid;
+                   fs_reply->size = size;
+                   (void)extent_len;
+                   AskReply r;
+                   r.err = ErrCode::kOk;
+                   r.share_sel = sel;
+                   r.payload = fs_reply;
+                   reply(std::move(r));
+                 });
+  });
+}
+
+void FsService::HandleNextExtent(Session* session, const FsRequest& req,
+                                 std::function<void(AskReply)> reply) {
+  auto fit = session->files.find(req.fid);
+  if (fit == session->files.end()) {
+    AskReply r;
+    r.err = ErrCode::kInvalidArgs;
+    reply(std::move(r));
+    return;
+  }
+  OpenFile* file = &fit->second;
+  Inode* inode = image_.LookupMutable(file->path);
+  if (inode == nullptr) {
+    AskReply r;
+    r.err = ErrCode::kNoSuchFile;
+    reply(std::move(r));
+    return;
+  }
+  bool write = (file->flags & kOpenWrite) != 0;
+  uint64_t fid = req.fid;
+  uint64_t session_id = session->id;
+  env_->Compute(t_.svc_exchange, [this, inode, req, write, fid, session_id,
+                                  reply = std::move(reply)]() mutable {
+    DeriveExtent(inode, req.offset, write,
+                 [this, fid, session_id, reply = std::move(reply)](CapSel sel,
+                                                                   uint64_t extent_len) mutable {
+                   Session* session = SessionOf(session_id);
+                   CHECK(session != nullptr);
+                   auto fit = session->files.find(fid);
+                   CHECK(fit != session->files.end());
+                   fit->second.handed.push_back(sel);
+                   auto fs_reply = std::make_shared<FsReply>();
+                   fs_reply->err = ErrCode::kOk;
+                   fs_reply->fid = fid;
+                   fs_reply->size = extent_len;
+                   AskReply r;
+                   r.err = ErrCode::kOk;
+                   r.share_sel = sel;
+                   r.payload = fs_reply;
+                   reply(std::move(r));
+                 });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Meta operations (direct client requests; session id in the message label)
+// ---------------------------------------------------------------------------
+
+void FsService::OnRequest(const Message& msg) {
+  const FsRequest* req = msg.As<FsRequest>();
+  CHECK(req != nullptr) << "non-fs message on service EP";
+  Session* session = SessionOf(msg.label);
+  if (session == nullptr) {
+    ReplyMeta(msg, ErrCode::kInvalidArgs);
+    return;
+  }
+  switch (req->op) {
+    case FsOp::kClose:
+      MetaClose(session, *req, msg);
+      return;
+    case FsOp::kStat:
+      MetaStat(session, *req, msg);
+      return;
+    case FsOp::kMkdir:
+      MetaMkdir(session, *req, msg);
+      return;
+    case FsOp::kUnlink:
+      MetaUnlink(session, *req, msg);
+      return;
+    case FsOp::kReadDir:
+      MetaReadDir(session, *req, msg);
+      return;
+    default:
+      ReplyMeta(msg, ErrCode::kInvalidArgs);
+      return;
+  }
+}
+
+void FsService::ReplyMeta(const Message& msg, ErrCode err, uint64_t size, uint32_t entries,
+                          uint32_t revoked) {
+  auto reply = std::make_shared<FsReply>();
+  reply->err = err;
+  reply->size = size;
+  reply->entries = entries;
+  reply->revoked = revoked;
+  env_->ReplyRequest(msg, reply);
+}
+
+void FsService::RevokeHanded(std::shared_ptr<std::vector<CapSel>> handed, size_t idx,
+                             std::function<void()> done) {
+  if (idx >= handed->size()) {
+    done();
+    return;
+  }
+  env_->Revoke((*handed)[idx], [this, handed, idx, done = std::move(done)](
+                                   const SyscallReply& reply) mutable {
+    CHECK(reply.err == ErrCode::kOk) << "extent revoke failed: " << ErrName(reply.err);
+    fs_stats_.caps_revoked++;
+    RevokeHanded(handed, idx + 1, std::move(done));
+  });
+}
+
+void FsService::MetaClose(Session* session, const FsRequest& req, const Message& msg) {
+  auto fit = session->files.find(req.fid);
+  if (fit == session->files.end()) {
+    env_->Compute(t_.svc_close, [this, msg] { ReplyMeta(msg, ErrCode::kInvalidArgs); });
+    return;
+  }
+  auto handed = std::make_shared<std::vector<CapSel>>(std::move(fit->second.handed));
+  session->files.erase(fit);
+  fs_stats_.closes++;
+  uint32_t count = static_cast<uint32_t>(handed->size());
+  env_->Compute(t_.svc_close, [this, handed, msg, count] {
+    RevokeHanded(handed, 0, [this, msg, count] { ReplyMeta(msg, ErrCode::kOk, 0, 0, count); });
+  });
+}
+
+void FsService::MetaStat(Session* session, const FsRequest& req, const Message& msg) {
+  (void)session;
+  const Inode* inode = image_.Lookup(req.path);
+  fs_stats_.metas++;
+  env_->Compute(t_.svc_meta, [this, msg, inode] {
+    if (inode == nullptr) {
+      ReplyMeta(msg, ErrCode::kNoSuchFile);
+    } else {
+      ReplyMeta(msg, ErrCode::kOk, inode->size);
+    }
+  });
+}
+
+void FsService::MetaMkdir(Session* session, const FsRequest& req, const Message& msg) {
+  (void)session;
+  fs_stats_.metas++;
+  bool exists = image_.Lookup(req.path) != nullptr;
+  if (!exists) {
+    image_.AddDir(req.path);
+  }
+  env_->Compute(t_.svc_meta, [this, msg, exists] {
+    ReplyMeta(msg, exists ? ErrCode::kExists : ErrCode::kOk);
+  });
+}
+
+void FsService::MetaUnlink(Session* session, const FsRequest& req, const Message& msg) {
+  fs_stats_.metas++;
+  // If the requesting session still has the file open, its handed
+  // capabilities are revoked immediately (the SQLite journal pattern:
+  // unlink-while-open).
+  auto handed = std::make_shared<std::vector<CapSel>>();
+  for (auto& [fid, file] : session->files) {
+    (void)fid;
+    if (file.path == req.path) {
+      handed->insert(handed->end(), file.handed.begin(), file.handed.end());
+      file.handed.clear();
+    }
+  }
+  bool ok = image_.Unlink(req.path);
+  uint32_t count = static_cast<uint32_t>(handed->size());
+  env_->Compute(t_.svc_meta, [this, msg, handed, ok, count] {
+    RevokeHanded(handed, 0, [this, msg, ok, count] {
+      ReplyMeta(msg, ok ? ErrCode::kOk : ErrCode::kNoSuchFile, 0, 0, count);
+    });
+  });
+}
+
+void FsService::MetaReadDir(Session* session, const FsRequest& req, const Message& msg) {
+  (void)session;
+  fs_stats_.metas++;
+  uint32_t entries = image_.CountEntries(req.path);
+  // Cost scales mildly with the directory size (metadata walk).
+  Cycles cost = t_.svc_meta + entries * (t_.svc_meta / 16);
+  env_->Compute(cost, [this, msg, entries] { ReplyMeta(msg, ErrCode::kOk, 0, entries); });
+}
+
+}  // namespace semperos

@@ -1,0 +1,116 @@
+// m3fs: the in-memory filesystem service (paper §2.2, §5.3.1).
+//
+// The service is an ordinary user-level program. It registers with its
+// group's kernel, answers the kernel's exchange-asks (session opens and
+// extent requests), and serves meta operations directly over client session
+// channels. File contents live in a memory region on a memory tile; access
+// happens through memory capabilities the service derives from its root
+// memory capability and hands to clients:
+//
+//   open        -> derive extent-0 capability, client obtains a copy
+//   read/write
+//   past extent -> derive next-extent capability, client obtains a copy
+//   close       -> service revokes each derived capability, which
+//                  recursively revokes the clients' copies and invalidates
+//                  their DTU endpoints (paper: "When the file is closed
+//                  again, the memory capabilities are revoked")
+//   unlink of an open file revokes immediately (the SQLite journal pattern).
+#ifndef SEMPEROS_FS_SERVICE_H_
+#define SEMPEROS_FS_SERVICE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/timing.h"
+#include "core/userlib.h"
+#include "fs/fs_image.h"
+#include "fs/protocol.h"
+#include "pe/pe.h"
+
+namespace semperos {
+
+struct FsServiceStats {
+  uint64_t sessions = 0;
+  uint64_t opens = 0;
+  uint64_t extents_handed = 0;
+  uint64_t closes = 0;
+  uint64_t metas = 0;
+  uint64_t caps_revoked = 0;
+};
+
+class FsService : public Program {
+ public:
+  // `mem_root_sel` is the selector of the root memory capability covering
+  // this service's image region (installed via Kernel::AdminGrantMem before
+  // boot). `timing` supplies the per-operation handler costs.
+  FsService(std::string name, FsImage image, NodeId kernel_node, const TimingModel& timing,
+            CapSel mem_root_sel);
+
+  void Setup() override;
+  void Start() override;
+
+  const FsServiceStats& stats() const { return fs_stats_; }
+  bool registered() const { return service_sel_ != kInvalidSel; }
+  const FsImage& image() const { return image_; }
+  UserEnv& env() { return *env_; }
+
+ private:
+  struct OpenFile {
+    std::string path;
+    uint64_t fid = 0;
+    uint32_t flags = 0;
+    std::vector<CapSel> handed;  // derived extent capabilities (our table)
+  };
+  struct Session {
+    uint64_t id = 0;
+    VpeId client = kInvalidVpe;
+    std::map<uint64_t, OpenFile> files;  // keyed by fid
+  };
+
+  void OnAsk(const AskMsg& ask, std::function<void(AskReply)> reply);
+  void AskOpenSession(const AskMsg& ask, std::function<void(AskReply)> reply);
+  void AskExchange(const AskMsg& ask, std::function<void(AskReply)> reply);
+  void HandleOpen(Session* session, const FsRequest& req, std::function<void(AskReply)> reply);
+  void HandleNextExtent(Session* session, const FsRequest& req,
+                        std::function<void(AskReply)> reply);
+
+  void OnRequest(const Message& msg);
+  void MetaClose(Session* session, const FsRequest& req, const Message& msg);
+  void MetaStat(Session* session, const FsRequest& req, const Message& msg);
+  void MetaMkdir(Session* session, const FsRequest& req, const Message& msg);
+  void MetaUnlink(Session* session, const FsRequest& req, const Message& msg);
+  void MetaReadDir(Session* session, const FsRequest& req, const Message& msg);
+
+  // Derives the extent capability covering byte `offset` of `inode` and
+  // returns (via cb) the new selector. Grows the file for writes.
+  void DeriveExtent(Inode* inode, uint64_t offset, bool write,
+                    std::function<void(CapSel, uint64_t extent_len)> cb);
+
+  // Revokes handed[idx..] sequentially, then runs done.
+  void RevokeHanded(std::shared_ptr<std::vector<CapSel>> handed, size_t idx,
+                    std::function<void()> done);
+
+  Session* SessionOf(uint64_t id);
+  void ReplyMeta(const Message& msg, ErrCode err, uint64_t size = 0, uint32_t entries = 0,
+                 uint32_t revoked = 0);
+
+  std::string name_;
+  FsImage image_;
+  NodeId kernel_node_;
+  TimingModel t_;
+  CapSel mem_root_sel_;
+  CapSel service_sel_ = kInvalidSel;
+  std::unique_ptr<UserEnv> env_;
+
+  std::map<uint64_t, Session> sessions_;
+  uint64_t next_session_ = 1;
+  uint64_t next_fid_ = 1;
+  FsServiceStats fs_stats_;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_FS_SERVICE_H_

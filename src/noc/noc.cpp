@@ -1,0 +1,105 @@
+#include "noc/noc.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace semperos {
+
+Noc::Noc(Simulation* sim, const NocConfig& config) : sim_(sim), config_(config) {
+  CHECK_GT(config_.width, 0u);
+  CHECK_GT(config_.height, 0u);
+  CHECK_GT(config_.link_bytes_per_cycle, 0u);
+  // Four directed links per node (not all used at the mesh edge).
+  link_free_at_.assign(static_cast<size_t>(NodeCount()) * 4, 0);
+}
+
+uint32_t Noc::Hops(NodeId src, NodeId dst) const {
+  uint32_t sx = src % config_.width;
+  uint32_t sy = src / config_.width;
+  uint32_t dx = dst % config_.width;
+  uint32_t dy = dst / config_.width;
+  uint32_t hx = sx > dx ? sx - dx : dx - sx;
+  uint32_t hy = sy > dy ? sy - dy : dy - sy;
+  return hx + hy;
+}
+
+uint32_t Noc::LinkIndex(NodeId node, int dir) const {
+  return node * 4 + static_cast<uint32_t>(dir);
+}
+
+void Noc::Route(NodeId src, NodeId dst, std::vector<uint32_t>* out) const {
+  // Dimension-ordered routing: X first, then Y. Deterministic, so message
+  // order between any pair of nodes is preserved.
+  uint32_t x = src % config_.width;
+  uint32_t y = src / config_.width;
+  uint32_t dx = dst % config_.width;
+  uint32_t dy = dst / config_.width;
+  NodeId cur = src;
+  while (x != dx) {
+    int dir = x < dx ? 0 : 1;
+    out->push_back(LinkIndex(cur, dir));
+    x = x < dx ? x + 1 : x - 1;
+    cur = y * config_.width + x;
+  }
+  while (y != dy) {
+    int dir = y < dy ? 3 : 2;
+    out->push_back(LinkIndex(cur, dir));
+    y = y < dy ? y + 1 : y - 1;
+    cur = y * config_.width + x;
+  }
+}
+
+Cycles Noc::UnloadedLatency(NodeId src, NodeId dst, uint32_t bytes) const {
+  uint32_t hops = Hops(src, dst);
+  Cycles serialization = bytes / config_.link_bytes_per_cycle;
+  if (serialization < config_.min_packet_cycles) {
+    serialization = config_.min_packet_cycles;
+  }
+  return hops * (config_.router_latency + config_.wire_latency) + serialization;
+}
+
+Cycles Noc::Send(NodeId src, NodeId dst, uint32_t bytes, std::function<void()> deliver) {
+  CHECK_LT(src, NodeCount());
+  CHECK_LT(dst, NodeCount());
+  Cycles now = sim_->Now();
+  Cycles serialization = bytes / config_.link_bytes_per_cycle;
+  if (serialization < config_.min_packet_cycles) {
+    serialization = config_.min_packet_cycles;
+  }
+
+  Cycles queueing = 0;
+  Cycles t = now;
+  if (src == dst) {
+    // Loopback through the local router only.
+    t += config_.router_latency;
+  } else if (config_.model_contention) {
+    scratch_path_.clear();
+    Route(src, dst, &scratch_path_);
+    // The packet head advances hop by hop; each link is reserved for the
+    // packet's serialization time. A busy link stalls the head (FIFO).
+    for (uint32_t link : scratch_path_) {
+      Cycles arrive = t + config_.router_latency + config_.wire_latency;
+      Cycles start = arrive;
+      if (link_free_at_[link] > start) {
+        queueing += link_free_at_[link] - start;
+        start = link_free_at_[link];
+      }
+      link_free_at_[link] = start + serialization;
+      t = start;
+    }
+    t += serialization;  // tail of the packet drains over the last link
+  } else {
+    t = now + UnloadedLatency(src, dst, bytes);
+  }
+
+  stats_.packets++;
+  stats_.total_bytes += bytes;
+  stats_.total_hops += Hops(src, dst);
+  stats_.total_latency += t - now;
+  stats_.total_queueing += queueing;
+
+  sim_->ScheduleAt(t, std::move(deliver));
+  return t;
+}
+
+}  // namespace semperos

@@ -1,0 +1,21 @@
+#include "pe/pe.h"
+
+namespace semperos {
+
+const char* PeTypeName(PeType type) {
+  switch (type) {
+    case PeType::kUser:
+      return "user";
+    case PeType::kKernel:
+      return "kernel";
+    case PeType::kService:
+      return "service";
+    case PeType::kMemory:
+      return "memory";
+    case PeType::kLoadGen:
+      return "loadgen";
+  }
+  return "?";
+}
+
+}  // namespace semperos

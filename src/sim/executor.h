@@ -1,0 +1,58 @@
+// Serial-core executor: models a single-threaded processing element.
+//
+// Kernel PEs and service PEs are serial resources — a message handler
+// occupies the core for its modelled cost before the next queued handler may
+// start. This serialization is the main source of contention behind the
+// paper's parallel-efficiency results (Figures 6-10), so it is modelled
+// explicitly: work posted to an Executor runs at
+//     start = max(now, busy_until), finish = start + cost
+// and the closure executes at `finish` (its effects — replies, sends — become
+// visible when the handler completes). FIFO order of posted work is
+// preserved.
+#ifndef SEMPEROS_SIM_EXECUTOR_H_
+#define SEMPEROS_SIM_EXECUTOR_H_
+
+#include <functional>
+
+#include "base/types.h"
+#include "sim/simulation.h"
+
+namespace semperos {
+
+class Executor {
+ public:
+  explicit Executor(Simulation* sim) : sim_(sim) {}
+
+  // Runs `fn` after occupying the core for `cost` cycles (queueing behind any
+  // work already posted). Returns the completion time.
+  Cycles Post(Cycles cost, std::function<void()> fn) {
+    Cycles start = busy_until_ > sim_->Now() ? busy_until_ : sim_->Now();
+    Cycles finish = start + cost;
+    busy_until_ = finish;
+    busy_cycles_ += cost;
+    sim_->ScheduleAt(finish, std::move(fn));
+    return finish;
+  }
+
+  // Occupies the core without running anything (pure compute delay).
+  Cycles Occupy(Cycles cost) {
+    return Post(cost, [] {});
+  }
+
+  Cycles busy_until() const { return busy_until_; }
+
+  // Total cycles this core spent executing work (utilization numerator).
+  Cycles busy_cycles() const { return busy_cycles_; }
+
+  // True if the core would start new work immediately.
+  bool IdleAt(Cycles t) const { return busy_until_ <= t; }
+
+ private:
+  Simulation* sim_;
+  Cycles busy_until_ = 0;
+  Cycles busy_cycles_ = 0;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_SIM_EXECUTOR_H_

@@ -1,0 +1,39 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace semperos {
+
+uint64_t Simulation::RunUntilIdle(uint64_t max_events) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && ran < max_events) {
+    // priority_queue::top() returns const&; the closure must be moved out
+    // before pop, so copy the header fields first.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    CHECK_GE(ev.when, now_);
+    now_ = ev.when;
+    ev.fn();
+    ++ran;
+  }
+  events_run_ += ran;
+  return ran;
+}
+
+uint64_t Simulation::RunUntil(Cycles until, uint64_t max_events) {
+  uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= until && ran < max_events) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.when;
+    ev.fn();
+    ++ran;
+  }
+  if (now_ < until) {
+    now_ = until;
+  }
+  events_run_ += ran;
+  return ran;
+}
+
+}  // namespace semperos

@@ -1,0 +1,72 @@
+// Discrete-event simulation engine.
+//
+// This is the substrate that replaces the paper's gem5 full-system simulation
+// (see DESIGN.md §2). Time is a 64-bit cycle counter; events are closures
+// ordered by (time, insertion sequence) so that runs are fully deterministic.
+#ifndef SEMPEROS_SIM_SIMULATION_H_
+#define SEMPEROS_SIM_SIMULATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "base/log.h"
+#include "base/types.h"
+
+namespace semperos {
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current simulated time in cycles.
+  Cycles Now() const { return now_; }
+
+  // Schedules fn to run `delay` cycles from now.
+  void Schedule(Cycles delay, std::function<void()> fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+
+  // Schedules fn at an absolute time (must not be in the past).
+  void ScheduleAt(Cycles when, std::function<void()> fn) {
+    CHECK_GE(when, now_);
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  // Runs events until the queue is empty. Returns the number of events run.
+  // `max_events` guards against runaway simulations.
+  uint64_t RunUntilIdle(uint64_t max_events = UINT64_MAX);
+
+  // Runs events with time <= `until`. Pending later events stay queued.
+  // Advances Now() to `until` even if the queue drains earlier.
+  uint64_t RunUntil(Cycles until, uint64_t max_events = UINT64_MAX);
+
+  bool Idle() const { return queue_.empty(); }
+  uint64_t EventsRun() const { return events_run_; }
+  size_t PendingEvents() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    Cycles when;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  Cycles now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_run_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_SIM_SIMULATION_H_

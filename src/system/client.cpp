@@ -1,0 +1,93 @@
+#include "system/client.h"
+
+namespace semperos {
+
+DriverRig MakeDriverRig(uint32_t kernels, uint32_t users, KernelMode mode) {
+  PlatformConfig pc;
+  pc.kernels = kernels;
+  pc.users = users;
+  pc.mode = mode;
+  pc.timing = TimingModel::For(mode);
+  return MakeDriverRig(pc);
+}
+
+DriverRig MakeDriverRig(PlatformConfig pc) {
+  DriverRig rig;
+  rig.platform = std::make_unique<Platform>(pc);
+  for (NodeId node : rig.platform->user_nodes()) {
+    NodeId kernel_node = rig.platform->kernel_node(rig.platform->membership().KernelOf(node));
+    auto client = std::make_unique<DriverClient>(kernel_node, pc.timing);
+    rig.clients.push_back(client.get());
+    rig.platform->pe(node)->AttachProgram(std::move(client));
+  }
+  rig.platform->Boot();
+  return rig;
+}
+
+CapSel DriverRig::BuildChain(uint32_t length, const std::vector<size_t>& hops) {
+  CHECK_GE(length, 1u);
+  CHECK_GE(hops.size(), 1u);
+  CapSel root = Grant(0);
+  if (length == 1) {
+    return root;
+  }
+  // First link: client 0 -> hops[0]; then bounce along `hops`.
+  Kernel* owner = kernel_of_client(0);
+  Capability* cur = owner->CapOf(vpe(0), root);
+  size_t from = 0;
+  size_t hop_idx = 0;
+  for (uint32_t link = 1; link < length; ++link) {
+    size_t to = hops[hop_idx % hops.size()];
+    hop_idx++;
+    if (to == from) {
+      to = hops[hop_idx % hops.size()];
+      hop_idx++;
+    }
+    CapSel cur_sel = cur->sel();
+    bool ok = false;
+    client(from).env().Delegate(cur_sel, vpe(to), [&ok](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk) << "chain delegate failed";
+      ok = true;
+    });
+    platform->RunToCompletion();
+    CHECK(ok);
+    Capability* prev = kernel_of_client(from)->FindCap(cur->key());
+    CHECK(prev != nullptr);
+    CHECK(!prev->children().empty());
+    cur = kernel_of_client(to)->FindCap(prev->children().back());
+    CHECK(cur != nullptr);
+    from = to;
+  }
+  return root;
+}
+
+CapSel DriverRig::BuildTree(uint32_t children) {
+  CHECK_GE(clients.size(), 2u);
+  CapSel root = Grant(0);
+  for (uint32_t c = 0; c < children; ++c) {
+    size_t receiver = 1 + (c % (clients.size() - 1));
+    bool ok = false;
+    client(0).env().Delegate(root, vpe(receiver), [&ok](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk) << "tree delegate failed";
+      ok = true;
+    });
+    platform->RunToCompletion();
+    CHECK(ok);
+    // The child activates its copy: revocation must invalidate the DTU
+    // endpoint (the shared-memory scenario of Figure 5).
+    Kernel* rk = kernel_of_client(receiver);
+    const VpeState* state = rk->FindVpe(vpe(receiver));
+    CapSel child_sel = state->table.rbegin()->first;
+    bool activated = false;
+    client(receiver).env().Activate(child_sel, user_ep::kMem0,
+                                    [&activated](const SyscallReply& r) {
+                                      CHECK(r.err == ErrCode::kOk);
+                                      activated = true;
+                                    });
+    platform->RunToCompletion();
+    CHECK(activated);
+  }
+  return root;
+}
+
+}  // namespace semperos

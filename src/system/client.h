@@ -1,0 +1,87 @@
+// Driver client: a minimal user program for microbenchmarks and examples.
+//
+// Exposes the UserEnv of a user PE so a harness can issue capability
+// operations directly (obtain/delegate/revoke/activate), plus helpers that
+// build the capability topologies of the paper's microbenchmarks: chains
+// (Figure 4) and one-root trees (Figure 5).
+#ifndef SEMPEROS_SYSTEM_CLIENT_H_
+#define SEMPEROS_SYSTEM_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/userlib.h"
+#include "system/platform.h"
+
+namespace semperos {
+
+class DriverClient : public Program {
+ public:
+  DriverClient(NodeId kernel_node, const TimingModel& timing)
+      : kernel_node_(kernel_node), timing_(timing) {}
+
+  void Setup() override {
+    env_ = std::make_unique<UserEnv>(pe_, kernel_node_, timing_.ask_party);
+    env_->SetupEps(/*is_service=*/false);
+  }
+  void Start() override {}
+
+  UserEnv& env() { return *env_; }
+
+ private:
+  NodeId kernel_node_;
+  TimingModel timing_;
+  std::unique_ptr<UserEnv> env_;
+};
+
+// A booted platform whose user PEs all run DriverClients.
+struct DriverRig {
+  std::unique_ptr<Platform> platform;
+  std::vector<DriverClient*> clients;
+
+  Platform& p() { return *platform; }
+  DriverClient& client(size_t i) { return *clients.at(i); }
+  VpeId vpe(size_t i) const { return platform->user_nodes().at(i); }
+  Kernel* kernel_of_client(size_t i) { return platform->kernel_of(vpe(i)); }
+
+  CapSel Grant(size_t i, uint64_t size = 1 << 20) {
+    return kernel_of_client(i)->AdminGrantMem(vpe(i), platform->mem_nodes().at(0), 0, size,
+                                              kPermRW);
+  }
+
+  // Runs one blocking capability operation and returns its latency.
+  Cycles TimedOp(const std::function<void(std::function<void()>)>& op) {
+    Cycles start = platform->sim().Now();
+    Cycles end = start;
+    bool done = false;
+    op([&] {
+      end = platform->sim().Now();
+      done = true;
+    });
+    platform->RunToCompletion();
+    CHECK(done) << "timed operation did not complete";
+    return end - start;
+  }
+
+  // Builds a delegation chain of `length` capabilities below client 0's
+  // fresh capability, bouncing between the given client indices (all in one
+  // group => local chain; alternating groups => the group-spanning chain of
+  // Figure 4). Returns the root selector at client 0.
+  CapSel BuildChain(uint32_t length, const std::vector<size_t>& hops);
+
+  // Client 0 delegates one fresh capability to `children` other clients
+  // (round-robin over clients 1..), each of which activates its copy — the
+  // shared-memory tree of Figure 5. Returns the root selector.
+  CapSel BuildTree(uint32_t children);
+};
+
+DriverRig MakeDriverRig(uint32_t kernels, uint32_t users,
+                        KernelMode mode = KernelMode::kSemperOSMulti);
+
+// Full-control variant: `pc.users` clients on a custom platform config
+// (flow-control window, timing model, revocation batching, ...).
+DriverRig MakeDriverRig(PlatformConfig pc);
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_SYSTEM_CLIENT_H_

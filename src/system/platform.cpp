@@ -1,0 +1,227 @@
+#include "system/platform.h"
+
+#include <cmath>
+#include <utility>
+
+#include "base/log.h"
+
+namespace semperos {
+
+namespace {
+
+const char* kTag = "platform";
+
+uint32_t CeilSqrt(uint32_t n) {
+  uint32_t r = static_cast<uint32_t>(std::sqrt(static_cast<double>(n)));
+  while (r * r < n) {
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace
+
+Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
+  CHECK_GE(config_.kernels, 1u);
+  CHECK_LE(config_.kernels, Kernel::kMaxKernels);
+  if (config_.mode == KernelMode::kM3SingleKernel) {
+    CHECK_EQ(config_.kernels, 1u) << "the M3 baseline runs exactly one kernel";
+  }
+
+  uint32_t total =
+      config_.kernels + config_.services + config_.users + config_.loadgens + config_.mem_tiles;
+  NocConfig noc_config = config_.noc;
+  noc_config.width = CeilSqrt(total);
+  noc_config.height = (total + noc_config.width - 1) / noc_config.width;
+  noc_ = std::make_unique<Noc>(&sim_, noc_config);
+  fabric_ = std::make_unique<DtuFabric>(noc_.get());
+  membership_ = MembershipTable(noc_->NodeCount());
+
+  // --- Layout: contiguous groups, one kernel each (paper §3.1) ---
+  // Users/services/loadgens are distributed round-robin over kernels
+  // ("distributing them equally", §5.3.2) but placed contiguously next to
+  // their kernel so intra-group NoC traffic stays short.
+  struct NodePlan {
+    PeType type;
+    KernelId kernel;
+  };
+  std::vector<NodePlan> plan;
+  plan.reserve(noc_->NodeCount());
+  kernel_nodes_.resize(config_.kernels);
+
+  std::vector<std::vector<PeType>> group_members(config_.kernels);
+  for (uint32_t s = 0; s < config_.services; ++s) {
+    group_members[s % config_.kernels].push_back(PeType::kService);
+  }
+  for (uint32_t u = 0; u < config_.users; ++u) {
+    group_members[u % config_.kernels].push_back(PeType::kUser);
+  }
+  for (uint32_t l = 0; l < config_.loadgens; ++l) {
+    group_members[l % config_.kernels].push_back(PeType::kLoadGen);
+  }
+
+  for (KernelId k = 0; k < config_.kernels; ++k) {
+    kernel_nodes_[k] = static_cast<NodeId>(plan.size());
+    plan.push_back({PeType::kKernel, k});
+    for (PeType type : group_members[k]) {
+      plan.push_back({type, k});
+    }
+  }
+  for (uint32_t m = 0; m < config_.mem_tiles; ++m) {
+    plan.push_back({PeType::kMemory, 0});
+  }
+  // Pad the mesh remainder as (unused) memory tiles owned by kernel 0.
+  while (plan.size() < noc_->NodeCount()) {
+    plan.push_back({PeType::kMemory, 0});
+  }
+
+  for (NodeId node = 0; node < plan.size(); ++node) {
+    membership_.Assign(node, plan[node].kernel);
+  }
+
+  // --- Instantiate PEs and kernels ---
+  pes_.reserve(plan.size());
+  for (NodeId node = 0; node < plan.size(); ++node) {
+    pes_.push_back(std::make_unique<ProcessingElement>(&sim_, fabric_.get(), node,
+                                                       plan[node].type));
+    switch (plan[node].type) {
+      case PeType::kUser:
+        user_nodes_.push_back(node);
+        break;
+      case PeType::kService:
+        service_nodes_.push_back(node);
+        break;
+      case PeType::kLoadGen:
+        loadgen_nodes_.push_back(node);
+        break;
+      case PeType::kMemory:
+        if (mem_nodes_.size() < config_.mem_tiles) {
+          mem_nodes_.push_back(node);
+        }
+        break;
+      case PeType::kKernel:
+        break;
+    }
+  }
+
+  kernels_.resize(config_.kernels);
+  for (KernelId k = 0; k < config_.kernels; ++k) {
+    Kernel::Config kc;
+    kc.id = k;
+    kc.mode = config_.mode;
+    kc.timing = config_.timing;
+    kc.membership = membership_;
+    kc.kernel_nodes = kernel_nodes_;
+    kc.max_inflight = config_.max_inflight;
+    kc.revoke_batching = config_.revoke_batching;
+    auto kernel = std::make_unique<Kernel>(std::move(kc));
+    kernels_[k] = kernel.get();
+    pes_[kernel_nodes_[k]]->AttachProgram(std::move(kernel));
+  }
+
+  // Register every VPE with its group's kernel.
+  for (NodeId node : service_nodes_) {
+    kernel_of(node)->AdminCreateVpe(node, /*is_service=*/true);
+  }
+  for (NodeId node : user_nodes_) {
+    kernel_of(node)->AdminCreateVpe(node, /*is_service=*/false);
+  }
+  for (NodeId node : loadgen_nodes_) {
+    kernel_of(node)->AdminCreateVpe(node, /*is_service=*/false);
+  }
+}
+
+Platform::~Platform() = default;
+
+void Platform::Boot() {
+  CHECK(!booted_);
+  booted_ = true;
+
+  // Stage 1: kernels.
+  for (KernelId k = 0; k < config_.kernels; ++k) {
+    pes_[kernel_nodes_[k]]->Boot();
+  }
+  sim_.RunUntilIdle();
+  for (Kernel* kernel : kernels_) {
+    CHECK(kernel->booted()) << "kernel " << kernel->id() << " failed boot handshake";
+  }
+
+  // Stage 2: endpoint setup for all user-level programs (pre-downgrade).
+  for (auto& pe : pes_) {
+    if (pe->type() != PeType::kKernel && pe->program() != nullptr) {
+      pe->program()->Setup();
+    }
+  }
+
+  // Stage 3: NoC-level isolation — kernels downgrade their group's DTUs.
+  for (KernelId k = 0; k < config_.kernels; ++k) {
+    std::vector<ProcessingElement*> group;
+    for (auto& pe : pes_) {
+      if (membership_.KernelOf(pe->node()) == k && pe->type() != PeType::kKernel) {
+        group.push_back(pe.get());
+      }
+    }
+    kernels_[k]->FinishBoot(group);
+  }
+
+  // Stage 4: services register and get announced.
+  for (NodeId node : service_nodes_) {
+    pes_[node]->Boot();
+  }
+  sim_.RunUntilIdle();
+
+  // Stage 5: applications and load generators.
+  for (NodeId node : user_nodes_) {
+    pes_[node]->Boot();
+  }
+  for (NodeId node : loadgen_nodes_) {
+    pes_[node]->Boot();
+  }
+}
+
+uint64_t Platform::RunToCompletion(uint64_t max_events) {
+  uint64_t ran = sim_.RunUntilIdle(max_events);
+  CHECK(sim_.Idle()) << "simulation exceeded event budget";
+  uint64_t drops = TotalDrops();
+  CHECK_EQ(drops, 0u) << "DTU messages were lost — flow-control protocol violated";
+  return ran;
+}
+
+KernelStats Platform::TotalKernelStats() const {
+  KernelStats total;
+  for (const Kernel* k : kernels_) {
+    const KernelStats& s = k->stats();
+    total.syscalls += s.syscalls;
+    total.obtains += s.obtains;
+    total.delegates += s.delegates;
+    total.revokes += s.revokes;
+    total.derives += s.derives;
+    total.activates += s.activates;
+    total.sessions_opened += s.sessions_opened;
+    total.spanning_obtains += s.spanning_obtains;
+    total.spanning_delegates += s.spanning_delegates;
+    total.spanning_revokes += s.spanning_revokes;
+    total.ikc_sent += s.ikc_sent;
+    total.ikc_received += s.ikc_received;
+    total.ikc_flow_queued += s.ikc_flow_queued;
+    total.caps_created += s.caps_created;
+    total.caps_deleted += s.caps_deleted;
+    total.orphans_cleaned += s.orphans_cleaned;
+    total.pointless_denials += s.pointless_denials;
+    total.invalid_prevented += s.invalid_prevented;
+    total.revoke_reqs_queued += s.revoke_reqs_queued;
+  }
+  return total;
+}
+
+uint64_t Platform::TotalDrops() const {
+  uint64_t drops = 0;
+  for (const auto& pe : pes_) {
+    drops += pe->dtu().stats().msgs_dropped;
+  }
+  return drops;
+}
+
+void UnusedPlatformTag() { LOG_TRACE(kTag) << "unused"; }
+
+}  // namespace semperos

@@ -1,0 +1,106 @@
+// Platform builder: lays out the simulated machine and boots SemperOS.
+//
+// The evaluation platform (paper §5.1) is a mesh of up to 640 PEs. A
+// Platform instance owns the simulation, the NoC, every PE, and the kernels.
+// PEs are divided into groups (paper §3.1): each group contains one kernel
+// PE plus the user/service/load-generator PEs it manages. Groups are laid
+// out contiguously in row-major mesh order, so intra-group traffic stays
+// local, and the membership table (DDL) is replicated into every kernel.
+//
+// Boot protocol:
+//   1. kernels start: configure endpoints, exchange HELLOs (IKC group 1);
+//   2. user programs run Setup() to configure their endpoints (this models
+//      the kernel installing the standard endpoints at VPE creation);
+//   3. kernels downgrade all non-kernel DTUs (NoC-level isolation);
+//   4. services start: register with their kernel, which announces them to
+//      all other kernels (IKC group 2);
+//   5. applications start.
+#ifndef SEMPEROS_SYSTEM_PLATFORM_H_
+#define SEMPEROS_SYSTEM_PLATFORM_H_
+
+#include <memory>
+#include <vector>
+
+#include "base/types.h"
+#include "core/kernel.h"
+#include "core/timing.h"
+#include "dtu/dtu.h"
+#include "noc/noc.h"
+#include "pe/pe.h"
+#include "sim/simulation.h"
+
+namespace semperos {
+
+struct PlatformConfig {
+  uint32_t kernels = 1;
+  uint32_t services = 0;
+  uint32_t users = 0;
+  uint32_t loadgens = 0;
+  uint32_t mem_tiles = 1;
+  KernelMode mode = KernelMode::kSemperOSMulti;
+  TimingModel timing = TimingModel::SemperOs();
+  uint32_t max_inflight = 4;     // M_inflight (paper §5.1)
+  bool revoke_batching = false;  // extension: batch REVOKE_REQs per peer
+  NocConfig noc;                 // width/height are computed from the PE count
+};
+
+class Platform {
+ public:
+  explicit Platform(PlatformConfig config);
+  ~Platform();
+
+  Platform(const Platform&) = delete;
+  Platform& operator=(const Platform&) = delete;
+
+  Simulation& sim() { return sim_; }
+  Noc& noc() { return *noc_; }
+
+  uint32_t kernel_count() const { return config_.kernels; }
+  Kernel* kernel(KernelId id) { return kernels_.at(id); }
+  NodeId kernel_node(KernelId id) const { return kernel_nodes_.at(id); }
+  // Kernel that manages `node`.
+  Kernel* kernel_of(NodeId node) { return kernels_.at(membership_.KernelOf(node)); }
+
+  ProcessingElement* pe(NodeId node) { return pes_.at(node).get(); }
+  uint32_t pe_count() const { return static_cast<uint32_t>(pes_.size()); }
+
+  const std::vector<NodeId>& user_nodes() const { return user_nodes_; }
+  const std::vector<NodeId>& service_nodes() const { return service_nodes_; }
+  const std::vector<NodeId>& loadgen_nodes() const { return loadgen_nodes_; }
+  const std::vector<NodeId>& mem_nodes() const { return mem_nodes_; }
+  const MembershipTable& membership() const { return membership_; }
+
+  // Boots kernels and (if attached) services; then starts user programs.
+  // Runs the simulation until every boot stage settled.
+  void Boot();
+
+  // Runs the simulation until no events remain and checks hardware
+  // invariants (no dropped messages anywhere). Returns events executed.
+  uint64_t RunToCompletion(uint64_t max_events = 2'000'000'000ull);
+
+  // Sums a kernel statistic across kernels.
+  KernelStats TotalKernelStats() const;
+
+  // Total messages dropped by any DTU (must stay 0; the kernels'
+  // flow-control protocol guarantees it).
+  uint64_t TotalDrops() const;
+
+ private:
+  PlatformConfig config_;
+  Simulation sim_;
+  std::unique_ptr<Noc> noc_;
+  std::unique_ptr<DtuFabric> fabric_;
+  std::vector<std::unique_ptr<ProcessingElement>> pes_;
+  std::vector<Kernel*> kernels_;  // owned by their PEs
+  std::vector<NodeId> kernel_nodes_;
+  std::vector<NodeId> user_nodes_;
+  std::vector<NodeId> service_nodes_;
+  std::vector<NodeId> loadgen_nodes_;
+  std::vector<NodeId> mem_nodes_;
+  MembershipTable membership_;
+  bool booted_ = false;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_SYSTEM_PLATFORM_H_

@@ -1,0 +1,81 @@
+#include "trace/trace.h"
+
+#include <utility>
+
+namespace semperos {
+
+TraceOp TraceOp::Open(std::string path, uint32_t flags) {
+  TraceOp op;
+  op.kind = TraceOpKind::kOpen;
+  op.path = std::move(path);
+  op.flags = flags;
+  return op;
+}
+
+TraceOp TraceOp::Read(std::string path, uint64_t bytes) {
+  TraceOp op;
+  op.kind = TraceOpKind::kRead;
+  op.path = std::move(path);
+  op.bytes = bytes;
+  return op;
+}
+
+TraceOp TraceOp::Write(std::string path, uint64_t bytes) {
+  TraceOp op;
+  op.kind = TraceOpKind::kWrite;
+  op.path = std::move(path);
+  op.bytes = bytes;
+  return op;
+}
+
+TraceOp TraceOp::Seek(std::string path, uint64_t offset) {
+  TraceOp op;
+  op.kind = TraceOpKind::kSeek;
+  op.path = std::move(path);
+  op.offset = offset;
+  return op;
+}
+
+TraceOp TraceOp::Close(std::string path) {
+  TraceOp op;
+  op.kind = TraceOpKind::kClose;
+  op.path = std::move(path);
+  return op;
+}
+
+TraceOp TraceOp::Stat(std::string path) {
+  TraceOp op;
+  op.kind = TraceOpKind::kStat;
+  op.path = std::move(path);
+  return op;
+}
+
+TraceOp TraceOp::Mkdir(std::string path) {
+  TraceOp op;
+  op.kind = TraceOpKind::kMkdir;
+  op.path = std::move(path);
+  return op;
+}
+
+TraceOp TraceOp::Unlink(std::string path) {
+  TraceOp op;
+  op.kind = TraceOpKind::kUnlink;
+  op.path = std::move(path);
+  return op;
+}
+
+TraceOp TraceOp::ReadDir(std::string path) {
+  TraceOp op;
+  op.kind = TraceOpKind::kReadDir;
+  op.path = std::move(path);
+  return op;
+}
+
+TraceOp TraceOp::Compute(Cycles cycles) {
+  TraceOp op;
+  op.kind = TraceOpKind::kCompute;
+  op.compute = cycles;
+  return op;
+}
+
+}  // namespace semperos

@@ -1,0 +1,64 @@
+// System-call trace format.
+//
+// The paper's performance metric replays Linux system-call traces on
+// SemperOS, "waiting for the time it took to execute them on Linux" for
+// calls the OS does not implement, while executing all filesystem-relevant
+// calls for real (paper §5.3.1). A Trace is the same idea: a sequence of
+// filesystem operations interleaved with kCompute phases that stand for the
+// application's own work plus its non-filesystem system calls.
+#ifndef SEMPEROS_TRACE_TRACE_H_
+#define SEMPEROS_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace semperos {
+
+enum class TraceOpKind : uint8_t {
+  kOpen,     // open/create a file; a capability exchange
+  kRead,     // sequential read of `bytes` from the cursor
+  kWrite,    // sequential write of `bytes` at the cursor
+  kSeek,     // reposition the cursor to `offset`
+  kClose,    // close; the service revokes the handed capabilities
+  kStat,     // meta
+  kMkdir,    // meta
+  kUnlink,   // meta (revokes if the file is open)
+  kReadDir,  // meta
+  kCompute,  // local computation for `compute` cycles
+};
+
+struct TraceOp {
+  TraceOpKind kind = TraceOpKind::kCompute;
+  std::string path;
+  uint32_t flags = 0;      // kOpen
+  uint64_t bytes = 0;      // kRead/kWrite
+  uint64_t offset = 0;     // kSeek
+  Cycles compute = 0;      // kCompute
+
+  static TraceOp Open(std::string path, uint32_t flags);
+  static TraceOp Read(std::string path, uint64_t bytes);
+  static TraceOp Write(std::string path, uint64_t bytes);
+  static TraceOp Seek(std::string path, uint64_t offset);
+  static TraceOp Close(std::string path);
+  static TraceOp Stat(std::string path);
+  static TraceOp Mkdir(std::string path);
+  static TraceOp Unlink(std::string path);
+  static TraceOp ReadDir(std::string path);
+  static TraceOp Compute(Cycles cycles);
+};
+
+struct Trace {
+  std::string app;
+  std::vector<TraceOp> ops;
+  // Capability-modifying operations this trace must trigger (session open +
+  // exchanges + revocations); asserted against replayer counts in tests and
+  // reported in the Table 4 bench.
+  uint32_t expected_cap_ops = 0;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_TRACE_TRACE_H_

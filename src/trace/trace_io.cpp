@@ -1,0 +1,258 @@
+#include "trace/trace_io.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "fs/protocol.h"
+
+namespace semperos {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) {
+    if (token[0] == '#') {
+      break;
+    }
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+bool ParseFlags(const std::string& spec, uint32_t* flags) {
+  *flags = 0;
+  for (char c : spec) {
+    switch (c) {
+      case 'r':
+        *flags |= kOpenRead;
+        break;
+      case 'w':
+        *flags |= kOpenWrite;
+        break;
+      case 'c':
+        *flags |= kOpenCreate;
+        break;
+      default:
+        return false;
+    }
+  }
+  return *flags != 0;
+}
+
+std::string FlagSpec(uint32_t flags) {
+  std::string spec;
+  if (flags & kOpenRead) {
+    spec += 'r';
+  }
+  if (flags & kOpenWrite) {
+    spec += 'w';
+  }
+  if (flags & kOpenCreate) {
+    spec += 'c';
+  }
+  return spec;
+}
+
+bool ParseU64(const std::string& token, uint64_t* value) {
+  if (token.empty()) {
+    return false;
+  }
+  uint64_t v = 0;
+  for (char c : token) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *value = v;
+  return true;
+}
+
+}  // namespace
+
+Status ParseTrace(const std::string& text, Trace* trace, size_t* error_line) {
+  trace->ops.clear();
+  std::istringstream is(text);
+  std::string line;
+  size_t line_no = 0;
+  auto fail = [&](size_t n) {
+    if (error_line != nullptr) {
+      *error_line = n;
+    }
+    return Status(ErrCode::kInvalidArgs);
+  };
+  while (std::getline(is, line)) {
+    ++line_no;
+    std::vector<std::string> tokens = Tokenize(line);
+    if (tokens.empty()) {
+      continue;
+    }
+    const std::string& op = tokens[0];
+    uint64_t value = 0;
+    if (op == "open") {
+      uint32_t flags = 0;
+      if (tokens.size() != 3 || !ParseFlags(tokens[2], &flags)) {
+        return fail(line_no);
+      }
+      trace->ops.push_back(TraceOp::Open(tokens[1], flags));
+    } else if (op == "read" || op == "write" || op == "seek") {
+      if (tokens.size() != 3 || !ParseU64(tokens[2], &value)) {
+        return fail(line_no);
+      }
+      if (op == "read") {
+        trace->ops.push_back(TraceOp::Read(tokens[1], value));
+      } else if (op == "write") {
+        trace->ops.push_back(TraceOp::Write(tokens[1], value));
+      } else {
+        trace->ops.push_back(TraceOp::Seek(tokens[1], value));
+      }
+    } else if (op == "close" || op == "stat" || op == "mkdir" || op == "unlink" ||
+               op == "readdir") {
+      if (tokens.size() != 2) {
+        return fail(line_no);
+      }
+      if (op == "close") {
+        trace->ops.push_back(TraceOp::Close(tokens[1]));
+      } else if (op == "stat") {
+        trace->ops.push_back(TraceOp::Stat(tokens[1]));
+      } else if (op == "mkdir") {
+        trace->ops.push_back(TraceOp::Mkdir(tokens[1]));
+      } else if (op == "unlink") {
+        trace->ops.push_back(TraceOp::Unlink(tokens[1]));
+      } else {
+        trace->ops.push_back(TraceOp::ReadDir(tokens[1]));
+      }
+    } else if (op == "compute") {
+      if (tokens.size() != 2 || !ParseU64(tokens[1], &value)) {
+        return fail(line_no);
+      }
+      trace->ops.push_back(TraceOp::Compute(value));
+    } else {
+      return fail(line_no);
+    }
+  }
+  return Status::Ok();
+}
+
+std::string FormatTrace(const Trace& trace) {
+  std::ostringstream os;
+  if (!trace.app.empty()) {
+    os << "# trace: " << trace.app << "\n";
+  }
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOpKind::kOpen:
+        os << "open " << op.path << " " << FlagSpec(op.flags) << "\n";
+        break;
+      case TraceOpKind::kRead:
+        os << "read " << op.path << " " << op.bytes << "\n";
+        break;
+      case TraceOpKind::kWrite:
+        os << "write " << op.path << " " << op.bytes << "\n";
+        break;
+      case TraceOpKind::kSeek:
+        os << "seek " << op.path << " " << op.offset << "\n";
+        break;
+      case TraceOpKind::kClose:
+        os << "close " << op.path << "\n";
+        break;
+      case TraceOpKind::kStat:
+        os << "stat " << op.path << "\n";
+        break;
+      case TraceOpKind::kMkdir:
+        os << "mkdir " << op.path << "\n";
+        break;
+      case TraceOpKind::kUnlink:
+        os << "unlink " << op.path << "\n";
+        break;
+      case TraceOpKind::kReadDir:
+        os << "readdir " << op.path << "\n";
+        break;
+      case TraceOpKind::kCompute:
+        os << "compute " << op.compute << "\n";
+        break;
+    }
+  }
+  return os.str();
+}
+
+FsImage InferImage(const Trace& trace) {
+  FsImage image;
+  // Make sure every referenced directory chain exists.
+  auto ensure_parents = [&image](const std::string& path) {
+    for (size_t pos = 1; pos < path.size(); ++pos) {
+      if (path[pos] == '/') {
+        std::string dir = path.substr(0, pos);
+        if (image.Lookup(dir) == nullptr) {
+          image.AddDir(dir);
+        }
+      }
+    }
+  };
+
+  // First pass: total bytes read from each file and whether the trace
+  // creates it itself.
+  std::map<std::string, uint64_t> read_extent;  // highest offset touched
+  std::map<std::string, uint64_t> cursor;
+  std::map<std::string, bool> created;
+  for (const TraceOp& op : trace.ops) {
+    switch (op.kind) {
+      case TraceOpKind::kOpen:
+        cursor[op.path] = 0;
+        if ((op.flags & kOpenCreate) != 0) {
+          created.emplace(op.path, true);
+        } else {
+          created.emplace(op.path, false);
+        }
+        break;
+      case TraceOpKind::kSeek:
+        cursor[op.path] = op.offset;
+        break;
+      case TraceOpKind::kRead: {
+        uint64_t end = cursor[op.path] + op.bytes;
+        cursor[op.path] = end;
+        uint64_t& extent = read_extent[op.path];
+        extent = std::max(extent, end);
+        created.emplace(op.path, false);
+        break;
+      }
+      case TraceOpKind::kWrite:
+        cursor[op.path] += op.bytes;
+        break;
+      case TraceOpKind::kStat:
+        created.emplace(op.path, false);
+        break;
+      case TraceOpKind::kMkdir:
+      case TraceOpKind::kUnlink:
+      case TraceOpKind::kClose:
+      case TraceOpKind::kReadDir:
+      case TraceOpKind::kCompute:
+        break;
+    }
+  }
+
+  for (const auto& [path, was_created] : created) {
+    ensure_parents(path);
+    if (was_created) {
+      continue;  // the trace creates it itself
+    }
+    uint64_t size = 4096;
+    auto it = read_extent.find(path);
+    if (it != read_extent.end() && it->second > size) {
+      size = it->second;
+    }
+    image.AddFile(path, size);
+  }
+  for (const TraceOp& op : trace.ops) {
+    if (op.kind == TraceOpKind::kMkdir || op.kind == TraceOpKind::kReadDir) {
+      ensure_parents(op.path + "/x");
+    }
+  }
+  return image;
+}
+
+}  // namespace semperos

@@ -1,0 +1,138 @@
+#include "workloads/nginx.h"
+
+#include <utility>
+
+#include "base/log.h"
+
+namespace semperos {
+
+NginxServer::NginxServer(Trace request_trace, NodeId kernel_node, const TimingModel& timing,
+                         std::string service_name)
+    : request_trace_(std::move(request_trace)),
+      kernel_node_(kernel_node),
+      t_(timing),
+      service_name_(std::move(service_name)) {}
+
+void NginxServer::Setup() {
+  env_ = std::make_unique<UserEnv>(pe_, kernel_node_, t_.ask_party);
+  env_->SetupEps(/*is_service=*/false);
+  pe_->dtu().ConfigureRecv(kNginxServerRecvEp, 16,
+                           [this](EpId, const Message& msg) {
+                             pending_.push_back(msg);
+                             Pump();
+                           });
+}
+
+void NginxServer::Start() {
+  env_->OpenSession(service_name_, [this](const SyscallReply& reply) {
+    CHECK(reply.err == ErrCode::kOk) << "nginx: session open failed";
+    session_sel_ = reply.sel;
+    Pump();
+  });
+}
+
+void NginxServer::Pump() {
+  if (busy_ || session_sel_ == kInvalidSel || pending_.empty()) {
+    return;
+  }
+  busy_ = true;
+  Message request = pending_.front();
+  pending_.pop_front();
+  RunOp(0, request);
+}
+
+void NginxServer::RunOp(size_t idx, const Message& request) {
+  if (idx >= request_trace_.ops.size()) {
+    FinishRequest(request);
+    return;
+  }
+  const TraceOp& op = request_trace_.ops[idx];
+  auto next = [this, idx, request] { RunOp(idx + 1, request); };
+  switch (op.kind) {
+    case TraceOpKind::kStat: {
+      auto req = std::make_shared<FsRequest>();
+      req->op = FsOp::kStat;
+      req->path = op.path;
+      env_->Request(req, [next](const Message&) { next(); });
+      return;
+    }
+    case TraceOpKind::kOpen: {
+      auto req = std::make_shared<FsRequest>();
+      req->op = FsOp::kOpen;
+      req->path = op.path;
+      req->flags = op.flags;
+      env_->Exchange(session_sel_, req, [this, next](const SyscallReply& reply) {
+        CHECK(reply.err == ErrCode::kOk) << "nginx open failed: " << ErrName(reply.err);
+        const FsReply* fs = dynamic_cast<const FsReply*>(reply.payload.get());
+        CHECK(fs != nullptr);
+        open_.fid = fs->fid;
+        open_.extent_sel = reply.sel;
+        open_.extent_len = reply.cap.mem_size;
+        open_.handed = 1;
+        env_->Activate(open_.extent_sel, user_ep::kMem0, [next](const SyscallReply& areply) {
+          CHECK(areply.err == ErrCode::kOk);
+          next();
+        });
+      });
+      return;
+    }
+    case TraceOpKind::kRead: {
+      uint64_t bytes = std::min(op.bytes, open_.extent_len);
+      env_->ReadMem(user_ep::kMem0, 0, bytes, next);
+      return;
+    }
+    case TraceOpKind::kClose: {
+      auto req = std::make_shared<FsRequest>();
+      req->op = FsOp::kClose;
+      req->fid = open_.fid;
+      env_->Request(req, [next](const Message&) { next(); });
+      return;
+    }
+    case TraceOpKind::kCompute: {
+      env_->Compute(op.compute, next);
+      return;
+    }
+    default:
+      CHECK(false) << "unsupported op in nginx request trace";
+  }
+}
+
+void NginxServer::FinishRequest(const Message& request) {
+  served_++;
+  const NginxRequestMsg* req = request.As<NginxRequestMsg>();
+  auto response = std::make_shared<NginxResponseMsg>();
+  response->seq = req != nullptr ? req->seq : 0;
+  pe_->dtu().Reply(kNginxServerRecvEp, request, response);
+  busy_ = false;
+  Pump();
+}
+
+LoadGen::LoadGen(NodeId server_node, uint32_t pipeline)
+    : server_node_(server_node), pipeline_(pipeline) {}
+
+void LoadGen::Setup() {
+  Dtu& dtu = pe_->dtu();
+  dtu.ConfigureSend(user_ep::kSyscallSend, server_node_, kNginxServerRecvEp,
+                    /*credits=*/pipeline_);
+  dtu.ConfigureRecv(user_ep::kSyscallReply, pipeline_, [this](EpId, const Message& msg) {
+    const NginxResponseMsg* resp = msg.As<NginxResponseMsg>();
+    CHECK(resp != nullptr);
+    completed_++;
+    SendOne();
+  });
+}
+
+void LoadGen::Start() {
+  for (uint32_t i = 0; i < pipeline_; ++i) {
+    SendOne();
+  }
+}
+
+void LoadGen::SendOne() {
+  auto req = std::make_shared<NginxRequestMsg>();
+  req->seq = next_seq_++;
+  Status st = pe_->dtu().Send(user_ep::kSyscallSend, req, user_ep::kSyscallReply);
+  CHECK(st.ok()) << "loadgen send failed: " << st.name();
+}
+
+}  // namespace semperos

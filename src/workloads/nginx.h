@@ -1,0 +1,96 @@
+// Nginx webserver benchmark programs (paper §5.3.3).
+//
+// "We stressed Nginx similar to the Apache ab benchmark by introducing PEs
+// that resemble a network interface. These PEs constantly send out requests
+// to our webserver processes running on separate PEs. These PEs replay the
+// trace upon receiving a request and send the response back."
+//
+// NginxServer runs on a user PE: it is an m3fs client that, per incoming
+// request, replays the request-handling trace (stat + open + read + close +
+// compute) and then responds. LoadGen runs on a load-generator PE and keeps
+// a small pipeline of outstanding requests to one server (closed loop).
+#ifndef SEMPEROS_WORKLOADS_NGINX_H_
+#define SEMPEROS_WORKLOADS_NGINX_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+
+#include "core/timing.h"
+#include "core/userlib.h"
+#include "fs/protocol.h"
+#include "pe/pe.h"
+#include "trace/trace.h"
+
+namespace semperos {
+
+struct NginxRequestMsg : MsgBody {
+  uint64_t seq = 0;
+  uint32_t WireSize() const override { return 128; }  // HTTP GET
+};
+
+struct NginxResponseMsg : MsgBody {
+  uint64_t seq = 0;
+  uint32_t WireSize() const override { return 256; }  // headers; body via "NIC"
+};
+
+// Endpoint on the server PE where load generators deliver requests.
+inline constexpr EpId kNginxServerRecvEp = 5;
+
+class NginxServer : public Program {
+ public:
+  NginxServer(Trace request_trace, NodeId kernel_node, const TimingModel& timing,
+              std::string service_name = "m3fs");
+
+  void Setup() override;
+  void Start() override;
+
+  uint64_t served() const { return served_; }
+
+ private:
+  void Pump();
+  void RunOp(size_t idx, const Message& request);
+  void FinishRequest(const Message& request);
+
+  struct OpenState {
+    uint64_t fid = 0;
+    CapSel extent_sel = kInvalidSel;
+    uint64_t extent_len = 0;
+    uint32_t handed = 0;
+  };
+
+  Trace request_trace_;
+  NodeId kernel_node_;
+  TimingModel t_;
+  std::string service_name_;
+  std::unique_ptr<UserEnv> env_;
+  CapSel session_sel_ = kInvalidSel;
+  std::deque<Message> pending_;
+  bool busy_ = false;
+  OpenState open_;
+  uint64_t served_ = 0;
+};
+
+class LoadGen : public Program {
+ public:
+  // Keeps `pipeline` requests outstanding towards the server on
+  // `server_node` (ab-style closed loop).
+  LoadGen(NodeId server_node, uint32_t pipeline = 2);
+
+  void Setup() override;
+  void Start() override;
+
+  uint64_t completed() const { return completed_; }
+
+ private:
+  void SendOne();
+
+  NodeId server_node_;
+  uint32_t pipeline_;
+  uint64_t next_seq_ = 1;
+  uint64_t completed_ = 0;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_WORKLOADS_NGINX_H_

@@ -1,0 +1,120 @@
+// Exhaustive kill-timing sweeps over the exchange protocols.
+//
+// The Orphaned/Invalid anomalies (paper Table 2) depend on *when* a VPE
+// dies relative to the in-flight inter-kernel call. These parameterized
+// sweeps kill the obtainer/delegator/receiver at a grid of simulated-time
+// offsets covering the whole exchange window and verify the tree invariants
+// for every interleaving.
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace semperos {
+namespace {
+
+class KillSweep : public ::testing::TestWithParam<Cycles> {};
+
+// Verifies global parent/child symmetry across both kernels.
+void VerifyForest(ClientRig& rig, uint32_t kernels) {
+  for (KernelId k = 0; k < kernels; ++k) {
+    Kernel* kernel = rig.p().kernel(k);
+    for (const auto& [key, cap] : kernel->caps().all()) {
+      if (!cap->parent().IsNull()) {
+        Kernel* pk = rig.p().kernel(rig.p().membership().KernelOfKey(cap->parent()));
+        Capability* parent = pk->FindCap(cap->parent());
+        ASSERT_NE(parent, nullptr) << "dangling parent";
+        bool listed = false;
+        for (DdlKey child : parent->children()) {
+          listed |= child == key;
+        }
+        EXPECT_TRUE(listed);
+      }
+      for (DdlKey child_key : cap->children()) {
+        Kernel* ck = rig.p().kernel(rig.p().membership().KernelOfKey(child_key));
+        Capability* child = ck->FindCap(child_key);
+        ASSERT_NE(child, nullptr) << "orphaned child entry";
+        EXPECT_EQ(child->parent(), key);
+      }
+      EXPECT_FALSE(cap->marked());
+    }
+    EXPECT_EQ(kernel->PendingOps(), 0u);
+  }
+  EXPECT_EQ(rig.p().TotalDrops(), 0u);
+}
+
+TEST_P(KillSweep, ObtainerDies) {
+  ClientRig rig = MakeRig(2, 2);
+  CapSel owner_sel = rig.Grant(1);
+  rig.client(0).env().Obtain(rig.vpe(1), owner_sel, [](const SyscallReply&) {});
+  rig.p().sim().Schedule(GetParam(), [&] {
+    rig.kernel_of_client(0)->AdminKillVpe(rig.vpe(0), nullptr);
+  });
+  rig.p().RunToCompletion();
+  VerifyForest(rig, 2);
+  Capability* owner_cap = rig.kernel_of_client(1)->CapOf(rig.vpe(1), owner_sel);
+  ASSERT_NE(owner_cap, nullptr);
+  EXPECT_TRUE(owner_cap->children().empty());
+}
+
+TEST_P(KillSweep, DelegatorDies) {
+  ClientRig rig = MakeRig(2, 2);
+  CapSel sel = rig.Grant(0);
+  rig.client(0).env().Delegate(sel, rig.vpe(1), [](const SyscallReply&) {});
+  rig.p().sim().Schedule(GetParam(), [&] {
+    rig.kernel_of_client(0)->AdminKillVpe(rig.vpe(0), nullptr);
+  });
+  rig.p().RunToCompletion();
+  VerifyForest(rig, 2);
+  // The delegator's caps are gone; if the receiver got a copy it must have
+  // been revoked along with them.
+  EXPECT_EQ(rig.kernel_of_client(0)->CapOf(rig.vpe(0), sel), nullptr);
+}
+
+TEST_P(KillSweep, ReceiverDies) {
+  ClientRig rig = MakeRig(2, 2);
+  CapSel sel = rig.Grant(0);
+  rig.client(0).env().Delegate(sel, rig.vpe(1), [](const SyscallReply&) {});
+  rig.p().sim().Schedule(GetParam(), [&] {
+    rig.kernel_of_client(1)->AdminKillVpe(rig.vpe(1), nullptr);
+  });
+  rig.p().RunToCompletion();
+  VerifyForest(rig, 2);
+  // The dead receiver holds nothing; the delegator's capability has no
+  // stale child entries (quick orphan removal, §4.3.2).
+  const VpeState* receiver = rig.kernel_of_client(1)->FindVpe(rig.vpe(1));
+  EXPECT_TRUE(receiver->table.empty());
+}
+
+TEST_P(KillSweep, OwnerDiesDuringObtain) {
+  ClientRig rig = MakeRig(2, 2);
+  CapSel owner_sel = rig.Grant(1);
+  bool replied = false;
+  rig.client(0).env().Obtain(rig.vpe(1), owner_sel,
+                             [&](const SyscallReply&) { replied = true; });
+  rig.p().sim().Schedule(GetParam(), [&] {
+    rig.kernel_of_client(1)->AdminKillVpe(rig.vpe(1), nullptr);
+  });
+  rig.p().RunToCompletion();
+  VerifyForest(rig, 2);
+  // Whatever the interleaving, the obtainer must not end up holding a
+  // memory capability whose owner subtree is gone.
+  if (replied) {
+    const VpeState* obtainer = rig.kernel_of_client(0)->FindVpe(rig.vpe(0));
+    for (const auto& [sel, key] : obtainer->table) {
+      Capability* cap = rig.kernel_of_client(0)->FindCap(key);
+      ASSERT_NE(cap, nullptr);
+      EXPECT_NE(cap->type(), CapType::kMem) << "copy outlived the revoked owner";
+      (void)sel;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, KillSweep,
+                         ::testing::Values(0, 800, 1600, 2400, 3200, 4000, 4800, 5600, 6400,
+                                           8000, 10000, 14000),
+                         [](const auto& info) {
+                           return "at" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace semperos

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/capability.h"
+#include "core/kernel.h"
+#include "core/ddl.h"
+
+namespace semperos {
+namespace {
+
+TEST(DdlKey, RoundTripsAllFields) {
+  DdlKey key = DdlKey::Make(637, 1023, CapType::kSession, 0xFFFFFFFFull);
+  EXPECT_EQ(key.pe(), 637u);
+  EXPECT_EQ(key.vpe(), 1023u);
+  EXPECT_EQ(key.type(), CapType::kSession);
+  EXPECT_EQ(key.obj(), 0xFFFFFFFFull);
+}
+
+TEST(DdlKey, NullIsDistinguished) {
+  DdlKey null;
+  EXPECT_TRUE(null.IsNull());
+  DdlKey key = DdlKey::Make(0, 0, CapType::kVpe, 1);
+  EXPECT_FALSE(key.IsNull());
+}
+
+TEST(DdlKey, DistinctFieldsYieldDistinctKeys) {
+  std::unordered_set<DdlKey> seen;
+  for (NodeId pe = 0; pe < 8; ++pe) {
+    for (uint64_t obj = 1; obj <= 8; ++obj) {
+      for (auto type : {CapType::kMem, CapType::kSession, CapType::kService}) {
+        DdlKey key = DdlKey::Make(pe, pe, type, obj);
+        EXPECT_TRUE(seen.insert(key).second) << "collision";
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 8u * 3u);
+}
+
+TEST(DdlKey, PartitionFieldSelectsKernel) {
+  // "We use the PE ID to split the key space into multiple partitions"
+  // (paper §3.2).
+  MembershipTable table(16);
+  for (NodeId pe = 0; pe < 16; ++pe) {
+    table.Assign(pe, pe / 4);
+  }
+  DdlKey key = DdlKey::Make(9, 9, CapType::kMem, 77);
+  EXPECT_EQ(table.KernelOfKey(key), 2u);
+}
+
+TEST(DdlKey, MakeRejectsOutOfRangeFields) {
+  EXPECT_DEATH(DdlKey::Make(1u << DdlKey::kPeBits, 0, CapType::kVpe, 1), "");
+  EXPECT_DEATH(DdlKey::Make(0, 1u << DdlKey::kVpeBits, CapType::kVpe, 1), "");
+  EXPECT_DEATH(DdlKey::Make(0, 0, CapType::kVpe, 1ull << DdlKey::kObjBits), "");
+}
+
+TEST(Membership, GroupSizes) {
+  MembershipTable table(10);
+  for (NodeId pe = 0; pe < 10; ++pe) {
+    table.Assign(pe, pe % 2);
+  }
+  EXPECT_EQ(table.GroupSize(0), 5u);
+  EXPECT_EQ(table.GroupSize(1), 5u);
+  EXPECT_EQ(table.PeCount(), 10u);
+}
+
+TEST(Capability, ChildLinksAddAndRemove) {
+  Capability cap(DdlKey::Make(1, 1, CapType::kMem, 1), CapType::kMem, 1, 5);
+  DdlKey c1 = DdlKey::Make(2, 2, CapType::kMem, 2);
+  DdlKey c2 = DdlKey::Make(3, 3, CapType::kMem, 3);
+  cap.AddChild(c1);
+  cap.AddChild(c2);
+  EXPECT_EQ(cap.children().size(), 2u);
+  EXPECT_TRUE(cap.RemoveChild(c1));
+  EXPECT_FALSE(cap.RemoveChild(c1));  // already gone
+  ASSERT_EQ(cap.children().size(), 1u);
+  EXPECT_EQ(cap.children()[0], c2);
+}
+
+TEST(Capability, MarkIsSticky) {
+  Capability cap(DdlKey::Make(1, 1, CapType::kMem, 1), CapType::kMem, 1, 5);
+  EXPECT_FALSE(cap.marked());
+  RevokeTask task;
+  cap.Mark(&task);
+  EXPECT_TRUE(cap.marked());
+  EXPECT_EQ(cap.task(), &task);
+}
+
+TEST(CapSpace, CreateFindErase) {
+  CapSpace space;
+  DdlKey key = DdlKey::Make(4, 4, CapType::kMem, 9);
+  Capability* cap = space.Create(key, CapType::kMem, 4, 2);
+  EXPECT_EQ(space.Find(key), cap);
+  EXPECT_EQ(space.size(), 1u);
+  space.Erase(key);
+  EXPECT_EQ(space.Find(key), nullptr);
+  EXPECT_EQ(space.size(), 0u);
+}
+
+TEST(CapSpace, DuplicateKeyDies) {
+  CapSpace space;
+  DdlKey key = DdlKey::Make(4, 4, CapType::kMem, 9);
+  space.Create(key, CapType::kMem, 4, 2);
+  EXPECT_DEATH(space.Create(key, CapType::kMem, 4, 3), "duplicate");
+}
+
+TEST(CapTypeName, AllNamed) {
+  for (auto type : {CapType::kNone, CapType::kVpe, CapType::kMem, CapType::kSendGate,
+                    CapType::kRecvGate, CapType::kService, CapType::kSession, CapType::kKernel}) {
+    EXPECT_STRNE(CapTypeName(type), "?");
+  }
+}
+
+}  // namespace
+}  // namespace semperos

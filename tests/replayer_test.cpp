@@ -1,0 +1,214 @@
+// Trace format and replayer behaviour, plus the Nginx programs.
+#include <gtest/gtest.h>
+
+#include "fs/service.h"
+#include "system/experiment.h"
+#include "system/platform.h"
+#include "trace/replayer.h"
+#include "workloads/nginx.h"
+#include "workloads/workloads.h"
+
+namespace semperos {
+namespace {
+
+constexpr uint64_t KiB = 1024;
+
+TEST(TraceOps, BuildersFillFields) {
+  TraceOp open = TraceOp::Open("/x", kOpenRead);
+  EXPECT_EQ(open.kind, TraceOpKind::kOpen);
+  EXPECT_EQ(open.path, "/x");
+  EXPECT_EQ(open.flags, kOpenRead);
+  TraceOp read = TraceOp::Read("/x", 123);
+  EXPECT_EQ(read.bytes, 123u);
+  TraceOp seek = TraceOp::Seek("/x", 77);
+  EXPECT_EQ(seek.offset, 77u);
+  TraceOp compute = TraceOp::Compute(999);
+  EXPECT_EQ(compute.compute, 999u);
+  EXPECT_EQ(TraceOp::Close("/x").kind, TraceOpKind::kClose);
+  EXPECT_EQ(TraceOp::Stat("/x").kind, TraceOpKind::kStat);
+  EXPECT_EQ(TraceOp::Mkdir("/x").kind, TraceOpKind::kMkdir);
+  EXPECT_EQ(TraceOp::Unlink("/x").kind, TraceOpKind::kUnlink);
+  EXPECT_EQ(TraceOp::ReadDir("/x").kind, TraceOpKind::kReadDir);
+}
+
+struct Rig {
+  std::unique_ptr<Platform> platform;
+  FsService* service = nullptr;
+  TraceReplayer* replayer = nullptr;
+};
+
+Rig RunRig(Trace trace, const FsImage& image) {
+  PlatformConfig pc;
+  pc.kernels = 1;
+  pc.services = 1;
+  pc.users = 1;
+  Rig rig;
+  rig.platform = std::make_unique<Platform>(pc);
+  Platform& p = *rig.platform;
+  NodeId svc_node = p.service_nodes()[0];
+  CapSel mem = p.kernel_of(svc_node)->AdminGrantMem(svc_node, p.mem_nodes()[0], 0, 1ull << 32,
+                                                    kPermRW);
+  auto service = std::make_unique<FsService>("m3fs", image, p.kernel_node(0), pc.timing, mem);
+  rig.service = service.get();
+  p.pe(svc_node)->AttachProgram(std::move(service));
+  NodeId user = p.user_nodes()[0];
+  auto replayer = std::make_unique<TraceReplayer>(std::move(trace), p.kernel_node(0), pc.timing);
+  rig.replayer = replayer.get();
+  p.pe(user)->AttachProgram(std::move(replayer));
+  p.Boot();
+  p.RunToCompletion();
+  return rig;
+}
+
+TEST(Replayer, SeekRepositionsCursor) {
+  FsImage image;
+  image.AddFile("/f", 3 * 1024 * KiB);  // 3 extents
+  Trace trace;
+  trace.app = "t";
+  trace.ops.push_back(TraceOp::Open("/f", kOpenRead));
+  trace.ops.push_back(TraceOp::Read("/f", 4 * KiB));      // extent 0
+  trace.ops.push_back(TraceOp::Seek("/f", 2 * 1024 * KiB));
+  trace.ops.push_back(TraceOp::Read("/f", 4 * KiB));      // extent 2: one fetch
+  trace.ops.push_back(TraceOp::Close("/f"));
+  Rig rig = RunRig(trace, image);
+  ASSERT_TRUE(rig.replayer->result().done);
+  // open(1) + seek-triggered extent(1) + 2 revokes + session(1) = 5; extent
+  // 1 was skipped entirely.
+  EXPECT_EQ(rig.replayer->result().cap_ops, 5u);
+  EXPECT_EQ(rig.service->stats().extents_handed, 2u);
+}
+
+TEST(Replayer, EightConcurrentFilesSupported) {
+  FsImage image;
+  Trace trace;
+  trace.app = "t";
+  for (int i = 0; i < 8; ++i) {
+    image.AddFile("/f" + std::to_string(i), 4 * KiB);
+    trace.ops.push_back(TraceOp::Open("/f" + std::to_string(i), kOpenRead));
+  }
+  for (int i = 0; i < 8; ++i) {
+    trace.ops.push_back(TraceOp::Read("/f" + std::to_string(i), 4 * KiB));
+    trace.ops.push_back(TraceOp::Close("/f" + std::to_string(i)));
+  }
+  Rig rig = RunRig(trace, image);
+  ASSERT_TRUE(rig.replayer->result().done);
+  EXPECT_EQ(rig.replayer->result().cap_ops, 1u + 8u + 8u);
+}
+
+TEST(Replayer, EndpointsRecycledAcrossSequentialOpens) {
+  FsImage image;
+  Trace trace;
+  trace.app = "t";
+  for (int i = 0; i < 20; ++i) {
+    std::string path = "/g" + std::to_string(i);
+    image.AddFile(path, 4 * KiB);
+    trace.ops.push_back(TraceOp::Open(path, kOpenRead));
+    trace.ops.push_back(TraceOp::Read(path, 4 * KiB));
+    trace.ops.push_back(TraceOp::Close(path));
+  }
+  Rig rig = RunRig(trace, image);
+  ASSERT_TRUE(rig.replayer->result().done);  // 20 opens > 8 EPs: recycling works
+  EXPECT_EQ(rig.replayer->result().cap_ops, 1u + 20u + 20u);
+}
+
+TEST(Replayer, RuntimeExcludesBootTime) {
+  FsImage image;
+  image.AddFile("/f", 4 * KiB);
+  Trace trace;
+  trace.app = "t";
+  trace.ops.push_back(TraceOp::Compute(10'000));
+  Rig rig = RunRig(trace, image);
+  const TraceReplayer::Result& r = rig.replayer->result();
+  EXPECT_GT(r.start, 0u);            // boot happened before the trace began
+  EXPECT_GT(r.runtime(), 10'000u);   // compute + session open
+  EXPECT_LT(r.runtime(), 100'000u);  // but nowhere near the boot time scale
+}
+
+TEST(Nginx, RequestTraceShape) {
+  Trace trace = MakeNginxRequestTrace();
+  EXPECT_EQ(trace.expected_cap_ops, 2u);
+  bool has_open = false;
+  bool has_close = false;
+  bool has_compute = false;
+  for (const TraceOp& op : trace.ops) {
+    has_open |= op.kind == TraceOpKind::kOpen;
+    has_close |= op.kind == TraceOpKind::kClose;
+    has_compute |= op.kind == TraceOpKind::kCompute;
+  }
+  EXPECT_TRUE(has_open);
+  EXPECT_TRUE(has_close);
+  EXPECT_TRUE(has_compute);
+}
+
+TEST(Nginx, ServerServesBackToBackRequests) {
+  NginxRunConfig config;
+  config.kernels = 1;
+  config.services = 1;
+  config.servers = 1;
+  config.warmup = 200'000;
+  config.window = 2'000'000;
+  NginxRunResult result = RunNginx(config);
+  // One server must sustain a steady request rate (thousands per second).
+  EXPECT_GT(result.completed, 5u);
+  EXPECT_GT(result.requests_per_sec, 4000.0);
+}
+
+TEST(Nginx, MoreOsResourcesNeverHurt) {
+  NginxRunConfig small;
+  small.kernels = 2;
+  small.services = 2;
+  small.servers = 16;
+  small.warmup = 300'000;
+  small.window = 1'000'000;
+  NginxRunResult limited = RunNginx(small);
+  NginxRunConfig big = small;
+  big.kernels = 8;
+  big.services = 8;
+  NginxRunResult ample = RunNginx(big);
+  EXPECT_GE(ample.requests_per_sec, limited.requests_per_sec * 0.95);
+}
+
+TEST(Experiment, SystemEfficiencyMath) {
+  // 512 instances at 75% with 64 OS PEs: 0.75 * 512/576 = 66.7%.
+  EXPECT_NEAR(SystemEfficiency(0.75, 512, 32, 32), 0.75 * 512.0 / 576.0, 1e-9);
+  // The paper's headline: 11% of the system for the OS at 32K+32S+512.
+  EXPECT_NEAR(64.0 / 576.0, 0.111, 0.001);
+}
+
+TEST(Experiment, SoloRunHasMakespanEqualRuntime) {
+  AppRunConfig config;
+  config.app = "find";
+  config.kernels = 1;
+  config.services = 1;
+  config.instances = 1;
+  AppRunResult result = RunApp(config);
+  EXPECT_NEAR(result.mean_runtime_us, result.max_runtime_us, 1e-9);
+  EXPECT_NEAR(CyclesToMicros(result.makespan), result.mean_runtime_us, 1.0);
+}
+
+TEST(Experiment, M3ModeRunsWorkloads) {
+  AppRunConfig config;
+  config.app = "find";
+  config.kernels = 1;
+  config.services = 1;
+  config.instances = 4;
+  config.mode = KernelMode::kM3SingleKernel;
+  AppRunResult result = RunApp(config);
+  EXPECT_EQ(result.total_cap_ops, 4u * 3u);
+}
+
+TEST(Experiment, RunsAreDeterministic) {
+  AppRunConfig config;
+  config.app = "leveldb";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 16;
+  AppRunResult a = RunApp(config);
+  AppRunResult b = RunApp(config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.mean_runtime_us, b.mean_runtime_us);
+}
+
+}  // namespace
+}  // namespace semperos

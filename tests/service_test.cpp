@@ -1,0 +1,184 @@
+// m3fs service behaviour beyond the basics: session lifecycle, local-service
+// preference, concurrent clients, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include "fs/service.h"
+#include "system/experiment.h"
+#include "system/platform.h"
+#include "trace/replayer.h"
+#include "workloads/workloads.h"
+
+namespace semperos {
+namespace {
+
+constexpr uint64_t KiB = 1024;
+constexpr uint64_t MiB = 1024 * 1024;
+
+struct MultiRig {
+  std::unique_ptr<Platform> platform;
+  std::vector<FsService*> services;
+  std::vector<TraceReplayer*> replayers;
+};
+
+MultiRig MakeMulti(uint32_t kernels, uint32_t services, const std::vector<Trace>& traces,
+                   const FsImage& image) {
+  PlatformConfig pc;
+  pc.kernels = kernels;
+  pc.services = services;
+  pc.users = static_cast<uint32_t>(traces.size());
+  MultiRig rig;
+  rig.platform = std::make_unique<Platform>(pc);
+  Platform& p = *rig.platform;
+  uint32_t index = 0;
+  for (NodeId node : p.service_nodes()) {
+    Kernel* kernel = p.kernel_of(node);
+    CapSel mem = kernel->AdminGrantMem(node, p.mem_nodes()[0],
+                                       static_cast<uint64_t>(index) << 40, 1ull << 36, kPermRW);
+    auto service = std::make_unique<FsService>("m3fs", image, p.kernel_node(kernel->id()),
+                                               pc.timing, mem);
+    rig.services.push_back(service.get());
+    p.pe(node)->AttachProgram(std::move(service));
+    ++index;
+  }
+  for (size_t i = 0; i < traces.size(); ++i) {
+    NodeId node = p.user_nodes()[i];
+    auto replayer = std::make_unique<TraceReplayer>(
+        traces[i], p.kernel_node(p.membership().KernelOf(node)), pc.timing);
+    rig.replayers.push_back(replayer.get());
+    p.pe(node)->AttachProgram(std::move(replayer));
+  }
+  p.Boot();
+  return rig;
+}
+
+Trace TinyTrace(uint32_t instance) {
+  Trace trace;
+  trace.app = "tiny";
+  std::string path = "/i" + std::to_string(instance) + "/f";
+  trace.ops.push_back(TraceOp::Open(path, kOpenRead));
+  trace.ops.push_back(TraceOp::Read(path, 4 * KiB));
+  trace.ops.push_back(TraceOp::Close(path));
+  return trace;
+}
+
+FsImage TinyImage(uint32_t instances) {
+  FsImage image;
+  for (uint32_t i = 0; i < instances; ++i) {
+    image.AddDir("/i" + std::to_string(i));
+    image.AddFile("/i" + std::to_string(i) + "/f", 4 * KiB);
+  }
+  return image;
+}
+
+TEST(ServicePreference, ClientsUseTheirGroupsService) {
+  // "Kernels which host a service in their PE group prefer to connect their
+  // applications to the service in their PE group" (paper §5.3.2).
+  std::vector<Trace> traces;
+  for (uint32_t i = 0; i < 8; ++i) {
+    traces.push_back(TinyTrace(i));
+  }
+  MultiRig rig = MakeMulti(4, 4, traces, TinyImage(8));
+  rig.platform->RunToCompletion();
+  // One service per group, 2 clients per group: every service hosts exactly
+  // its group's two sessions, and no exchange crosses groups.
+  for (FsService* service : rig.services) {
+    EXPECT_EQ(service->stats().sessions, 2u);
+  }
+  EXPECT_EQ(rig.platform->TotalKernelStats().spanning_obtains, 0u);
+}
+
+TEST(ServicePreference, RemoteServiceUsedWhenGroupHasNone) {
+  std::vector<Trace> traces;
+  for (uint32_t i = 0; i < 4; ++i) {
+    traces.push_back(TinyTrace(i));
+  }
+  // 4 kernels but only 2 services: two groups must go remote.
+  MultiRig rig = MakeMulti(4, 2, traces, TinyImage(4));
+  rig.platform->RunToCompletion();
+  uint64_t sessions = 0;
+  for (FsService* service : rig.services) {
+    sessions += service->stats().sessions;
+  }
+  EXPECT_EQ(sessions, 4u);
+  EXPECT_GT(rig.platform->TotalKernelStats().spanning_obtains, 0u);
+}
+
+TEST(SessionGc, KilledClientsSessionIsDropped) {
+  // Revoking a session capability (here: through a VPE kill) tells the
+  // service to free the session state.
+  std::vector<Trace> traces = {TinyTrace(0)};
+  FsImage image = TinyImage(1);
+  MultiRig rig = MakeMulti(1, 1, traces, image);
+  rig.platform->RunToCompletion();
+  ASSERT_EQ(rig.services[0]->stats().sessions, 1u);
+
+  NodeId victim = rig.platform->user_nodes()[0];
+  bool killed = false;
+  rig.platform->kernel_of(victim)->AdminKillVpe(victim, [&] { killed = true; });
+  rig.platform->RunToCompletion();
+  EXPECT_TRUE(killed);
+  // The service saw the close notification (session map emptied).
+  EXPECT_EQ(rig.services[0]->stats().sessions, 1u);  // counter is cumulative
+  EXPECT_EQ(rig.platform->TotalDrops(), 0u);
+}
+
+TEST(Concurrency, ManyClientsShareOneService) {
+  std::vector<Trace> traces;
+  for (uint32_t i = 0; i < 24; ++i) {
+    traces.push_back(TinyTrace(i));
+  }
+  MultiRig rig = MakeMulti(2, 1, traces, TinyImage(24));
+  rig.platform->RunToCompletion();
+  for (TraceReplayer* replayer : rig.replayers) {
+    ASSERT_TRUE(replayer->result().done);
+    EXPECT_EQ(replayer->result().cap_ops, 3u);
+  }
+  EXPECT_EQ(rig.services[0]->stats().sessions, 24u);
+  EXPECT_EQ(rig.services[0]->stats().opens, 24u);
+}
+
+TEST(Utilization, ReportedAndPlausible) {
+  AppRunConfig config;
+  config.app = "postmark";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 32;
+  AppRunResult result = RunApp(config);
+  EXPECT_GT(result.mean_kernel_utilization, 0.01);
+  EXPECT_LE(result.max_kernel_utilization, 1.0);
+  EXPECT_GE(result.max_kernel_utilization, result.mean_kernel_utilization);
+  EXPECT_GT(result.mean_service_utilization, 0.01);
+  EXPECT_LE(result.mean_service_utilization, 1.0);
+}
+
+TEST(Utilization, KernelsBusierWithFewerOfThem) {
+  AppRunConfig config;
+  config.app = "postmark";
+  config.services = 8;
+  config.instances = 64;
+  config.kernels = 8;
+  double many = RunApp(config).mean_kernel_utilization;
+  config.kernels = 2;
+  double few = RunApp(config).mean_kernel_utilization;
+  EXPECT_GT(few, many);
+}
+
+TEST(LargeFiles, SixteenExtentRoundTrip) {
+  FsImage image;
+  image.AddDir("/i0");
+  image.AddFile("/i0/big", 16 * MiB);
+  Trace trace;
+  trace.app = "big";
+  trace.ops.push_back(TraceOp::Open("/i0/big", kOpenRead));
+  trace.ops.push_back(TraceOp::Read("/i0/big", 16 * MiB));
+  trace.ops.push_back(TraceOp::Close("/i0/big"));
+  MultiRig rig = MakeMulti(1, 1, {trace}, image);
+  rig.platform->RunToCompletion();
+  ASSERT_TRUE(rig.replayers[0]->result().done);
+  // 16 extents: 1 open + 15 next + 16 revokes + session.
+  EXPECT_EQ(rig.replayers[0]->result().cap_ops, 1u + 16u + 16u);
+  EXPECT_EQ(rig.services[0]->stats().extents_handed, 16u);
+}
+
+}  // namespace
+}  // namespace semperos

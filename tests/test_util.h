@@ -1,0 +1,87 @@
+// Shared helpers for protocol-level tests: a minimal user program exposing
+// the UserEnv, and a rig that wires N clients over K kernels.
+#ifndef SEMPEROS_TESTS_TEST_UTIL_H_
+#define SEMPEROS_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/userlib.h"
+#include "system/platform.h"
+
+namespace semperos {
+
+class TestClient : public Program {
+ public:
+  TestClient(NodeId kernel_node, const TimingModel& timing)
+      : kernel_node_(kernel_node), timing_(timing) {}
+
+  void Setup() override {
+    env_ = std::make_unique<UserEnv>(pe_, kernel_node_, timing_.ask_party);
+    env_->SetupEps(/*is_service=*/false);
+  }
+  void Start() override {}
+
+  UserEnv& env() { return *env_; }
+
+ private:
+  NodeId kernel_node_;
+  TimingModel timing_;
+  std::unique_ptr<UserEnv> env_;
+};
+
+struct ClientRig {
+  std::unique_ptr<Platform> platform;
+  std::vector<TestClient*> clients;  // indexed like platform->user_nodes()
+
+  Platform& p() { return *platform; }
+  TestClient& client(size_t i) { return *clients.at(i); }
+  VpeId vpe(size_t i) const { return platform->user_nodes().at(i); }
+  Kernel* kernel_of_client(size_t i) { return platform->kernel_of(vpe(i)); }
+
+  // Index (into clients) of the j-th client managed by kernel `k`. Groups
+  // are laid out contiguously, so client index order does not match
+  // round-robin kernel assignment.
+  size_t client_in_kernel(KernelId k, size_t j) const {
+    size_t seen = 0;
+    for (size_t i = 0; i < clients.size(); ++i) {
+      if (platform->membership().KernelOf(vpe(i)) == k) {
+        if (seen == j) {
+          return i;
+        }
+        ++seen;
+      }
+    }
+    CHECK(false) << "kernel " << k << " has no client #" << j;
+    return 0;
+  }
+
+  // Grants client i a root memory capability and returns its selector.
+  CapSel Grant(size_t i, uint64_t size = 4096) {
+    return kernel_of_client(i)->AdminGrantMem(vpe(i), platform->mem_nodes().at(0), 0, size,
+                                              kPermRW);
+  }
+};
+
+inline ClientRig MakeRig(uint32_t kernels, uint32_t users,
+                         KernelMode mode = KernelMode::kSemperOSMulti) {
+  PlatformConfig pc;
+  pc.kernels = kernels;
+  pc.users = users;
+  pc.mode = mode;
+  pc.timing = TimingModel::For(mode);
+  ClientRig rig;
+  rig.platform = std::make_unique<Platform>(pc);
+  for (NodeId node : rig.platform->user_nodes()) {
+    NodeId kernel_node = rig.platform->kernel_node(rig.platform->membership().KernelOf(node));
+    auto client = std::make_unique<TestClient>(kernel_node, pc.timing);
+    rig.clients.push_back(client.get());
+    rig.platform->pe(node)->AttachProgram(std::move(client));
+  }
+  rig.platform->Boot();
+  return rig;
+}
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_TESTS_TEST_UTIL_H_

@@ -1,0 +1,137 @@
+// Workload traces: capability-operation counts must match paper Table 4,
+// and every application must replay end-to-end on the full system.
+#include <gtest/gtest.h>
+
+#include "system/experiment.h"
+#include "workloads/workloads.h"
+
+namespace semperos {
+namespace {
+
+class WorkloadCounts : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadCounts, SingleInstanceMatchesTable4) {
+  const std::string& app = GetParam();
+  AppRunConfig config;
+  config.app = app;
+  config.kernels = 1;
+  config.services = 1;
+  config.instances = 1;
+  AppRunResult result = RunApp(config);
+  EXPECT_EQ(result.total_cap_ops, ExpectedCapOps(app))
+      << app << " capability operations diverge from paper Table 4";
+}
+
+TEST_P(WorkloadCounts, CountsAreIndependentOfKernelCount) {
+  const std::string& app = GetParam();
+  AppRunConfig config;
+  config.app = app;
+  config.kernels = 4;
+  config.services = 2;
+  config.instances = 1;
+  AppRunResult result = RunApp(config);
+  EXPECT_EQ(result.total_cap_ops, ExpectedCapOps(app));
+}
+
+TEST_P(WorkloadCounts, EightInstancesScaleExactly) {
+  // Table 4 scales exactly linearly: 512 instances = 512 x single count.
+  const std::string& app = GetParam();
+  AppRunConfig config;
+  config.app = app;
+  config.kernels = 2;
+  config.services = 2;
+  config.instances = 8;
+  AppRunResult result = RunApp(config);
+  EXPECT_EQ(result.total_cap_ops, 8u * ExpectedCapOps(app));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadCounts, ::testing::ValuesIn(WorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Workloads, NamesAreStable) {
+  EXPECT_EQ(WorkloadNames().size(), 6u);
+  EXPECT_EQ(ExpectedCapOps("tar"), 21u);
+  EXPECT_EQ(ExpectedCapOps("untar"), 11u);
+  EXPECT_EQ(ExpectedCapOps("find"), 3u);
+  EXPECT_EQ(ExpectedCapOps("sqlite"), 24u);
+  EXPECT_EQ(ExpectedCapOps("leveldb"), 22u);
+  EXPECT_EQ(ExpectedCapOps("postmark"), 38u);
+}
+
+TEST(Workloads, PaperRuntimesImpliedByTable4) {
+  // runtime = ops / (ops/s); e.g. tar: 21 / 7295 s = 2879 us.
+  EXPECT_NEAR(PaperSoloRuntimeUs("tar"), 2878.7, 1.0);
+  EXPECT_NEAR(PaperSoloRuntimeUs("untar"), 2741.8, 1.0);
+  EXPECT_NEAR(PaperSoloRuntimeUs("find"), 2290.1, 1.0);
+  EXPECT_NEAR(PaperSoloRuntimeUs("sqlite"), 4008.7, 1.0);
+  EXPECT_NEAR(PaperSoloRuntimeUs("leveldb"), 2514.6, 1.0);
+  EXPECT_NEAR(PaperSoloRuntimeUs("postmark"), 1795.3, 1.0);
+}
+
+class WorkloadRuntime : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRuntime, SoloRuntimeCalibratedToTable4) {
+  // The traces' compute phases are calibrated so single-instance runtimes
+  // land near the paper's implied values (tolerance 10%).
+  const std::string& app = GetParam();
+  double solo = SoloRuntimeUs(app, 1, 1);
+  double paper = PaperSoloRuntimeUs(app);
+  EXPECT_GT(solo, paper * 0.90) << app << ": " << solo << " vs " << paper;
+  EXPECT_LT(solo, paper * 1.10) << app << ": " << solo << " vs " << paper;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadRuntime, ::testing::ValuesIn(WorkloadNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(Workloads, ParallelInstancesAllComplete) {
+  AppRunConfig config;
+  config.app = "postmark";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 32;
+  AppRunResult result = RunApp(config);
+  EXPECT_EQ(result.instances, 32u);
+  EXPECT_EQ(result.total_cap_ops, 32u * 38u);
+  EXPECT_GT(result.mean_runtime_us, 0.0);
+  EXPECT_GE(result.max_runtime_us, result.mean_runtime_us);
+}
+
+TEST(Workloads, MoreInstancesNeverSpeedUpSoloRuntime) {
+  // Contention can only slow instances down.
+  double solo = SoloRuntimeUs("tar", 2, 2);
+  AppRunConfig config;
+  config.app = "tar";
+  config.kernels = 2;
+  config.services = 2;
+  config.instances = 16;
+  AppRunResult result = RunApp(config);
+  EXPECT_GE(result.mean_runtime_us, solo * 0.999);
+}
+
+TEST(Nginx, ServersServeRequests) {
+  NginxRunConfig config;
+  config.kernels = 2;
+  config.services = 2;
+  config.servers = 4;
+  config.warmup = 400'000;
+  config.window = 1'000'000;
+  NginxRunResult result = RunNginx(config);
+  EXPECT_GT(result.completed, 0u);
+  EXPECT_GT(result.requests_per_sec, 0.0);
+}
+
+TEST(Nginx, ThroughputScalesWithServers) {
+  NginxRunConfig config;
+  config.kernels = 4;
+  config.services = 4;
+  config.warmup = 400'000;
+  config.window = 1'000'000;
+  config.servers = 4;
+  NginxRunResult small = RunNginx(config);
+  config.servers = 16;
+  NginxRunResult large = RunNginx(config);
+  EXPECT_GT(large.requests_per_sec, small.requests_per_sec * 2.5);
+}
+
+}  // namespace
+}  // namespace semperos

@@ -1,0 +1,257 @@
+// semperos_sim — command-line front end for the SemperOS simulator.
+//
+// Run any system configuration without writing code:
+//
+//   semperos_sim --app=postmark --kernels=32 --services=32 --instances=512
+//   semperos_sim --app=tar --kernels=1 --services=1 --instances=1 --mode=m3
+//   semperos_sim --nginx --kernels=32 --services=32 --servers=128
+//   semperos_sim --micro                      # Table-3 style op latencies
+//   semperos_sim --app=sqlite ... --batching  # revocation batching on
+//
+// Prints runtime/efficiency metrics and the kernel statistics counters.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fs/service.h"
+#include "system/client.h"
+#include "system/experiment.h"
+#include "trace/replayer.h"
+#include "trace/trace_io.h"
+#include "workloads/workloads.h"
+
+using namespace semperos;
+
+namespace {
+
+struct Options {
+  std::string app = "tar";
+  std::string trace_file;
+  uint32_t kernels = 8;
+  uint32_t services = 8;
+  uint32_t instances = 64;
+  uint32_t servers = 32;
+  bool nginx = false;
+  bool micro = false;
+  bool batching = false;
+  KernelMode mode = KernelMode::kSemperOSMulti;
+};
+
+bool ParseFlag(const char* arg, const char* name, std::string* value) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *value = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: semperos_sim [--app=NAME|--nginx|--micro|--trace=FILE]\n"
+               "                    [--kernels=N] [--services=N] [--instances=N] [--servers=N]\n"
+               "                    [--mode=semperos|m3] [--batching]\n"
+               "apps: tar untar find sqlite leveldb postmark\n"
+               "trace files: one op per line (open/read/write/seek/close/stat/mkdir/unlink/\n"
+               "             readdir/compute), '#' comments; see src/trace/trace_io.h\n");
+  return 2;
+}
+
+void PrintKernelStats(const KernelStats& s);
+
+// Replays a user-supplied trace file on a small system and reports the
+// capability-operation footprint.
+int RunTraceFile(const std::string& path, uint32_t kernels, uint32_t services) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  Trace trace;
+  size_t error_line = 0;
+  if (!ParseTrace(buffer.str(), &trace, &error_line).ok()) {
+    std::fprintf(stderr, "%s:%zu: malformed trace line\n", path.c_str(), error_line);
+    return 1;
+  }
+  trace.app = path;
+  FsImage image = InferImage(trace);
+
+  PlatformConfig pc;
+  pc.kernels = kernels;
+  pc.services = services;
+  pc.users = 1;
+  Platform platform(pc);
+  uint32_t index = 0;
+  for (NodeId node : platform.service_nodes()) {
+    Kernel* kernel = platform.kernel_of(node);
+    CapSel mem = kernel->AdminGrantMem(node, platform.mem_nodes()[0],
+                                       static_cast<uint64_t>(index++) << 40, 1ull << 36, kPermRW);
+    platform.pe(node)->AttachProgram(std::make_unique<FsService>(
+        "m3fs", image, platform.kernel_node(kernel->id()), pc.timing, mem));
+  }
+  NodeId user = platform.user_nodes()[0];
+  auto replayer = std::make_unique<TraceReplayer>(
+      trace, platform.kernel_node(platform.membership().KernelOf(user)), pc.timing);
+  TraceReplayer* app = replayer.get();
+  platform.pe(user)->AttachProgram(std::move(replayer));
+  platform.Boot();
+  platform.RunToCompletion();
+
+  std::printf("trace %s: %zu operations\n", path.c_str(), trace.ops.size());
+  std::printf("  runtime            : %10.1f us\n", CyclesToMicros(app->result().runtime()));
+  std::printf("  capability ops     : %10u\n", app->result().cap_ops);
+  std::printf("  syscalls issued    : %10llu\n", (unsigned long long)app->result().syscalls);
+  PrintKernelStats(platform.TotalKernelStats());
+  return 0;
+}
+
+void PrintKernelStats(const KernelStats& s) {
+  std::printf("kernel statistics (summed over kernels):\n");
+  std::printf("  syscalls        %10llu\n", (unsigned long long)s.syscalls);
+  std::printf("  obtains         %10llu  (spanning %llu)\n", (unsigned long long)s.obtains,
+              (unsigned long long)s.spanning_obtains);
+  std::printf("  delegates       %10llu  (spanning %llu)\n", (unsigned long long)s.delegates,
+              (unsigned long long)s.spanning_delegates);
+  std::printf("  revokes         %10llu  (spanning %llu)\n", (unsigned long long)s.revokes,
+              (unsigned long long)s.spanning_revokes);
+  std::printf("  derives         %10llu\n", (unsigned long long)s.derives);
+  std::printf("  activations     %10llu\n", (unsigned long long)s.activates);
+  std::printf("  sessions        %10llu\n", (unsigned long long)s.sessions_opened);
+  std::printf("  IKC messages    %10llu  (flow-queued %llu)\n", (unsigned long long)s.ikc_sent,
+              (unsigned long long)s.ikc_flow_queued);
+  std::printf("  caps created    %10llu, deleted %llu\n", (unsigned long long)s.caps_created,
+              (unsigned long long)s.caps_deleted);
+  std::printf("  anomaly paths   %10s  orphans=%llu pointless=%llu invalid=%llu\n", "",
+              (unsigned long long)s.orphans_cleaned, (unsigned long long)s.pointless_denials,
+              (unsigned long long)s.invalid_prevented);
+}
+
+int RunMicro() {
+  std::printf("capability operation latencies (cycles @ 2 GHz)\n");
+  for (KernelMode mode : {KernelMode::kSemperOSMulti, KernelMode::kM3SingleKernel}) {
+    for (uint32_t kernels : {1u, 2u}) {
+      if (mode == KernelMode::kM3SingleKernel && kernels == 2) {
+        continue;
+      }
+      DriverRig rig = MakeDriverRig(kernels, 2, mode);
+      CapSel sel = rig.Grant(0);
+      Cycles exch = rig.TimedOp([&](std::function<void()> done) {
+        rig.client(1).env().Obtain(rig.vpe(0), sel, [done](const SyscallReply& r) {
+          CHECK(r.err == ErrCode::kOk);
+          done();
+        });
+      });
+      Cycles rev = rig.TimedOp([&](std::function<void()> done) {
+        rig.client(0).env().Revoke(sel, [done](const SyscallReply& r) {
+          CHECK(r.err == ErrCode::kOk);
+          done();
+        });
+      });
+      std::printf("  %-9s %-9s exchange=%llu revoke=%llu\n",
+                  mode == KernelMode::kM3SingleKernel ? "M3" : "SemperOS",
+                  kernels == 1 ? "local" : "spanning", (unsigned long long)exch,
+                  (unsigned long long)rev);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--app", &value)) {
+      opt.app = value;
+    } else if (ParseFlag(argv[i], "--trace", &value)) {
+      opt.trace_file = value;
+    } else if (ParseFlag(argv[i], "--kernels", &value)) {
+      opt.kernels = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--services", &value)) {
+      opt.services = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--instances", &value)) {
+      opt.instances = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--servers", &value)) {
+      opt.servers = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--mode", &value)) {
+      if (value == "m3") {
+        opt.mode = KernelMode::kM3SingleKernel;
+      } else if (value == "semperos") {
+        opt.mode = KernelMode::kSemperOSMulti;
+      } else {
+        return Usage();
+      }
+    } else if (std::strcmp(argv[i], "--nginx") == 0) {
+      opt.nginx = true;
+    } else if (std::strcmp(argv[i], "--micro") == 0) {
+      opt.micro = true;
+    } else if (std::strcmp(argv[i], "--batching") == 0) {
+      opt.batching = true;
+    } else {
+      return Usage();
+    }
+  }
+
+  if (opt.micro) {
+    return RunMicro();
+  }
+  if (!opt.trace_file.empty()) {
+    return RunTraceFile(opt.trace_file, opt.kernels, opt.services);
+  }
+
+  if (opt.nginx) {
+    NginxRunConfig config;
+    config.kernels = opt.kernels;
+    config.services = opt.services;
+    config.servers = opt.servers;
+    NginxRunResult result = RunNginx(config);
+    std::printf("nginx: %u servers, %u kernels, %u services\n", opt.servers, opt.kernels,
+                opt.services);
+    std::printf("  requests completed: %llu\n", (unsigned long long)result.completed);
+    std::printf("  requests/s:         %.0f\n", result.requests_per_sec);
+    return 0;
+  }
+
+  bool known = false;
+  for (const auto& name : WorkloadNames()) {
+    known |= name == opt.app;
+  }
+  if (!known) {
+    return Usage();
+  }
+  if (opt.mode == KernelMode::kM3SingleKernel) {
+    opt.kernels = 1;
+  }
+
+  double solo = SoloRuntimeUs(opt.app, opt.kernels, opt.services, opt.mode);
+  AppRunConfig config;
+  config.app = opt.app;
+  config.kernels = opt.kernels;
+  config.services = opt.services;
+  config.instances = opt.instances;
+  config.mode = opt.mode;
+  AppRunResult result = RunApp(config);
+
+  std::printf("%s: %u instances on %u kernels + %u services (%s%s)\n", opt.app.c_str(),
+              opt.instances, opt.kernels, opt.services,
+              opt.mode == KernelMode::kM3SingleKernel ? "M3 baseline" : "SemperOS",
+              opt.batching ? ", batching" : "");
+  std::printf("  solo runtime      : %10.1f us\n", solo);
+  std::printf("  mean runtime      : %10.1f us\n", result.mean_runtime_us);
+  std::printf("  max runtime       : %10.1f us\n", result.max_runtime_us);
+  std::printf("  parallel eff.     : %10.1f %%\n",
+              100.0 * ParallelEfficiency(solo, result.mean_runtime_us));
+  std::printf("  system eff.       : %10.1f %%\n",
+              100.0 * SystemEfficiency(ParallelEfficiency(solo, result.mean_runtime_us),
+                                       opt.instances, opt.kernels, opt.services));
+  std::printf("  capability ops    : %10llu (%.0f/s over the makespan)\n",
+              (unsigned long long)result.total_cap_ops, result.cap_ops_per_sec);
+  std::printf("  simulated events  : %10llu\n\n", (unsigned long long)result.events);
+  PrintKernelStats(result.kernel_stats);
+  return 0;
+}
