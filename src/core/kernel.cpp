@@ -581,10 +581,11 @@ void Kernel::SysObtain(SyscallCtx ctx, const SyscallMsg& req) {
   SendIkc(KernelOfVpe(req.peer), msg, [this, token](const IkcReply& reply) {
     auto it = obtains_.find(token);
     CHECK(it != obtains_.end());
-    ObtainOp op = it->second;
+    ObtainOp pending = it->second;
     obtains_.erase(it);
     Finish(t_.ikc_reply_handle, [] {});
-    FinishObtain(op, reply.err, reply.cap, reply.payload, reply.opaque, reply.payload.session);
+    FinishObtain(pending, reply.err, reply.cap, reply.payload, reply.opaque,
+                 reply.payload.session);
   });
 }
 
@@ -664,10 +665,11 @@ void Kernel::SysOpenSession(SyscallCtx ctx, const SyscallMsg& req) {
   SendIkc(svc->kernel, msg, [this, token](const IkcReply& reply) {
     auto it = obtains_.find(token);
     CHECK(it != obtains_.end());
-    ObtainOp op = it->second;
+    ObtainOp pending = it->second;
     obtains_.erase(it);
     Finish(t_.ikc_reply_handle, [] {});
-    FinishObtain(op, reply.err, reply.cap, reply.payload, reply.opaque, reply.payload.session);
+    FinishObtain(pending, reply.err, reply.cap, reply.payload, reply.opaque,
+                 reply.payload.session);
   });
 }
 
@@ -708,8 +710,8 @@ void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
     OwnerSideObtain(AskOp::kExchange, service_cap, svc_cap->holder(), kInvalidSel, req.vpe,
                     op.child_key, req.payload, session_id,
                     [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
-                               uint64_t session) {
-                      FinishObtain(op, err, parent, payload, opq, session);
+                               uint64_t owner_session) {
+                      FinishObtain(op, err, parent, payload, opq, owner_session);
                     });
     return;
   }
@@ -729,10 +731,11 @@ void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
   SendIkc(owner_kernel, msg, [this, token](const IkcReply& reply) {
     auto it = obtains_.find(token);
     CHECK(it != obtains_.end());
-    ObtainOp op = it->second;
+    ObtainOp pending = it->second;
     obtains_.erase(it);
     Finish(t_.ikc_reply_handle, [] {});
-    FinishObtain(op, reply.err, reply.cap, reply.payload, reply.opaque, reply.payload.session);
+    FinishObtain(pending, reply.err, reply.cap, reply.payload, reply.opaque,
+                 reply.payload.session);
   });
 }
 
@@ -815,10 +818,10 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
   SendIkc(KernelOfVpe(req.peer), msg, [this, token](const IkcReply& reply) {
     auto it = delegates_.find(token);
     CHECK(it != delegates_.end());
-    DelegateOp op = it->second;
+    DelegateOp pending = it->second;
     delegates_.erase(it);
     Finish(t_.ikc_reply_handle, [] {});
-    FinishDelegate(op, reply.err, reply.child);
+    FinishDelegate(pending, reply.err, reply.child);
   });
 }
 

@@ -177,9 +177,9 @@ void FsService::HandleOpen(Session* session, const FsRequest& req,
                  [this, fid, size, session_id, file = std::move(file),
                   reply = std::move(reply)](CapSel sel, uint64_t extent_len) mutable {
                    file.handed.push_back(sel);
-                   Session* session = SessionOf(session_id);
-                   CHECK(session != nullptr);
-                   session->files[fid] = std::move(file);
+                   Session* live_session = SessionOf(session_id);
+                   CHECK(live_session != nullptr);
+                   live_session->files[fid] = std::move(file);
                    auto fs_reply = std::make_shared<FsReply>();
                    fs_reply->err = ErrCode::kOk;
                    fs_reply->fid = fid;
@@ -219,11 +219,11 @@ void FsService::HandleNextExtent(Session* session, const FsRequest& req,
     DeriveExtent(inode, req.offset, write,
                  [this, fid, session_id, reply = std::move(reply)](CapSel sel,
                                                                    uint64_t extent_len) mutable {
-                   Session* session = SessionOf(session_id);
-                   CHECK(session != nullptr);
-                   auto fit = session->files.find(fid);
-                   CHECK(fit != session->files.end());
-                   fit->second.handed.push_back(sel);
+                   Session* live_session = SessionOf(session_id);
+                   CHECK(live_session != nullptr);
+                   auto live_fit = live_session->files.find(fid);
+                   CHECK(live_fit != live_session->files.end());
+                   live_fit->second.handed.push_back(sel);
                    auto fs_reply = std::make_shared<FsReply>();
                    fs_reply->err = ErrCode::kOk;
                    fs_reply->fid = fid;

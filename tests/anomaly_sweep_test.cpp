@@ -112,8 +112,8 @@ TEST_P(KillSweep, OwnerDiesDuringObtain) {
 INSTANTIATE_TEST_SUITE_P(Offsets, KillSweep,
                          ::testing::Values(0, 800, 1600, 2400, 3200, 4000, 4800, 5600, 6400,
                                            8000, 10000, 14000),
-                         [](const auto& info) {
-                           return "at" + std::to_string(info.param);
+                         [](const auto& param_info) {
+                           return "at" + std::to_string(param_info.param);
                          });
 
 }  // namespace

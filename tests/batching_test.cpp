@@ -56,7 +56,7 @@ TEST_P(Batching, ChainRevokeStillWorks) {
 }
 
 INSTANTIATE_TEST_SUITE_P(OnOff, Batching, ::testing::Bool(),
-                         [](const auto& info) { return info.param ? "batched" : "unbatched"; });
+                         [](const auto& param_info) { return param_info.param ? "batched" : "unbatched"; });
 
 TEST(BatchingBehaviour, FewerMessagesThanPerChild) {
   uint64_t ikc_plain = 0;

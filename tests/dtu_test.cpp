@@ -11,7 +11,7 @@ namespace semperos {
 namespace {
 
 struct Payload : MsgBody {
-  explicit Payload(int value) : value(value) {}
+  explicit Payload(int v) : value(v) {}
   int value;
 };
 

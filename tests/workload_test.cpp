@@ -46,7 +46,7 @@ TEST_P(WorkloadCounts, EightInstancesScaleExactly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadCounts, ::testing::ValuesIn(WorkloadNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(Workloads, NamesAreStable) {
   EXPECT_EQ(WorkloadNames().size(), 6u);
@@ -81,7 +81,7 @@ TEST_P(WorkloadRuntime, SoloRuntimeCalibratedToTable4) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllApps, WorkloadRuntime, ::testing::ValuesIn(WorkloadNames()),
-                         [](const auto& info) { return info.param; });
+                         [](const auto& param_info) { return param_info.param; });
 
 TEST(Workloads, ParallelInstancesAllComplete) {
   AppRunConfig config;
