@@ -1,0 +1,137 @@
+// Migration benchmark: the cost of dynamic PE-group membership.
+//
+// The paper kept the membership table static; this repo adds epoch-versioned
+// membership and live PE migration (see docs/architecture.md, "Dynamic
+// PE-group membership"). Three questions are measured:
+//   1. handoff latency vs. the number of capabilities in the moving
+//      partition (pack + install scale linearly);
+//   2. handoff latency vs. kernel count (the EPOCH_UPDATE settle round
+//      broadcasts to every kernel);
+//   3. what a mid-run rebalancing costs a loaded system: throughput in
+//      equal windows before / during / after draining hot PEs, plus the
+//      forwarded-IKC and frozen-syscall counts of the stale-epoch window.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "system/client.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+// Builds a rig with one client per kernel, gives client 0 a partition of
+// `caps` capabilities (root + derived children), and migrates client 0's PE
+// to the last kernel. Returns the handoff latency in cycles.
+Cycles MigrateOnce(uint32_t kernels, uint32_t caps) {
+  DriverRig rig = MakeDriverRig(kernels, kernels);
+  CapSel root = rig.Grant(0);
+  for (uint32_t i = 1; i < caps; ++i) {
+    bool ok = false;
+    rig.client(0).env().DeriveMem(root, 0, 256, kPermR, [&ok](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk);
+      ok = true;
+    });
+    rig.p().RunToCompletion();
+    CHECK(ok);
+  }
+  return rig.Migrate(rig.vpe(0), kernels - 1);
+}
+
+std::vector<uint32_t> CapCounts() {
+  return bench::Sweep<uint32_t>({1, 8, 32, 64, 128, 256});
+}
+
+std::vector<uint32_t> KernelCounts() {
+  return bench::Sweep<uint32_t>({2, 4, 8, 16, 32});
+}
+
+void PrintFigure() {
+  bench::Header("Migration: PE handoff latency and rebalancing cost",
+                "extension of Hille et al., SemperOS (ATC'19) — dynamic membership");
+
+  std::printf("%-12s %20s\n", "partition", "handoff latency");
+  std::printf("%-12s %20s\n", "[caps]", "[K cycles]");
+  for (uint32_t caps : CapCounts()) {
+    Cycles latency = MigrateOnce(2, caps);
+    std::printf("%-12u %20.1f\n", caps, latency / 1000.0);
+  }
+
+  std::printf("\n%-12s %20s\n", "kernels", "handoff latency");
+  std::printf("%-12s %20s\n", "", "[K cycles]");
+  for (uint32_t kernels : KernelCounts()) {
+    Cycles latency = MigrateOnce(kernels, 32);
+    std::printf("%-12u %20.1f\n", kernels, latency / 1000.0);
+  }
+
+  std::printf("\n%-8s %12s %12s %12s %12s %10s %10s\n", "group", "before", "during", "after",
+              "dip", "forwarded", "frozen");
+  std::printf("%-8s %12s %12s %12s %12s %10s %10s\n", "size", "[Kops/s]", "[Kops/s]", "[Kops/s]",
+              "[%]", "[IKCs]", "[calls]");
+  for (uint32_t users : bench::Sweep<uint32_t>({2, 4, 8})) {
+    RebalanceConfig config;
+    config.kernels = 4;
+    config.users_per_kernel = users;
+    config.ops_per_client = 30;
+    config.migrate_pes = users / 2 > 0 ? users / 2 : 1;
+    RebalanceResult r = RunRebalance(config);
+    double dip = r.ops_per_sec_before > 0
+                     ? 100.0 * (1.0 - r.ops_per_sec_during / r.ops_per_sec_before)
+                     : 0.0;
+    std::printf("%-8u %12.1f %12.1f %12.1f %12.1f %10llu %10llu\n", users,
+                r.ops_per_sec_before / 1000.0, r.ops_per_sec_during / 1000.0,
+                r.ops_per_sec_after / 1000.0, dip,
+                static_cast<unsigned long long>(r.forwarded_ikcs),
+                static_cast<unsigned long long>(r.frozen_syscalls));
+    CHECK(r.leaked_caps == 0) << "rebalancing leaked capabilities";
+  }
+  bench::Footnote("dip = throughput lost while the rebalancer drains hot PEs");
+}
+
+void BM_MigrationLatencyVsCaps(benchmark::State& state) {
+  uint32_t caps = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(CyclesToSeconds(MigrateOnce(2, caps)));
+  }
+}
+BENCHMARK(BM_MigrationLatencyVsCaps)->Arg(8)->Arg(64)->Arg(256)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_MigrationLatencyVsKernels(benchmark::State& state) {
+  uint32_t kernels = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    state.SetIterationTime(CyclesToSeconds(MigrateOnce(kernels, 32)));
+  }
+}
+BENCHMARK(BM_MigrationLatencyVsKernels)->Arg(2)->Arg(8)->Arg(32)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_RebalanceMakespan(benchmark::State& state) {
+  uint32_t users = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    RebalanceConfig config;
+    config.kernels = 4;
+    config.users_per_kernel = users;
+    config.ops_per_client = 30;
+    config.migrate_pes = users / 2 > 0 ? users / 2 : 1;
+    RebalanceResult r = RunRebalance(config);
+    state.SetIterationTime(CyclesToSeconds(r.makespan));
+    state.counters["ops_per_sec"] = r.ops_per_sec;
+    state.counters["migration_latency_us"] = CyclesToMicros(r.migration_latency_max);
+    state.counters["forwarded_ikcs"] = static_cast<double>(r.forwarded_ikcs);
+  }
+}
+BENCHMARK(BM_RebalanceMakespan)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

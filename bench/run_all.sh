@@ -29,6 +29,7 @@ BENCHES=(
   bench_fig8_kernel_dependence
   bench_fig9_system_efficiency
   bench_fig10_nginx
+  bench_migration
   bench_ablation
 )
 

@@ -26,6 +26,8 @@ const char* ErrName(ErrCode code) {
       return "capability in revocation";
     case ErrCode::kVpeGone:
       return "VPE gone";
+    case ErrCode::kVpeMigrating:
+      return "VPE migrating";
     case ErrCode::kNoCredits:
       return "no send credits";
     case ErrCode::kNoSlot:

@@ -21,6 +21,7 @@ enum class ErrCode : uint8_t {
   kInvalidCapType,  // capability has the wrong type for the operation
   kCapRevoked,      // capability is marked for revocation ("Pointless" denial)
   kVpeGone,         // peer VPE was killed during the operation
+  kVpeMigrating,    // VPE is moving kernels; retry after the handoff settles
   kNoCredits,       // DTU send endpoint out of credits
   kNoSlot,          // DTU receive endpoint out of message slots
   kNotPrivileged,   // DTU configuration attempted by an unprivileged DTU

@@ -88,6 +88,9 @@ struct VpeState {
   NodeId node = kInvalidNode;
   bool alive = true;
   bool is_service = false;
+  // Frozen for migration: syscalls and exchanges touching this VPE are
+  // denied with kVpeMigrating (retryable) until the handoff completes.
+  bool migrating = false;
   CapSel next_sel = 1;
   // Selector -> capability key. The capabilities themselves live in the
   // kernel's CapSpace so they can also be found by DDL key.

@@ -10,9 +10,12 @@
 // DDL key, any kernel can find the owning kernel with one table lookup —
 // "a key enabler for our capability scheme" (paper Figure 2).
 //
-// PE migration would require updating the membership table on all kernels;
-// like the paper's implementation, we do not support migration (the mapping
-// is static after boot).
+// Unlike the paper's implementation the mapping is NOT static after boot:
+// the table is epoch-versioned, and kernels propagate partition
+// reassignments with EPOCH_UPDATE inter-kernel calls (see kernel.h,
+// "PE migration"). Kernels with a stale epoch keep routing to the previous
+// owner, which forwards for the one settle round the update needs to reach
+// everyone.
 #ifndef SEMPEROS_CORE_DDL_H_
 #define SEMPEROS_CORE_DDL_H_
 
@@ -79,13 +82,46 @@ class DdlKey {
 };
 
 // Membership table: partition (= PE id) -> kernel id. Present at every
-// kernel (paper Figure 2, left). Static after boot.
+// kernel (paper Figure 2, left). Boot-time assignments use Assign; runtime
+// reassignments (PE migration) go through Reassign/Apply, which version the
+// table with an epoch so kernels can tell stale views from current ones.
 class MembershipTable {
  public:
   MembershipTable() = default;
   explicit MembershipTable(uint32_t pe_count) : kernel_of_(pe_count, kInvalidKernel) {}
 
+  // Boot-time wiring; does not touch the epochs (every kernel starts at 0).
   void Assign(NodeId pe, KernelId kernel) { kernel_of_.at(pe) = kernel; }
+
+  // Single-step authoritative reassignment: bump and apply at once.
+  // Returns the new epoch. Used where the caller owns the table copy (the
+  // platform's rebalancer view, tests); the kernel handoff protocol mints
+  // the epoch at transfer time and applies it later via Apply.
+  uint64_t Reassign(NodeId pe, KernelId kernel) {
+    kernel_of_.at(pe) = kernel;
+    ++epoch_;
+    PeEpochs().at(pe) = epoch_;
+    return epoch_;
+  }
+
+  // Applies a reassignment learned from a peer kernel. Per-PE epochs gate
+  // the mapping: back-to-back migrations of one PE broadcast from
+  // different sources, and only pairwise FIFO is guaranteed, so a peer
+  // can see the updates out of order — the newest epoch must win, and a
+  // late stale broadcast must not roll the mapping back. (Successive
+  // owners of a PE mint strictly increasing epochs: the destination
+  // applies the incoming epoch at install, before it could re-migrate.)
+  // The table-wide epoch merges monotonically for observers.
+  void Apply(NodeId pe, KernelId kernel, uint64_t epoch) {
+    if (epoch > PeEpochs().at(pe)) {
+      kernel_of_.at(pe) = kernel;
+      pe_epoch_[pe] = epoch;
+    }
+    epoch_ = epoch > epoch_ ? epoch : epoch_;
+  }
+
+  uint64_t Epoch() const { return epoch_; }
+  uint64_t PeEpoch(NodeId pe) const { return pe < pe_epoch_.size() ? pe_epoch_[pe] : 0; }
 
   KernelId KernelOf(NodeId pe) const { return kernel_of_.at(pe); }
   KernelId KernelOfKey(DdlKey key) const { return KernelOf(key.pe()); }
@@ -104,7 +140,18 @@ class MembershipTable {
   }
 
  private:
+  // Lazily sized: tables built with the default constructor and Assign
+  // never see runtime reassignments until Reassign/Apply runs.
+  std::vector<uint64_t>& PeEpochs() {
+    if (pe_epoch_.size() < kernel_of_.size()) {
+      pe_epoch_.resize(kernel_of_.size(), 0);
+    }
+    return pe_epoch_;
+  }
+
   std::vector<KernelId> kernel_of_;
+  std::vector<uint64_t> pe_epoch_;  // last epoch applied per partition
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace semperos

@@ -84,6 +84,10 @@ const char* IkcOpName(IkcOp op) {
       return "orphan_notify";
     case IkcOp::kChildDrop:
       return "child_drop";
+    case IkcOp::kMigrateVpe:
+      return "migrate_vpe";
+    case IkcOp::kEpochUpdate:
+      return "epoch_update";
   }
   return "?";
 }
@@ -351,8 +355,23 @@ void Kernel::OnSyscall(EpId ep, const Message& msg) {
   }
   auto it = vpes_.find(req->vpe);
   if (it == vpes_.end() || !it->second.alive) {
+    // A migrated-away VPE may race its endpoint retarget: its retry must
+    // get the retryable kVpeMigrating, not a terminal kNoSuchVpe.
+    bool migrated = migrated_away_.count(req->vpe) > 0;
+    if (migrated) {
+      stats_.syscalls_frozen++;
+    }
+    Finish(t_.syscall_dispatch + t_.syscall_reply, [this, ctx, migrated] {
+      ReplySyscall(ctx, migrated ? ErrCode::kVpeMigrating : ErrCode::kNoSuchVpe);
+    });
+    return;
+  }
+  if (it->second.migrating) {
+    // Frozen for migration: the user-level runtime retries transparently;
+    // by then the syscall endpoint points at the new kernel.
+    stats_.syscalls_frozen++;
     Finish(t_.syscall_dispatch + t_.syscall_reply,
-           [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchVpe); });
+           [this, ctx] { ReplySyscall(ctx, ErrCode::kVpeMigrating); });
     return;
   }
 
@@ -392,8 +411,12 @@ void Kernel::ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel, const CapPayl
   ReleaseThread();
   const SyscallMsg* req = ctx.msg.As<SyscallMsg>();
   auto it = vpes_.find(ctx.vpe);
-  if (it == vpes_.end() || !it->second.alive) {
+  bool reachable = (it != vpes_.end() && it->second.alive) ||
+                   migrated_away_.count(ctx.vpe) > 0;
+  if (!reachable) {
     // The caller died while the operation was in flight; just free the slot.
+    // (Migrated-away VPEs are alive elsewhere and must still get their
+    // kVpeMigrating answer, or their retry loop would hang.)
     pe_->dtu().Ack(ctx.recv_ep, ctx.msg);
     return;
   }
@@ -423,6 +446,13 @@ void Kernel::OwnerSideObtain(AskOp ask_op, DdlKey owner_cap, VpeId owner_vpe, Ca
   auto vit = vpes_.find(owner_vpe);
   if (vit == vpes_.end() || !vit->second.alive) {
     done(ErrCode::kVpeGone, DdlKey(), CapPayload(), nullptr, 0);
+    return;
+  }
+  if (vit->second.migrating) {
+    // The owner's partition is being handed off; like the Pointless denial
+    // this is rejected immediately, but with a retryable code — the retry
+    // routes to the new kernel through the updated membership table.
+    done(ErrCode::kVpeMigrating, DdlKey(), CapPayload(), nullptr, 0);
     return;
   }
   VpeState* owner = &vit->second;
@@ -772,6 +802,11 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
              [this, ctx] { ReplySyscall(ctx, ErrCode::kVpeGone); });
       return;
     }
+    if (vit->second.migrating) {
+      Finish(t_.syscall_dispatch + t_.syscall_reply,
+             [this, ctx] { ReplySyscall(ctx, ErrCode::kVpeMigrating); });
+      return;
+    }
     Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode, [] {});
     auto ask = std::make_shared<AskMsg>();
     ask->op = AskOp::kDelegate;
@@ -857,10 +892,11 @@ void Kernel::FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key) {
 
 void Kernel::OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& msg) {
   auto vit = vpes_.find(req.peer);
-  if (vit == vpes_.end() || !vit->second.alive) {
+  if (vit == vpes_.end() || !vit->second.alive || vit->second.migrating) {
     auto reply = std::make_shared<IkcReply>();
     reply->token = req.token;
-    reply->err = ErrCode::kVpeGone;
+    reply->err = (vit != vpes_.end() && vit->second.migrating) ? ErrCode::kVpeMigrating
+                                                               : ErrCode::kVpeGone;
     Emit(Charge(t_.ikc_send), [this, recv_ep, msg, reply] { ReplyIkc(recv_ep, msg, reply); });
     return;
   }
@@ -924,6 +960,17 @@ Cycles Kernel::MarkPass(Capability* cap, RevokeTask* task) {
   Cycles cost = t_.revoke_mark_per_cap + t_.ddl_decode;
   for (DdlKey child_key : cap->children()) {
     cost += t_.ddl_decode;  // decode the edge to find the owning kernel
+    KernelId transfer_dst = MigratingTo(child_key.pe());
+    if (transfer_dst != kInvalidKernel) {
+      // The child's partition is in flight to another kernel. Marking the
+      // local copy now would revoke state the destination is about to
+      // resurrect; instead treat the child as remote and send the
+      // REVOKE_REQ to the destination — pairwise FIFO guarantees the
+      // MIGRATE_VPE snapshot arrives there first.
+      stats_.spanning_revokes++;
+      task->remote_children[transfer_dst].push_back(child_key);
+      continue;
+    }
     if (KernelOf(child_key) == config_.id) {
       Capability* child = caps_.Find(child_key);
       if (child == nullptr) {
@@ -1225,6 +1272,19 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
   for (DdlKey key : req.caps) {
     Capability* cap = caps_.Find(key);
     if (cap == nullptr) {
+      KernelId owner = KernelOf(key);
+      if (owner != config_.id) {
+        // This key's partition migrated away after the batch was
+        // assembled: relay a single REVOKE_REQ to the current owner and
+        // fold its completion into the batch countdown.
+        stats_.ikc_forwarded++;
+        auto fwd = std::make_shared<IkcMsg>();
+        fwd->op = IkcOp::kRevokeReq;
+        fwd->cap = key;
+        cost += t_.ddl_decode + t_.ikc_send;
+        SendIkc(owner, fwd, [maybe_reply](const IkcReply&) { maybe_reply(); });
+        continue;
+      }
       maybe_reply();
       continue;
     }
@@ -1250,6 +1310,7 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
 void Kernel::AdminKillVpe(VpeId vpe, std::function<void()> done) {
   auto it = vpes_.find(vpe);
   CHECK(it != vpes_.end());
+  CHECK(!it->second.migrating) << "cannot kill VPE " << vpe << " while it is migrating";
   VpeState* v = &it->second;
   v->alive = false;
 
@@ -1285,6 +1346,383 @@ void Kernel::AdminKillVpe(VpeId vpe, std::function<void()> done) {
     CheckRevokeComplete(task);
   }
   maybe_done();
+}
+
+// ---------------------------------------------------------------------------
+// PE migration — dynamic PE-group membership (beyond the paper)
+//
+// The handoff has three phases (see MigrateTask in kernel.h). Correctness
+// across the handoff leans on two existing invariants: the Pointless/mark
+// machinery (frozen VPEs deny exchanges with a retryable error, in-flight
+// revocations are drained before packing) and pairwise-FIFO kernel channels
+// (a REVOKE_REQ re-routed at the destination can never overtake the
+// MIGRATE_VPE snapshot, and once a peer acknowledged EPOCH_UPDATE no stale
+// request from it can still be in flight).
+// ---------------------------------------------------------------------------
+
+KernelId Kernel::MigratingTo(NodeId pe) const {
+  for (const auto& [id, task] : migrate_tasks_) {
+    if (task->pe == pe && task->phase == MigrateTask::Phase::kTransfer) {
+      return task->dst;
+    }
+  }
+  return kInvalidKernel;
+}
+
+NodeId Kernel::RoutingPartition(const IkcMsg& req) {
+  switch (req.op) {
+    case IkcOp::kObtainReq:
+      return req.cap.IsNull() ? req.peer : req.cap.pe();
+    case IkcOp::kOpenSessionReq:
+      return req.cap.pe();
+    case IkcOp::kDelegateReq:
+      return req.peer;
+    case IkcOp::kDelegateAck:
+      return req.child.pe();
+    case IkcOp::kRevokeReq:
+      return req.cap.pe();
+    case IkcOp::kOrphanNotify:
+    case IkcOp::kChildDrop:
+      return req.parent.pe();
+    default:
+      // Not capability-targeted (hello, shutdown, announce, migration
+      // control traffic) — or per-key routed (revoke batches).
+      return kInvalidNode;
+  }
+}
+
+bool Kernel::MaybeForwardIkc(EpId ep, const Message& msg, const IkcMsg& req) {
+  NodeId part = RoutingPartition(req);
+  // Requests for a partition whose snapshot is in flight park at the source
+  // and re-dispatch once the destination confirmed the takeover.
+  for (auto& [id, task] : migrate_tasks_) {
+    (void)id;
+    if (task->phase != MigrateTask::Phase::kTransfer) {
+      continue;
+    }
+    bool hit = part == task->pe;
+    if (req.op == IkcOp::kRevokeBatchReq) {
+      for (DdlKey key : req.caps) {
+        hit = hit || key.pe() == task->pe;
+      }
+    }
+    if (hit) {
+      task->parked.push_back(MigrateTask::ParkedIkc{ep, msg, req});
+      return true;
+    }
+  }
+  if (part == kInvalidNode) {
+    return false;
+  }
+  KernelId owner = config_.membership.KernelOf(part);
+  if (owner == config_.id) {
+    return false;
+  }
+  // The sender's membership view is one epoch behind: relay the request to
+  // the partition's current owner and proxy the reply back, so stale
+  // lookups stay correct for the settle round.
+  stats_.ikc_forwarded++;
+  auto fwd = std::make_shared<IkcMsg>(req);
+  fwd->token = 0;  // fresh token for the forward leg
+  uint64_t orig_token = req.token;
+  Finish(t_.ddl_decode + t_.ikc_send, [] {});
+  SendIkc(owner, fwd, [this, ep, msg, orig_token](const IkcReply& r) {
+    auto reply = std::make_shared<IkcReply>(r);
+    reply->token = orig_token;
+    Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+  });
+  return true;
+}
+
+bool Kernel::MigrationBlocked(NodeId pe) const {
+  for (const auto& [token, op] : obtains_) {
+    (void)token;
+    if (op.client == pe) {
+      return true;
+    }
+  }
+  for (const auto& [token, op] : delegates_) {
+    (void)token;
+    if (op.client == pe) {
+      return true;
+    }
+  }
+  for (const auto& [raw, parked] : parked_delegates_) {
+    if (parked.receiver == pe || DdlKey(raw).pe() == pe) {
+      return true;
+    }
+  }
+  for (const auto& [token, node] : ask_nodes_) {
+    (void)token;
+    if (node == pe) {
+      return true;  // an exchange-ask to the PE is outstanding
+    }
+  }
+  if (!revoke_queue_.empty()) {
+    return true;  // queued revocations could still touch the partition
+  }
+  const VpeState& vpe = vpes_.at(pe);
+  for (const auto& [sel, key] : vpe.table) {
+    (void)sel;
+    const Capability* cap = caps_.Find(key);
+    if (cap != nullptr && cap->marked()) {
+      return true;  // an in-flight revocation holds part of the subtree
+    }
+  }
+  return false;
+}
+
+void Kernel::AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)> done) {
+  auto it = vpes_.find(pe);
+  CHECK(it != vpes_.end()) << "kernel " << config_.id << " does not manage PE " << pe;
+  if (shutting_down_ || !it->second.alive) {
+    if (done) {
+      done(ErrCode::kAborted);
+    }
+    return;
+  }
+  if (it->second.migrating || dst == config_.id || dst >= config_.kernel_nodes.size() ||
+      peer_down_.at(dst)) {
+    if (done) {
+      done(ErrCode::kInvalidArgs);
+    }
+    return;
+  }
+
+  it->second.migrating = true;
+  auto task = std::make_unique<MigrateTask>();
+  task->id = next_token_++;
+  task->pe = pe;
+  task->dst = dst;
+  task->done = std::move(done);
+  uint64_t id = task->id;
+  migrate_tasks_[id] = std::move(task);
+  // Freeze bookkeeping, then poll until the moving partition quiesced.
+  Finish(t_.migrate_freeze, [] {});
+  pe_->sim()->Schedule(t_.migrate_quiesce_poll, [this, id] { PollMigrateQuiesce(id); });
+}
+
+void Kernel::PollMigrateQuiesce(uint64_t task_id) {
+  auto it = migrate_tasks_.find(task_id);
+  CHECK(it != migrate_tasks_.end());
+  MigrateTask* task = it->second.get();
+  if (MigrationBlocked(task->pe)) {
+    task->quiesce_polls++;
+    CHECK_LT(task->quiesce_polls, 1'000'000u) << "migration quiesce never drained";
+    pe_->sim()->Schedule(t_.migrate_quiesce_poll,
+                         [this, task_id] { PollMigrateQuiesce(task_id); });
+    return;
+  }
+  StartMigrateTransfer(task_id);
+}
+
+void Kernel::StartMigrateTransfer(uint64_t task_id) {
+  auto it = migrate_tasks_.find(task_id);
+  CHECK(it != migrate_tasks_.end());
+  MigrateTask* task = it->second.get();
+  task->phase = MigrateTask::Phase::kTransfer;
+
+  VpeState& vpe = vpes_.at(task->pe);
+  auto payload = std::make_shared<MigratePayload>();
+  payload->vpe = vpe.id;
+  payload->node = vpe.node;
+  payload->alive = vpe.alive;
+  payload->is_service = vpe.is_service;
+  payload->next_sel = vpe.next_sel;
+  payload->next_obj = next_obj_;
+  payload->caps.reserve(vpe.table.size());
+  for (const auto& [sel, key] : vpe.table) {
+    Capability* cap = caps_.Find(key);
+    CHECK(cap != nullptr);
+    CHECK(!cap->marked()) << "quiesce left a marked capability in the partition";
+    MigratedCap record;
+    record.key = key;
+    record.type = cap->type();
+    record.sel = sel;
+    record.parent = cap->parent();
+    record.children = cap->children();
+    record.payload = cap->payload();
+    record.activated = cap->activated();
+    record.activated_ep = cap->activated_ep();
+    payload->caps.push_back(std::move(record));
+  }
+  stats_.caps_migrated += payload->caps.size();
+  // Mint the handoff's epoch now, apply it in FinishMigrateTransfer once
+  // the destination confirmed (a refused transfer must not bump anything).
+  // Strictly greater than this partition's last applied epoch, so per-PE
+  // gating at every peer makes the newest owner win (see ddl.h Apply).
+  task->epoch = config_.membership.Epoch() + 1;
+
+  auto msg = std::make_shared<IkcMsg>();
+  msg->op = IkcOp::kMigrateVpe;
+  msg->node = task->pe;
+  msg->new_owner = task->dst;
+  msg->epoch = task->epoch;
+  msg->migrate = payload;
+  Finish(static_cast<Cycles>(payload->caps.size()) * t_.migrate_pack_per_cap + t_.ikc_send,
+         [] {});
+  SendIkc(task->dst, msg,
+          [this, task_id](const IkcReply& reply) { FinishMigrateTransfer(task_id, reply); });
+}
+
+void Kernel::OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req) {
+  CHECK(req.migrate != nullptr);
+  CHECK_EQ(req.new_owner, config_.id);
+  const MigratePayload& mp = *req.migrate;
+  auto reply = std::make_shared<IkcReply>();
+  reply->token = req.token;
+  if (shutting_down_ || vpes_.size() >= size_t{kMaxVpesPerKernel}) {
+    reply->err = shutting_down_ ? ErrCode::kAborted : ErrCode::kInvalidArgs;
+    Emit(Charge(t_.ikc_dispatch + t_.ikc_send),
+         [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+    return;
+  }
+
+  VpeState vpe;
+  vpe.id = mp.vpe;
+  vpe.node = mp.node;
+  vpe.alive = mp.alive;
+  vpe.is_service = mp.is_service;
+  vpe.migrating = false;
+  vpe.next_sel = mp.next_sel;
+  auto [vit, inserted] = vpes_.emplace(mp.vpe, std::move(vpe));
+  CHECK(inserted) << "kernel " << config_.id << " already manages PE " << mp.vpe;
+  // The PE may have been migrated away from here earlier and is now coming
+  // back; it is no longer "away", and a later death must report kNoSuchVpe
+  // instead of the retryable kVpeMigrating.
+  migrated_away_.erase(mp.vpe);
+  VpeState* v = &vit->second;
+  for (const MigratedCap& record : mp.caps) {
+    Capability* cap = caps_.Create(record.key, record.type, mp.vpe, record.sel);
+    cap->payload() = record.payload;
+    cap->set_parent(record.parent);
+    for (DdlKey child : record.children) {
+      cap->AddChild(child);
+    }
+    if (record.activated) {
+      cap->SetActivated(record.activated_ep);
+    }
+    v->table[record.sel] = record.key;
+  }
+  // Keep allocating collision-free object ids in the moved partition.
+  next_obj_ = std::max(next_obj_, mp.next_obj);
+  stats_.caps_migrated += mp.caps.size();
+  // This kernel owns the partition from here on; the source and the other
+  // kernels converge on the same epoch through the settle broadcast.
+  ApplyMembershipUpdate(mp.node, config_.id, req.epoch);
+
+  Finish(t_.ikc_dispatch + static_cast<Cycles>(mp.caps.size()) * t_.migrate_install_per_cap +
+             t_.epoch_apply + t_.ep_config,
+         [] {});
+  // Retarget the PE's syscall send endpoint at this kernel, then confirm
+  // the takeover — the moved VPE's retried syscalls land here from now on.
+  EpId syscall_ep = kEpSyscall0 + (mp.vpe % kNumSyscallEps);
+  pe_->dtu().ConfigureRemoteSend(mp.node, user_ep::kSyscallSend, pe_->node(), syscall_ep,
+                                 /*credits=*/1, /*label=*/0, [this, ep, msg, reply] {
+                                   Emit(Charge(t_.ikc_send),
+                                        [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+                                 });
+}
+
+void Kernel::FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply) {
+  auto it = migrate_tasks_.find(task_id);
+  CHECK(it != migrate_tasks_.end());
+  MigrateTask* task = it->second.get();
+  if (reply.err != ErrCode::kOk) {
+    // The destination refused; unfreeze and report. Nothing moved.
+    vpes_.at(task->pe).migrating = false;
+    for (MigrateTask::ParkedIkc& p : task->parked) {
+      DispatchIkcRequest(p.ep, p.msg, p.req);
+    }
+    task->parked.clear();
+    CompleteMigration(task_id, reply.err);
+    return;
+  }
+
+  // The destination owns the partition now: drop the local copy. The
+  // records moved; the capability tree itself did not change, so no
+  // parent/child unlinking happens here.
+  VpeState& vpe = vpes_.at(task->pe);
+  for (const auto& [sel, key] : vpe.table) {
+    (void)sel;
+    caps_.Erase(key);
+  }
+  vpes_.erase(task->pe);
+  migrated_away_[task->pe] = task->dst;
+  ApplyMembershipUpdate(task->pe, task->dst, task->epoch);
+  Finish(t_.ikc_reply_handle + t_.epoch_apply, [] {});
+
+  // Leave kTransfer before releasing the parked requests — MaybeForwardIkc
+  // parks for in-transfer partitions, and these must forward now instead.
+  task->phase = MigrateTask::Phase::kSettle;
+
+  // Release requests parked during the transfer; the updated membership
+  // forwards them to the new owner.
+  std::vector<MigrateTask::ParkedIkc> parked = std::move(task->parked);
+  task->parked.clear();
+  for (MigrateTask::ParkedIkc& p : parked) {
+    if (!MaybeForwardIkc(p.ep, p.msg, p.req)) {
+      DispatchIkcRequest(p.ep, p.msg, p.req);
+    }
+  }
+
+  // Settle round: broadcast the epoch so every kernel re-routes directly.
+  for (auto& [peer, state] : peers_) {
+    (void)state;
+    if (peer_down_.at(peer)) {
+      continue;
+    }
+    task->outstanding++;
+    auto update = std::make_shared<IkcMsg>();
+    update->op = IkcOp::kEpochUpdate;
+    update->node = task->pe;
+    update->new_owner = task->dst;
+    update->epoch = task->epoch;
+    Finish(t_.ikc_send, [] {});
+    SendIkc(peer, update, [this, task_id](const IkcReply&) {
+      auto tit = migrate_tasks_.find(task_id);
+      CHECK(tit != migrate_tasks_.end());
+      MigrateTask* t = tit->second.get();
+      CHECK_GT(t->outstanding, 0u);
+      if (--t->outstanding == 0) {
+        CompleteMigration(task_id, ErrCode::kOk);
+      }
+    });
+  }
+  if (task->outstanding == 0) {
+    CompleteMigration(task_id, ErrCode::kOk);
+  }
+}
+
+void Kernel::CompleteMigration(uint64_t task_id, ErrCode err) {
+  auto it = migrate_tasks_.find(task_id);
+  CHECK(it != migrate_tasks_.end());
+  MigrateTask* task = it->second.get();
+  if (err == ErrCode::kOk) {
+    stats_.migrations++;
+    LOG_INFO(kTag) << "kernel " << config_.id << " migrated PE " << task->pe << " to kernel "
+                   << task->dst << " (epoch " << task->epoch << ")";
+  }
+  auto done = std::move(task->done);
+  migrate_tasks_.erase(it);
+  if (done) {
+    done(err);
+  }
+}
+
+void Kernel::ApplyMembershipUpdate(NodeId pe, KernelId new_owner, uint64_t epoch) {
+  config_.membership.Apply(pe, new_owner, epoch);
+  // Sessions already connected to a service on the moved PE keep working
+  // (the PE itself did not move); new OPEN_SESSION requests must route to
+  // the kernel that now manages it.
+  for (auto& [name, entries] : services_) {
+    (void)name;
+    for (ServiceEntry& entry : entries) {
+      if (entry.node == pe) {
+        entry.kernel = new_owner;
+      }
+    }
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1529,6 +1967,14 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
   credit->from = config_.id;
   Emit(pe_->sim()->Now(), [this, msg, credit] { pe_->dtu().SendDeferredReply(msg, credit); });
 
+  if (MaybeForwardIkc(ep, msg, *req)) {
+    return;
+  }
+  DispatchIkcRequest(ep, msg, *req);
+}
+
+void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& request) {
+  const IkcMsg* req = &request;
   switch (req->op) {
     case IkcOp::kHello: {
       auto reply = std::make_shared<IkcReply>();
@@ -1676,6 +2122,19 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
       auto reply = std::make_shared<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kMigrateVpe: {
+      OnMigrateVpe(ep, msg, *req);
+      break;
+    }
+    case IkcOp::kEpochUpdate: {
+      ApplyMembershipUpdate(req->node, req->new_owner, req->epoch);
+      stats_.epoch_updates++;
+      auto reply = std::make_shared<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.epoch_apply + t_.ikc_send),
+           [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
     }
   }

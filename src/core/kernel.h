@@ -24,7 +24,13 @@
 //    V_group + K_max * M_inflight (Eq. 1) and never grows at runtime;
 //  * kernel-to-kernel flow control (§4.1): at most `max_inflight` (4)
 //    request messages per peer kernel are in flight; excess requests queue
-//    at the sender so DTU receive slots can never overflow.
+//    at the sender so DTU receive slots can never overflow;
+//  * PE migration (beyond the paper, which kept the membership table
+//    static): a PE's VPE and capability partition move between kernels via
+//    MIGRATE_VPE, the replicated DDL membership table is epoch-versioned
+//    and converges through EPOCH_UPDATE broadcasts, and the previous owner
+//    forwards stale-epoch requests for exactly one settle round — so
+//    Algorithm 1's completeness guarantee holds across the handoff.
 //
 // Execution model: the kernel PE is a serial resource (one single-threaded
 // core, §4.2). Message handlers mutate kernel state in arrival order and
@@ -73,6 +79,12 @@ struct KernelStats {
   uint64_t pointless_denials = 0;   // exchanges denied on marked caps
   uint64_t invalid_prevented = 0;   // delegate acks failed: parent revoked
   uint64_t revoke_reqs_queued = 0;  // waited for one of the 2 revoke threads
+  // PE migration (dynamic membership).
+  uint64_t migrations = 0;          // completed as the source kernel
+  uint64_t caps_migrated = 0;       // records packed (source) or installed (dest)
+  uint64_t ikc_forwarded = 0;       // stale-epoch requests relayed to the owner
+  uint64_t epoch_updates = 0;       // EPOCH_UPDATE IKCs applied
+  uint64_t syscalls_frozen = 0;     // syscalls answered with kVpeMigrating
   uint32_t threads_in_use = 0;
   uint32_t threads_in_use_max = 0;
 };
@@ -106,6 +118,38 @@ struct RevokeTask {
   // kernel; flushed as one request per child, or one per peer when
   // revocation batching is enabled.
   std::map<KernelId, std::vector<DdlKey>> remote_children;
+};
+
+// A PE migration in progress at the source kernel. Three phases:
+//   kQuiesce  — the VPE is frozen (syscalls/exchanges denied with the
+//               retryable kVpeMigrating); the source polls until every
+//               in-flight operation touching the moving partition drained;
+//   kTransfer — the partition snapshot is in flight to the destination;
+//               requests for the moving partition park here and are
+//               re-dispatched (and then forwarded) once the handoff landed;
+//   kSettle   — the destination owns the partition; the source broadcast
+//               EPOCH_UPDATE and waits for every peer's acknowledgement.
+//               Pairwise-FIFO channels guarantee that no stale request can
+//               arrive after its sender's ack, so when the last ack is in,
+//               forwarding is provably no longer needed (one settle round).
+struct MigrateTask {
+  enum class Phase { kQuiesce, kTransfer, kSettle };
+
+  uint64_t id = 0;
+  NodeId pe = kInvalidNode;
+  KernelId dst = kInvalidKernel;
+  Phase phase = Phase::kQuiesce;
+  uint64_t epoch = 0;          // membership epoch assigned to the handoff
+  uint32_t outstanding = 0;    // EPOCH_UPDATE acks still missing
+  uint32_t quiesce_polls = 0;
+  std::function<void(ErrCode)> done;
+  // Requests for the moving partition that arrived during kTransfer.
+  struct ParkedIkc {
+    EpId ep = 0;
+    Message msg;
+    IkcMsg req;
+  };
+  std::vector<ParkedIkc> parked;
 };
 
 class Kernel : public Program {
@@ -157,6 +201,15 @@ class Kernel : public Program {
   // `done` fires when all revocations completed.
   void AdminKillVpe(VpeId vpe, std::function<void()> done);
 
+  // Migrates the PE (and its VPE + capability partition) from this kernel
+  // to `dst`: freezes the VPE, quiesces in-flight operations on the moving
+  // partition, transfers the state with a MIGRATE_VPE IKC, retargets the
+  // PE's syscall endpoint, and broadcasts the membership change as an
+  // epoch-versioned EPOCH_UPDATE. `done` fires with kOk once every peer
+  // acknowledged the new epoch (no more forwarding needed), or with an
+  // error if the migration could not start.
+  void AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)> done);
+
   // Graceful shutdown (IKC functional group 1, paper §4.1): kills every
   // VPE of this group (revoking all their capabilities, including remote
   // copies), refuses further system calls, and notifies all peer kernels.
@@ -181,7 +234,7 @@ class Kernel : public Program {
   Capability* CapOf(VpeId vpe, CapSel sel) const;
   size_t PendingOps() const {
     return obtains_.size() + delegates_.size() + revoke_tasks_.size() + parked_delegates_.size() +
-           asks_.size() + ikcs_.size();
+           asks_.size() + ikcs_.size() + migrate_tasks_.size();
   }
   uint32_t ThreadPoolSize() const;  // Eq. 1: V_group + K_max * M_inflight
 
@@ -248,6 +301,9 @@ class Kernel : public Program {
   // ===== Message handlers =====
   void OnSyscall(EpId ep, const Message& msg);
   void OnIkc(EpId ep, const Message& msg);
+  // The request dispatch half of OnIkc, also re-entered when a request
+  // parked during a migration transfer is released.
+  void DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& req);
   void OnAskReply(const Message& msg);
 
   // ===== System call implementations =====
@@ -292,6 +348,26 @@ class Kernel : public Program {
   Cycles SweepPass(DdlKey key, RevokeTask* task, uint32_t* deleted);
   void CompleteRevokeTask(RevokeTask* task);
   void DrainRevokeQueue();
+
+  // ===== PE migration (dynamic membership) =====
+  // True while any in-flight operation still touches partition `pe`.
+  bool MigrationBlocked(NodeId pe) const;
+  void PollMigrateQuiesce(uint64_t task_id);
+  void StartMigrateTransfer(uint64_t task_id);
+  void FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply);
+  void CompleteMigration(uint64_t task_id, ErrCode err);
+  void OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req);
+  // Updates the membership table and fixes up service-directory routing.
+  void ApplyMembershipUpdate(NodeId pe, KernelId new_owner, uint64_t epoch);
+  // Destination kernel of an in-progress transfer of partition `pe`, or
+  // kInvalidKernel. Used to re-route REVOKE_REQs for moving subtrees.
+  KernelId MigratingTo(NodeId pe) const;
+  // The DDL partition an IKC request routes by, or kInvalidNode for ops
+  // that are not capability-targeted (hello, announce, epoch update, ...).
+  static NodeId RoutingPartition(const IkcMsg& req);
+  // Parks (during a transfer) or forwards (stale sender epoch) a request
+  // for a partition this kernel no longer owns. Returns true if handled.
+  bool MaybeForwardIkc(EpId ep, const Message& msg, const IkcMsg& req);
 
   // ===== Capability helpers =====
   DdlKey AllocKey(VpeId creator, CapType type);
@@ -365,6 +441,12 @@ class Kernel : public Program {
   std::unordered_map<uint64_t, NodeId> ask_nodes_;  // token -> asked node
   std::unordered_map<uint64_t, PendingIkc> ikcs_;
   std::unordered_map<uint64_t, std::unique_ptr<RevokeTask>> revoke_tasks_;
+  std::map<uint64_t, std::unique_ptr<MigrateTask>> migrate_tasks_;
+  // PEs this kernel handed off, with their new owner. Syscalls from a
+  // migrated VPE still land here until its send endpoint was retargeted;
+  // they get the retryable kVpeMigrating so the retry reaches the new
+  // kernel instead of a misleading kNoSuchVpe.
+  std::map<NodeId, KernelId> migrated_away_;
 
   std::map<KernelId, PeerState> peers_;
   std::map<std::string, std::vector<ServiceEntry>> services_;

@@ -14,7 +14,9 @@
 #define SEMPEROS_CORE_PROTOCOL_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "base/status.h"
 #include "base/types.h"
@@ -37,6 +39,34 @@ struct CapPayload {
   EpId dst_ep = 0;
   uint64_t session = 0;  // service-chosen session identifier
   DdlKey service;        // owning service capability (sessions)
+};
+
+// One capability record crossing kernels during PE migration. Mirrors the
+// persistent fields of Capability; revocation marks never migrate because
+// the source kernel quiesces in-flight revocations before packing.
+struct MigratedCap {
+  DdlKey key;
+  CapType type = CapType::kNone;
+  CapSel sel = kInvalidSel;
+  DdlKey parent;
+  std::vector<DdlKey> children;
+  CapPayload payload;
+  bool activated = false;
+  EpId activated_ep = 0;
+};
+
+// Everything the destination kernel needs to take over a PE: the VPE's
+// kernel-side state plus every capability of the PE's DDL partition. The
+// source's object-id counter rides along so the destination can keep
+// allocating collision-free keys in the moved partition.
+struct MigratePayload {
+  VpeId vpe = kInvalidVpe;
+  NodeId node = kInvalidNode;
+  bool alive = true;
+  bool is_service = false;
+  CapSel next_sel = 1;
+  uint64_t next_obj = 1;
+  std::vector<MigratedCap> caps;
 };
 
 inline constexpr uint32_t kPermR = 1;
@@ -162,6 +192,13 @@ enum class IkcOp : uint8_t {
   kRevokeBatchReq,
   kOrphanNotify,  // obtainer died: remove orphaned child (paper §4.3.2)
   kChildDrop,     // revoked cap had a live remote parent: unlink it
+  // Extension (beyond the paper, which kept membership static): dynamic
+  // PE-group membership. kMigrateVpe carries a PE's VPE state and
+  // capability partition to its new owner; kEpochUpdate broadcasts the
+  // membership reassignment so every kernel's replicated DDL table
+  // converges within one settle round.
+  kMigrateVpe,
+  kEpochUpdate,
 };
 
 const char* IkcOpName(IkcOp op);
@@ -180,10 +217,15 @@ struct IkcMsg : MsgBody {
   CapPayload payload;        // resource description (delegate offers)
   MsgRef opaque;             // service-defined request (session exchange)
   std::string name;          // service name (announce)
-  NodeId node = kInvalidNode;  // service PE (announce)
+  NodeId node = kInvalidNode;  // service PE (announce); migrating PE
+  // Migration (kMigrateVpe / kEpochUpdate).
+  KernelId new_owner = kInvalidKernel;  // kernel taking over partition `node`
+  uint64_t epoch = 0;                   // membership epoch of the reassignment
+  std::shared_ptr<MigratePayload> migrate;  // kMigrateVpe: the moved state
 
   uint32_t WireSize() const override {
-    return static_cast<uint32_t>(112 + caps.size() * sizeof(uint64_t));
+    size_t migrate_bytes = migrate == nullptr ? 0 : 48 + migrate->caps.size() * 64;
+    return static_cast<uint32_t>(112 + caps.size() * sizeof(uint64_t) + migrate_bytes);
   }
 };
 

@@ -75,6 +75,17 @@ struct TimingModel {
   Cycles ep_config = 240;      // building the privileged config packet
   Cycles ep_invalidate = 220;  // revoking an activated capability's endpoint
 
+  // --- PE migration (dynamic PE-group membership; beyond the paper) ---
+  // Not constrained by Table 3. Freeze/quiesce bookkeeping happens once per
+  // migration; pack/install scale with the number of capabilities moved;
+  // epoch_apply is the membership-table update every kernel pays per
+  // EPOCH_UPDATE (one table write + service-directory fixup).
+  Cycles migrate_freeze = 400;
+  Cycles migrate_quiesce_poll = 2000;    // re-check interval while draining
+  Cycles migrate_pack_per_cap = 140;     // serialize one capability record
+  Cycles migrate_install_per_cap = 180;  // materialize one record at the dest
+  Cycles epoch_apply = 90;
+
   // --- Service-side handler costs (m3fs) ---
   // Not constrained by Table 3 (which measures kernel capability
   // operations); set to the magnitude of real m3fs handler work — path

@@ -32,6 +32,7 @@ void UserEnv::Syscall(std::shared_ptr<SyscallMsg> msg,
   syscalls_issued_++;
   msg->vpe = vpe();
   msg->token = next_token_++;
+  syscall_msg_ = msg;
   Status st = pe_->dtu().Send(user_ep::kSyscallSend, std::move(msg), user_ep::kSyscallReply);
   CHECK(st.ok()) << "syscall send failed: " << st.name();
 }
@@ -40,9 +41,22 @@ void UserEnv::OnSyscallReply(const Message& msg) {
   const SyscallReply* reply = msg.As<SyscallReply>();
   CHECK(reply != nullptr);
   CHECK(syscall_pending_);
+  if (reply->err == ErrCode::kVpeMigrating) {
+    // This VPE — or the exchange peer — is moving kernels. The call stays
+    // pending and is re-sent after a backoff; migration handoffs retarget
+    // the syscall endpoint, so a moved VPE's retry reaches its new kernel
+    // without the application noticing.
+    syscall_retries_++;
+    pe_->exec().Post(kMigrateRetryBackoff, [this] {
+      Status st = pe_->dtu().Send(user_ep::kSyscallSend, syscall_msg_, user_ep::kSyscallReply);
+      CHECK(st.ok()) << "syscall retry send failed: " << st.name();
+    });
+    return;
+  }
   syscall_pending_ = false;
   auto cb = std::move(syscall_cb_);
   syscall_cb_ = nullptr;
+  syscall_msg_ = nullptr;  // only retained for migration retries
   if (cb) {
     cb(*reply);
   }

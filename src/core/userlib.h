@@ -78,6 +78,12 @@ class UserEnv {
   void Compute(Cycles cost, std::function<void()> then) { pe_->Compute(cost, std::move(then)); }
 
   uint64_t syscalls_issued() const { return syscalls_issued_; }
+  uint64_t syscall_retries() const { return syscall_retries_; }
+
+  // Backoff before re-sending a syscall answered with kVpeMigrating. By the
+  // time the retry goes out, the new kernel has usually retargeted this
+  // PE's syscall endpoint, so the retry lands at the right kernel.
+  static constexpr Cycles kMigrateRetryBackoff = 6000;
 
  private:
   void OnSyscallReply(const Message& msg);
@@ -92,8 +98,10 @@ class UserEnv {
 
   uint64_t next_token_ = 1;
   uint64_t syscalls_issued_ = 0;
+  uint64_t syscall_retries_ = 0;
   bool syscall_pending_ = false;
   std::function<void(const SyscallReply&)> syscall_cb_;
+  std::shared_ptr<SyscallMsg> syscall_msg_;  // kept for migration retries
 
   bool request_pending_ = false;
   std::function<void(const Message&)> request_cb_;

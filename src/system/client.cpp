@@ -24,6 +24,20 @@ DriverRig MakeDriverRig(PlatformConfig pc) {
   return rig;
 }
 
+Cycles DriverRig::Migrate(NodeId pe, KernelId dst_kernel) {
+  Cycles start = platform->sim().Now();
+  Cycles end = start;
+  bool done = false;
+  platform->MigratePe(pe, dst_kernel, [&](ErrCode err) {
+    CHECK(err == ErrCode::kOk) << "migration failed: " << ErrName(err);
+    end = platform->sim().Now();
+    done = true;
+  });
+  platform->RunToCompletion();
+  CHECK(done) << "migration did not complete";
+  return end - start;
+}
+
 CapSel DriverRig::BuildChain(uint32_t length, const std::vector<size_t>& hops) {
   CHECK_GE(length, 1u);
   CHECK_GE(hops.size(), 1u);

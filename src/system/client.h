@@ -49,6 +49,10 @@ struct DriverRig {
                                               kPermRW);
   }
 
+  // Migrates `pe` to `dst_kernel` and runs the simulation until the new
+  // membership epoch settled on every kernel. Returns the handoff latency.
+  Cycles Migrate(NodeId pe, KernelId dst_kernel);
+
   // Runs one blocking capability operation and returns its latency.
   Cycles TimedOp(const std::function<void(std::function<void()>)>& op) {
     Cycles start = platform->sim().Now();

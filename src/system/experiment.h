@@ -13,6 +13,10 @@
 #include "core/timing.h"
 #include "system/platform.h"
 #include "trace/replayer.h"
+// Elasticity experiment (RunRebalance): cross-group capability traffic with
+// mid-run PE migration. Re-exported here so harnesses have one entry point
+// for every experiment shape.
+#include "workloads/rebalance.h"
 
 namespace semperos {
 

@@ -179,6 +179,21 @@ void Platform::Boot() {
   }
 }
 
+void Platform::MigratePe(NodeId pe, KernelId dst_kernel, std::function<void(ErrCode)> done) {
+  CHECK(booted_);
+  CHECK_LT(dst_kernel, config_.kernels);
+  KernelId src = membership_.KernelOf(pe);
+  CHECK_NE(src, dst_kernel) << "PE " << pe << " already belongs to kernel " << dst_kernel;
+  kernels_.at(src)->AdminMigratePe(pe, dst_kernel, [this, pe, dst_kernel, done](ErrCode err) {
+    if (err == ErrCode::kOk) {
+      membership_.Reassign(pe, dst_kernel);
+    }
+    if (done) {
+      done(err);
+    }
+  });
+}
+
 uint64_t Platform::RunToCompletion(uint64_t max_events) {
   uint64_t ran = sim_.RunUntilIdle(max_events);
   CHECK(sim_.Idle()) << "simulation exceeded event budget";
@@ -210,6 +225,11 @@ KernelStats Platform::TotalKernelStats() const {
     total.pointless_denials += s.pointless_denials;
     total.invalid_prevented += s.invalid_prevented;
     total.revoke_reqs_queued += s.revoke_reqs_queued;
+    total.migrations += s.migrations;
+    total.caps_migrated += s.caps_migrated;
+    total.ikc_forwarded += s.ikc_forwarded;
+    total.epoch_updates += s.epoch_updates;
+    total.syscalls_frozen += s.syscalls_frozen;
   }
   return total;
 }

@@ -74,6 +74,14 @@ class Platform {
   // Runs the simulation until every boot stage settled.
   void Boot();
 
+  // Driver API for dynamic PE-group membership: migrates `pe` (its VPE and
+  // capability partition) from its current kernel to `dst_kernel`. `done`
+  // fires once the new membership epoch settled on every kernel; on success
+  // the platform's own membership copy is updated first, so kernel_of()
+  // reflects the move. Requires a booted platform and a running simulation
+  // (call before RunToCompletion, or from a scheduled event).
+  void MigratePe(NodeId pe, KernelId dst_kernel, std::function<void(ErrCode)> done = nullptr);
+
   // Runs the simulation until no events remain and checks hardware
   // invariants (no dropped messages anywhere). Returns events executed.
   uint64_t RunToCompletion(uint64_t max_events = 2'000'000'000ull);

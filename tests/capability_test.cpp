@@ -170,6 +170,9 @@ TEST(Revoke, GroupSpanningRecursive) {
   rig.p().RunToCompletion();
   // C really lives on K0 again: the cycle K0 -> K1 -> K0 exists.
   ASSERT_EQ(k0->FindCap(k1->FindCap(root->children()[0])->children()[0])->holder(), rig.vpe(c));
+  // Snapshot the keys: the revocation below frees the Capability objects.
+  DdlKey root_key = root->key();
+  DdlKey mid_key = mid->key();
 
   bool acked = false;
   rig.client(a).env().Revoke(sel, [&](const SyscallReply& r) {
@@ -180,7 +183,8 @@ TEST(Revoke, GroupSpanningRecursive) {
 
   EXPECT_TRUE(acked);
   EXPECT_EQ(k0->CapOf(rig.vpe(a), sel), nullptr);
-  EXPECT_EQ(k1->FindCap(root->key()), nullptr);
+  EXPECT_EQ(k0->FindCap(root_key), nullptr);
+  EXPECT_EQ(k1->FindCap(mid_key), nullptr);
   EXPECT_EQ(k0->stats().spanning_revokes + k1->stats().spanning_revokes, 2u);
 }
 

@@ -48,10 +48,87 @@ TEST(DdlKey, PartitionFieldSelectsKernel) {
   EXPECT_EQ(table.KernelOfKey(key), 2u);
 }
 
+TEST(DdlKey, MaxFieldValuesRoundTrip) {
+  // The largest encodable ids: 12-bit PE/VPE, 32-bit object id.
+  constexpr NodeId kMaxPe = (1u << DdlKey::kPeBits) - 1;
+  constexpr VpeId kMaxVpe = (1u << DdlKey::kVpeBits) - 1;
+  constexpr uint64_t kMaxObj = (1ull << DdlKey::kObjBits) - 1;
+  DdlKey key = DdlKey::Make(kMaxPe, kMaxVpe, CapType::kKernel, kMaxObj);
+  EXPECT_EQ(key.pe(), kMaxPe);
+  EXPECT_EQ(key.vpe(), kMaxVpe);
+  EXPECT_EQ(key.type(), CapType::kKernel);
+  EXPECT_EQ(key.obj(), kMaxObj);
+  // Max fields must not spill into neighbouring regions.
+  DdlKey pe_only = DdlKey::Make(kMaxPe, 0, CapType::kNone, 0);
+  EXPECT_EQ(pe_only.vpe(), 0u);
+  EXPECT_EQ(pe_only.obj(), 0u);
+  DdlKey obj_only = DdlKey::Make(0, 0, CapType::kNone, kMaxObj);
+  EXPECT_EQ(obj_only.pe(), 0u);
+  EXPECT_EQ(obj_only.vpe(), 0u);
+}
+
 TEST(DdlKey, MakeRejectsOutOfRangeFields) {
+  // First value past each field's region must CHECK-fail (CHECK_LT).
   EXPECT_DEATH(DdlKey::Make(1u << DdlKey::kPeBits, 0, CapType::kVpe, 1), "");
   EXPECT_DEATH(DdlKey::Make(0, 1u << DdlKey::kVpeBits, CapType::kVpe, 1), "");
   EXPECT_DEATH(DdlKey::Make(0, 0, CapType::kVpe, 1ull << DdlKey::kObjBits), "");
+}
+
+TEST(Membership, EpochStartsAtZeroAndReassignBumps) {
+  MembershipTable table(8);
+  for (NodeId pe = 0; pe < 8; ++pe) {
+    table.Assign(pe, pe / 4);
+  }
+  EXPECT_EQ(table.Epoch(), 0u);  // boot-time wiring is epoch-free
+  uint64_t epoch = table.Reassign(5, 0);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(table.Epoch(), 1u);
+  EXPECT_EQ(table.Reassign(6, 0), 2u);
+}
+
+TEST(Membership, LookupAfterEpochBumpResolvesToNewKernel) {
+  MembershipTable table(8);
+  for (NodeId pe = 0; pe < 8; ++pe) {
+    table.Assign(pe, pe / 4);
+  }
+  DdlKey key = DdlKey::Make(5, 5, CapType::kMem, 42);
+  ASSERT_EQ(table.KernelOfKey(key), 1u);
+  table.Reassign(5, 0);
+  EXPECT_EQ(table.KernelOfKey(key), 0u);
+  // Other partitions are untouched by the bump.
+  EXPECT_EQ(table.KernelOf(4), 1u);
+  EXPECT_EQ(table.GroupSize(0), 5u);
+  EXPECT_EQ(table.GroupSize(1), 3u);
+}
+
+TEST(Membership, ApplyMergesEpochsMonotonically) {
+  MembershipTable table(4);
+  for (NodeId pe = 0; pe < 4; ++pe) {
+    table.Assign(pe, 0);
+  }
+  table.Apply(2, 1, 7);
+  EXPECT_EQ(table.KernelOf(2), 1u);
+  EXPECT_EQ(table.Epoch(), 7u);
+  // A lower-epoch broadcast for a different partition still applies its
+  // mapping but cannot move the observed epoch backwards.
+  table.Apply(3, 1, 3);
+  EXPECT_EQ(table.KernelOf(3), 1u);
+  EXPECT_EQ(table.Epoch(), 7u);
+}
+
+TEST(Membership, ApplyIgnoresStaleOutOfOrderUpdates) {
+  // Back-to-back migrations of one PE broadcast from different sources;
+  // with only pairwise FIFO a peer can see them out of order. The newest
+  // epoch must win and the stale one must not roll the mapping back.
+  MembershipTable table(4);
+  for (NodeId pe = 0; pe < 4; ++pe) {
+    table.Assign(pe, 0);
+  }
+  table.Apply(2, 2, 5);  // second hop (owner: kernel 2) arrives first
+  table.Apply(2, 1, 3);  // first hop's broadcast arrives late
+  EXPECT_EQ(table.KernelOf(2), 2u);
+  EXPECT_EQ(table.PeEpoch(2), 5u);
+  EXPECT_EQ(table.Epoch(), 5u);
 }
 
 TEST(Membership, GroupSizes) {

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare fast-sweep benchmark JSON against a committed baseline.
+
+Every bench binary reports *simulated* time (cycle-exact manual time), so
+runs are deterministic across machines and compilers: any drift beyond the
+threshold is a real behavioural regression, not noise.
+
+Usage:
+    tools/bench_compare.py BASELINE_DIR NEW_DIR [--threshold 0.25]
+
+Exits non-zero if any benchmark in the baseline regressed by more than
+THRESHOLD (relative simulated-time increase), or if a baseline file or
+benchmark disappeared. New benchmarks (not in the baseline) are reported
+but do not fail the gate — commit a refreshed baseline to cover them.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_benchmarks(path):
+    """Returns {benchmark name: real_time in ns} for one google-benchmark JSON."""
+    with open(path, encoding="utf-8") as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        # Skip aggregate rows (mean/median/stddev of repetitions).
+        if bench.get("run_type") == "aggregate":
+            continue
+        out[bench["name"]] = float(bench["real_time"])
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline_dir", type=pathlib.Path)
+    parser.add_argument("new_dir", type=pathlib.Path)
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated relative slowdown (default 0.25 = 25%%)")
+    args = parser.parse_args()
+
+    baseline_files = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baseline_files:
+        print(f"error: no BENCH_*.json files in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    failures = []
+    compared = 0
+    for base_path in baseline_files:
+        new_path = args.new_dir / base_path.name
+        if not new_path.exists():
+            failures.append(f"{base_path.name}: missing from {args.new_dir}")
+            continue
+        base = load_benchmarks(base_path)
+        new = load_benchmarks(new_path)
+        for name, base_time in sorted(base.items()):
+            if name not in new:
+                failures.append(f"{base_path.name}: benchmark '{name}' disappeared")
+                continue
+            compared += 1
+            new_time = new[name]
+            if base_time <= 0:
+                continue
+            ratio = new_time / base_time
+            marker = ""
+            if ratio > 1.0 + args.threshold:
+                marker = "  <-- REGRESSION"
+                failures.append(
+                    f"{base_path.name}: '{name}' {base_time:.1f} -> {new_time:.1f} ns "
+                    f"({(ratio - 1.0) * 100.0:+.1f}%)")
+            if marker or abs(ratio - 1.0) > 0.01:
+                print(f"{base_path.name}: {name}: {base_time:.1f} -> {new_time:.1f} ns "
+                      f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
+        for name in sorted(set(new) - set(base)):
+            print(f"{base_path.name}: new benchmark '{name}' (not gated; refresh the baseline)")
+
+    print(f"\ncompared {compared} benchmarks against {len(baseline_files)} baseline files")
+    if failures:
+        print(f"\n{len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no simulated-time regressions beyond "
+          f"{args.threshold * 100:.0f}% — gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
