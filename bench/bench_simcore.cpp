@@ -1,0 +1,118 @@
+// Engine-room microbenchmark: wall-clock throughput of the simulator
+// substrate itself.
+//
+// Unlike every other bench binary, this one measures HOST time, not
+// simulated time: it tracks how fast the discrete-event engine executes
+// (events/sec through the indexed 4-ary heap + InlineFn callbacks) and how
+// fast the NoC+DTU stack moves messages (messages/sec including pooled
+// body allocation, tag dispatch and per-link reservation). Every figure
+// sweep is bounded by these two rates, so regressions here show up as
+// wall-clock regressions everywhere (see docs/benchmarks.md, "Wall-clock
+// vs modeled cycles").
+//
+// Compare runs with:  tools/bench_compare.py OLD NEW --wallclock
+// (generous tolerance; host timing is noisy where simulated time is not).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+
+#include "dtu/dtu.h"
+#include "dtu/msg_pool.h"
+#include "noc/noc.h"
+#include "sim/simulation.h"
+
+namespace semperos {
+namespace {
+
+// Message-sized event payload: the engine's typical closure captures a
+// Message (~40 bytes) plus a few scalars. Copying itself into the next
+// Schedule exercises exactly the path every handler-chain takes.
+struct ChainEvent {
+  Simulation* sim;
+  uint64_t* remaining;
+  uint64_t payload[5] = {0, 1, 2, 3, 4};
+
+  void operator()() const {
+    if (*remaining == 0) {
+      return;
+    }
+    --*remaining;
+    sim->Schedule(1 + payload[*remaining % 5], *this);
+  }
+};
+
+// Events/sec: 64 interleaved self-rescheduling chains drain a fixed event
+// budget. Heap size stays at ~64 pending events with constant churn — the
+// steady-state shape of a running platform.
+void BM_EventChurn(benchmark::State& state) {
+  constexpr uint64_t kEvents = 1'000'000;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Simulation sim;
+    uint64_t remaining = kEvents;
+    for (int chain = 0; chain < 64; ++chain) {
+      sim.Schedule(static_cast<Cycles>(chain), ChainEvent{&sim, &remaining});
+    }
+    sim.RunUntilIdle();
+    total += sim.EventsRun();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+  state.counters["events_per_sec"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+
+struct PingMsg : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kTest;
+  PingMsg() : MsgBody(kKind) {}
+};
+
+// Messages/sec: a credit-limited ping-pong between two DTUs across a small
+// mesh. Each round trip allocates two pooled bodies, reserves NoC links,
+// delivers into receive slots and returns a credit — the full per-message
+// cost the kernels pay on every syscall and IKC.
+void BM_MessageDelivery(benchmark::State& state) {
+  constexpr uint64_t kRoundTrips = 200'000;
+  constexpr uint32_t kPipeline = 8;
+  uint64_t total = 0;
+  for (auto _ : state) {
+    Simulation sim;
+    NocConfig noc_config;
+    noc_config.width = 4;
+    noc_config.height = 1;
+    Noc noc(&sim, noc_config);
+    DtuFabric fabric(&noc);
+    Dtu a(&sim, &fabric, 0);
+    Dtu b(&sim, &fabric, 3);
+
+    uint64_t sent = 0;
+    a.ConfigureSend(/*ep=*/0, /*dst_node=*/3, /*dst_ep=*/0, /*credits=*/kPipeline);
+    a.ConfigureRecv(/*ep=*/1, kPipeline, [&](EpId, const Message&) {
+      if (sent < kRoundTrips) {
+        ++sent;
+        CHECK(a.Send(0, NewMsg<PingMsg>(), /*reply_ep=*/1).ok());
+      }
+    });
+    b.ConfigureRecv(/*ep=*/0, 32, [&](EpId ep, const Message& msg) {
+      CHECK(msg.As<PingMsg>() != nullptr);
+      CHECK(b.Reply(ep, msg, NewMsg<PingMsg>()).ok());
+    });
+    for (uint32_t i = 0; i < kPipeline; ++i) {
+      ++sent;
+      CHECK(a.Send(0, NewMsg<PingMsg>(), /*reply_ep=*/1).ok());
+    }
+    sim.RunUntilIdle();
+    CHECK_EQ(a.stats().msgs_dropped + b.stats().msgs_dropped, 0u);
+    total += a.stats().msgs_sent + b.stats().msgs_sent;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total));
+  state.counters["messages_per_sec"] =
+      benchmark::Counter(static_cast<double>(total), benchmark::Counter::kIsRate);
+}
+
+BENCHMARK(BM_EventChurn)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MessageDelivery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+BENCHMARK_MAIN();

@@ -20,6 +20,7 @@ fi
 mkdir -p "${OUT_DIR}"
 
 BENCHES=(
+  bench_simcore
   bench_table3_capops
   bench_table4_capability_ops
   bench_fig4_chain_revocation

@@ -41,7 +41,7 @@ int main() {
   for (uint32_t c = 1; c <= kConsumers; ++c) {
     Kernel* kernel = rig.kernel_of_client(c);
     const VpeState* vpe = kernel->FindVpe(rig.vpe(c));
-    CapSel copy = vpe->table.rbegin()->first;
+    CapSel copy = vpe->table.LastSel();
     rig.client(c).env().Activate(copy, user_ep::kMem0, [](const SyscallReply& r) {
       CHECK(r.err == ErrCode::kOk);
     });

@@ -8,8 +8,8 @@
 #ifndef SEMPEROS_CORE_CAPABILITY_H_
 #define SEMPEROS_CORE_CAPABILITY_H_
 
+#include <algorithm>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -81,6 +81,80 @@ class Capability {
   EpId activated_ep_ = 0;
 };
 
+// Selector -> capability key. Selectors are allocated sequentially per VPE
+// (VpeState::AllocSel), so the table is a dense vector indexed by selector —
+// a capability lookup is one bounds check and one load, where the previous
+// std::map paid a pointer chase per tree level on every syscall. Empty slots
+// (never used, or revoked) hold the null DdlKey.
+class CapTable {
+ public:
+  // Key at `sel`, or the null key if the slot is empty/out of range.
+  DdlKey Find(CapSel sel) const { return sel < slots_.size() ? slots_[sel] : DdlKey(); }
+
+  void Set(CapSel sel, DdlKey key) {
+    CHECK(!key.IsNull());
+    if (sel >= slots_.size()) {
+      // Selectors arrive sequentially; grow geometrically (resize alone
+      // reallocates to the exact size, which would be quadratic here).
+      if (static_cast<size_t>(sel) >= slots_.capacity()) {
+        slots_.reserve(std::max({size_t{8}, 2 * slots_.capacity(),
+                                 static_cast<size_t>(sel) + 1}));
+      }
+      slots_.resize(static_cast<size_t>(sel) + 1);
+    }
+    if (slots_[sel].IsNull()) {
+      ++live_;
+    }
+    slots_[sel] = key;
+  }
+
+  void Erase(CapSel sel) {
+    if (sel < slots_.size() && !slots_[sel].IsNull()) {
+      slots_[sel] = DdlKey();
+      --live_;
+    }
+  }
+
+  // Number of live (non-null) entries.
+  uint32_t size() const { return live_; }
+
+  // Highest live selector, or kInvalidSel if the table is empty.
+  CapSel LastSel() const {
+    for (size_t i = slots_.size(); i > 0; --i) {
+      if (!slots_[i - 1].IsNull()) {
+        return static_cast<CapSel>(i - 1);
+      }
+    }
+    return kInvalidSel;
+  }
+
+  // Invokes fn(sel, key) for every live entry, in ascending selector order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (CapSel sel = 0; sel < slots_.size(); ++sel) {
+      if (!slots_[sel].IsNull()) {
+        fn(sel, slots_[sel]);
+      }
+    }
+  }
+
+  // True if fn(sel, key) returns true for any live entry; stops at the
+  // first hit (migration quiesce polls this repeatedly on large tables).
+  template <typename Fn>
+  bool Any(Fn&& fn) const {
+    for (CapSel sel = 0; sel < slots_.size(); ++sel) {
+      if (!slots_[sel].IsNull() && fn(sel, slots_[sel])) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::vector<DdlKey> slots_;
+  uint32_t live_ = 0;
+};
+
 // Kernel-side state of one VPE ("comparable to a single-threaded process",
 // paper §2.2). One VPE per user PE; the VPE id is the PE's NodeId.
 struct VpeState {
@@ -92,11 +166,72 @@ struct VpeState {
   // denied with kVpeMigrating (retryable) until the handoff completes.
   bool migrating = false;
   CapSel next_sel = 1;
-  // Selector -> capability key. The capabilities themselves live in the
-  // kernel's CapSpace so they can also be found by DDL key.
-  std::map<CapSel, DdlKey> table;
+  // The capabilities themselves live in the kernel's CapSpace so they can
+  // also be found by DDL key.
+  CapTable table;
 
   CapSel AllocSel() { return next_sel++; }
+};
+
+// VPE id -> kernel-side VPE state. VPE ids are PE NodeIds, so the table is
+// a dense pointer vector: the lookup every syscall dispatch performs is one
+// load instead of a red-black-tree walk. Iteration (ForEach) runs in
+// ascending id order, matching the std::map this replaces.
+class VpeTable {
+ public:
+  VpeState* Find(VpeId id) {
+    return id < slots_.size() ? slots_[id].get() : nullptr;
+  }
+  const VpeState* Find(VpeId id) const {
+    return id < slots_.size() ? slots_[id].get() : nullptr;
+  }
+
+  VpeState& At(VpeId id) {
+    VpeState* vpe = Find(id);
+    CHECK(vpe != nullptr) << "unknown VPE " << id;
+    return *vpe;
+  }
+  const VpeState& At(VpeId id) const {
+    const VpeState* vpe = Find(id);
+    CHECK(vpe != nullptr) << "unknown VPE " << id;
+    return *vpe;
+  }
+
+  // Returns nullptr if `id` is already present (mirrors map::emplace).
+  VpeState* Insert(VpeState&& vpe) {
+    VpeId id = vpe.id;
+    if (id >= slots_.size()) {
+      slots_.resize(static_cast<size_t>(id) + 1);
+    }
+    if (slots_[id] != nullptr) {
+      return nullptr;
+    }
+    slots_[id] = std::make_unique<VpeState>(std::move(vpe));
+    ++live_;
+    return slots_[id].get();
+  }
+
+  void Erase(VpeId id) {
+    CHECK(id < slots_.size() && slots_[id] != nullptr);
+    slots_[id].reset();
+    --live_;
+  }
+
+  uint32_t size() const { return live_; }
+
+  // Invokes fn(const VpeState&) for every live VPE in ascending id order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot != nullptr) {
+        fn(static_cast<const VpeState&>(*slot));
+      }
+    }
+  }
+
+ private:
+  std::vector<std::unique_ptr<VpeState>> slots_;
+  uint32_t live_ = 0;
 };
 
 // Per-kernel capability storage, indexed by DDL key.

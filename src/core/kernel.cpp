@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "base/log.h"
+#include "dtu/msg_pool.h"
 
 namespace semperos {
 
@@ -95,6 +96,7 @@ const char* IkcOpName(IkcOp op) {
 Kernel::Kernel(Config config) : config_(std::move(config)), t_(config_.timing) {
   CHECK_LE(config_.kernel_nodes.size(), size_t{kMaxKernels});
   peer_down_.assign(config_.kernel_nodes.size(), false);
+  peers_.resize(config_.kernel_nodes.size());
   for (KernelId k = 0; k < config_.kernel_nodes.size(); ++k) {
     if (k != config_.id) {
       peers_[k].credits = config_.max_inflight;
@@ -126,15 +128,13 @@ void Kernel::ReleaseThread() {
   stats_.threads_in_use--;
 }
 
-void Kernel::Finish(Cycles cost, std::function<void()> effects) {
+void Kernel::Finish(Cycles cost, InlineFn effects) {
   pe_->exec().Post(cost, std::move(effects));
 }
 
-Cycles Kernel::Charge(Cycles cost) {
-  return pe_->exec().Post(cost, [] {});
-}
+Cycles Kernel::Charge(Cycles cost) { return pe_->exec().Occupy(cost); }
 
-void Kernel::Emit(Cycles ready, std::function<void()> send) {
+void Kernel::Emit(Cycles ready, InlineFn send) {
   egress_.push_back(EgressMsg{ready, std::move(send)});
   DrainEgress();
 }
@@ -175,17 +175,19 @@ void Kernel::Start() {
 }
 
 void Kernel::BroadcastHello() {
-  if (peers_.empty()) {
+  if (PeerCount() == 0) {
     booted_ = true;
     return;
   }
-  for (auto& [peer, state] : peers_) {
-    (void)state;
-    auto msg = std::make_shared<IkcMsg>();
+  for (KernelId peer = 0; peer < config_.kernel_nodes.size(); ++peer) {
+    if (peer == config_.id) {
+      continue;
+    }
+    auto msg = NewMsg<IkcMsg>();
     msg->op = IkcOp::kHello;
     SendIkc(peer, msg, [this](const IkcReply&) {
       hello_replies_++;
-      if (hello_replies_ == peers_.size()) {
+      if (hello_replies_ == PeerCount()) {
         booted_ = true;
         LOG_INFO(kTag) << "kernel " << config_.id << " booted";
       }
@@ -204,16 +206,15 @@ void Kernel::FinishBoot(const std::vector<ProcessingElement*>& group_pes) {
 
 void Kernel::AdminCreateVpe(NodeId node, bool is_service) {
   CHECK_EQ(config_.membership.KernelOf(node), config_.id);
-  CHECK_LT(vpes_.size(), size_t{kMaxVpesPerKernel})
+  CHECK_LT(vpes_.size(), kMaxVpesPerKernel)
       << "kernel " << config_.id << " exceeds 192 VPEs (6 syscall EPs x 32 slots)";
   VpeState vpe;
   vpe.id = node;
   vpe.node = node;
   vpe.is_service = is_service;
-  auto [it, inserted] = vpes_.emplace(node, std::move(vpe));
-  CHECK(inserted);
+  VpeState* v = vpes_.Insert(std::move(vpe));
+  CHECK(v != nullptr);
   // Every VPE starts with a capability for itself (selector 0).
-  VpeState* v = &it->second;
   CapPayload payload;
   payload.type = CapType::kVpe;
   CreateCap(v, CapType::kVpe, payload, DdlKey());
@@ -221,35 +222,32 @@ void Kernel::AdminCreateVpe(NodeId node, bool is_service) {
 
 CapSel Kernel::AdminGrantMem(VpeId vpe_id, NodeId mem_node, uint64_t base, uint64_t size,
                              uint32_t perms) {
-  auto it = vpes_.find(vpe_id);
-  CHECK(it != vpes_.end());
+  VpeState* v = vpes_.Find(vpe_id);
+  CHECK(v != nullptr);
   CapPayload payload;
   payload.type = CapType::kMem;
   payload.mem_node = mem_node;
   payload.mem_base = base;
   payload.mem_size = size;
   payload.perms = perms;
-  Capability* cap = CreateCap(&it->second, CapType::kMem, payload, DdlKey());
+  Capability* cap = CreateCap(v, CapType::kMem, payload, DdlKey());
   return cap->sel();
 }
 
-const VpeState* Kernel::FindVpe(VpeId vpe) const {
-  auto it = vpes_.find(vpe);
-  return it == vpes_.end() ? nullptr : &it->second;
-}
+const VpeState* Kernel::FindVpe(VpeId vpe) const { return vpes_.Find(vpe); }
 
 std::string Kernel::DumpCaps() const {
   std::ostringstream os;
   os << "kernel " << config_.id << ": " << vpes_.size() << " VPEs, " << caps_.size()
      << " capabilities\n";
-  for (const auto& [id, vpe] : vpes_) {
-    os << "  vpe " << id << (vpe.alive ? "" : " (dead)") << (vpe.is_service ? " (service)" : "")
+  vpes_.ForEach([&](const VpeState& vpe) {
+    os << "  vpe " << vpe.id << (vpe.alive ? "" : " (dead)") << (vpe.is_service ? " (service)" : "")
        << ": " << vpe.table.size() << " caps\n";
-    for (const auto& [sel, key] : vpe.table) {
+    vpe.table.ForEach([&](CapSel sel, DdlKey key) {
       const Capability* cap = caps_.Find(key);
       if (cap == nullptr) {
         os << "    sel " << sel << ": <missing " << key.raw() << ">\n";
-        continue;
+        return;
       }
       os << "    sel " << sel << ": " << CapTypeName(cap->type()) << " key=" << key.raw();
       if (!cap->parent().IsNull()) {
@@ -271,21 +269,18 @@ std::string Kernel::DumpCaps() const {
         os << " ep" << cap->activated_ep();
       }
       os << "\n";
-    }
-  }
+    });
+  });
   return os.str();
 }
 
 Capability* Kernel::CapOf(VpeId vpe, CapSel sel) const {
-  auto it = vpes_.find(vpe);
-  if (it == vpes_.end()) {
+  const VpeState* v = vpes_.Find(vpe);
+  if (v == nullptr) {
     return nullptr;
   }
-  auto cit = it->second.table.find(sel);
-  if (cit == it->second.table.end()) {
-    return nullptr;
-  }
-  return caps_.Find(cit->second);
+  DdlKey key = v->table.Find(sel);
+  return key.IsNull() ? nullptr : caps_.Find(key);
 }
 
 // ---------------------------------------------------------------------------
@@ -306,7 +301,7 @@ Capability* Kernel::CreateCap(VpeState* vpe, CapType type, const CapPayload& pay
   cap->payload() = payload;
   cap->payload().type = type;
   cap->set_parent(parent);
-  vpe->table[sel] = key;
+  vpe->table.Set(sel, key);
   stats_.caps_created++;
   return cap;
 }
@@ -325,7 +320,7 @@ void Kernel::UnlinkFromParent(Capability* cap) {
   }
   // Remote parent: notify its kernel asynchronously. If the parent is being
   // revoked itself, the receiver simply finds the key already gone.
-  auto msg = std::make_shared<IkcMsg>();
+  auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kChildDrop;
   msg->parent = parent;
   msg->child = cap->key();
@@ -353,8 +348,8 @@ void Kernel::OnSyscall(EpId ep, const Message& msg) {
            [this, ctx] { ReplySyscall(ctx, ErrCode::kAborted); });
     return;
   }
-  auto it = vpes_.find(req->vpe);
-  if (it == vpes_.end() || !it->second.alive) {
+  VpeState* v = vpes_.Find(req->vpe);
+  if (v == nullptr || !v->alive) {
     // A migrated-away VPE may race its endpoint retarget: its retry must
     // get the retryable kVpeMigrating, not a terminal kNoSuchVpe.
     bool migrated = migrated_away_.count(req->vpe) > 0;
@@ -366,7 +361,7 @@ void Kernel::OnSyscall(EpId ep, const Message& msg) {
     });
     return;
   }
-  if (it->second.migrating) {
+  if (v->migrating) {
     // Frozen for migration: the user-level runtime retries transparently;
     // by then the syscall endpoint points at the new kernel.
     stats_.syscalls_frozen++;
@@ -410,9 +405,8 @@ void Kernel::ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel, const CapPayl
                           MsgRef opaque) {
   ReleaseThread();
   const SyscallMsg* req = ctx.msg.As<SyscallMsg>();
-  auto it = vpes_.find(ctx.vpe);
-  bool reachable = (it != vpes_.end() && it->second.alive) ||
-                   migrated_away_.count(ctx.vpe) > 0;
+  const VpeState* v = vpes_.Find(ctx.vpe);
+  bool reachable = (v != nullptr && v->alive) || migrated_away_.count(ctx.vpe) > 0;
   if (!reachable) {
     // The caller died while the operation was in flight; just free the slot.
     // (Migrated-away VPEs are alive elsewhere and must still get their
@@ -420,7 +414,7 @@ void Kernel::ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel, const CapPayl
     pe_->dtu().Ack(ctx.recv_ep, ctx.msg);
     return;
   }
-  auto reply = std::make_shared<SyscallReply>();
+  auto reply = NewMsg<SyscallReply>();
   reply->token = req->token;
   reply->err = err;
   reply->sel = sel;
@@ -443,19 +437,18 @@ void Kernel::OwnerSideObtain(AskOp ask_op, DdlKey owner_cap, VpeId owner_vpe, Ca
                              std::function<void(ErrCode, DdlKey, const CapPayload&, MsgRef,
                                                 uint64_t)>
                                  done) {
-  auto vit = vpes_.find(owner_vpe);
-  if (vit == vpes_.end() || !vit->second.alive) {
+  VpeState* owner = vpes_.Find(owner_vpe);
+  if (owner == nullptr || !owner->alive) {
     done(ErrCode::kVpeGone, DdlKey(), CapPayload(), nullptr, 0);
     return;
   }
-  if (vit->second.migrating) {
+  if (owner->migrating) {
     // The owner's partition is being handed off; like the Pointless denial
     // this is rejected immediately, but with a retryable code — the retry
     // routes to the new kernel through the updated membership table.
     done(ErrCode::kVpeMigrating, DdlKey(), CapPayload(), nullptr, 0);
     return;
   }
-  VpeState* owner = &vit->second;
 
   // Resolve the capability that anchors this exchange (except for session
   // exchanges, where the service names the shared capability in its reply).
@@ -475,7 +468,7 @@ void Kernel::OwnerSideObtain(AskOp ask_op, DdlKey owner_cap, VpeId owner_vpe, Ca
     }
   }
 
-  auto ask = std::make_shared<AskMsg>();
+  auto ask = NewMsg<AskMsg>();
   ask->op = ask_op;
   ask->client = client;
   ask->sel = owner_sel;
@@ -503,7 +496,7 @@ void Kernel::OwnerSideObtain(AskOp ask_op, DdlKey owner_cap, VpeId owner_vpe, Ca
              // Link the proposed child into the mapping database. If the
              // obtainer dies before materializing it, this entry is the
              // "orphaned capability" of §4.3.2, cleaned up via notification.
-             Finish(t_.tree_insert + t_.ddl_decode, [] {});
+             Charge(t_.tree_insert + t_.ddl_decode);
              parent->AddChild(child_key);
              CapPayload payload = parent->payload();
              if (ask_op == AskOp::kOpenSession) {
@@ -524,8 +517,8 @@ void Kernel::FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayl
     });
     return;
   }
-  auto vit = vpes_.find(op.client);
-  if (vit == vpes_.end() || !vit->second.alive) {
+  VpeState* client = vpes_.Find(op.client);
+  if (client == nullptr || !client->alive) {
     // Obtainer died while the exchange was in flight: the owner now tracks
     // an orphaned child. Notify its kernel for quick removal (§4.3.2).
     stats_.orphans_cleaned++;
@@ -535,7 +528,7 @@ void Kernel::FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayl
         p->RemoveChild(op.child_key);
       }
     } else {
-      auto msg = std::make_shared<IkcMsg>();
+      auto msg = NewMsg<IkcMsg>();
       msg->op = IkcOp::kOrphanNotify;
       msg->parent = parent;
       msg->child = op.child_key;
@@ -546,12 +539,11 @@ void Kernel::FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayl
     return;
   }
 
-  VpeState* client = &vit->second;
   CapSel sel = client->AllocSel();
   Capability* cap = caps_.Create(op.child_key, payload.type, op.client, sel);
   cap->payload() = payload;
   cap->set_parent(parent);
-  client->table[sel] = op.child_key;
+  client->table.Set(sel, op.child_key);
   stats_.caps_created++;
   stats_.obtains++;
 
@@ -560,7 +552,7 @@ void Kernel::FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayl
     stats_.sessions_opened++;
     // Configure the client's session send gate (the channel of Figure 3
     // that afterwards works without the kernel).
-    Finish(t_.cap_create + t_.ddl_decode + t_.ep_config, [] {});
+    Charge(t_.cap_create + t_.ddl_decode + t_.ep_config);
     pe_->dtu().ConfigureRemoteSend(
         client->node, user_ep::kServiceSend, op.service_node, user_ep::kServiceRecv,
         /*credits=*/1, /*label=*/payload.session,
@@ -585,7 +577,7 @@ void Kernel::SysObtain(SyscallCtx ctx, const SyscallMsg& req) {
   op.child_key = AllocKey(req.vpe, CapType::kNone);
 
   if (IsLocalVpe(req.peer)) {
-    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode, [] {});
+    Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode);
     OwnerSideObtain(AskOp::kObtain, DdlKey(), req.peer, req.sel, req.vpe, op.child_key, nullptr, 0,
                     [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
                                uint64_t session) {
@@ -599,8 +591,8 @@ void Kernel::SysObtain(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   obtains_[token] = op;
-  Finish(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send, [] {});
-  auto msg = std::make_shared<IkcMsg>();
+  Charge(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send);
+  auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kObtainReq;
   msg->vpe = req.vpe;
   msg->peer = req.peer;
@@ -613,7 +605,7 @@ void Kernel::SysObtain(SyscallCtx ctx, const SyscallMsg& req) {
     CHECK(it != obtains_.end());
     ObtainOp pending = it->second;
     obtains_.erase(it);
-    Finish(t_.ikc_reply_handle, [] {});
+    Charge(t_.ikc_reply_handle);
     FinishObtain(pending, reply.err, reply.cap, reply.payload, reply.opaque,
                  reply.payload.session);
   });
@@ -671,8 +663,7 @@ void Kernel::SysOpenSession(SyscallCtx ctx, const SyscallMsg& req) {
   op.service_node = svc->node;
 
   if (svc->kernel == config_.id) {
-    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.session_exchange_extra,
-           [] {});
+    Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.session_exchange_extra);
     OwnerSideObtain(AskOp::kOpenSession, svc->cap, svc->vpe, kInvalidSel, req.vpe, op.child_key,
                     nullptr, 0,
                     [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
@@ -686,8 +677,8 @@ void Kernel::SysOpenSession(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   obtains_[token] = op;
-  Finish(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send, [] {});
-  auto msg = std::make_shared<IkcMsg>();
+  Charge(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send);
+  auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kOpenSessionReq;
   msg->vpe = req.vpe;
   msg->cap = svc->cap;
@@ -697,7 +688,7 @@ void Kernel::SysOpenSession(SyscallCtx ctx, const SyscallMsg& req) {
     CHECK(it != obtains_.end());
     ObtainOp pending = it->second;
     obtains_.erase(it);
-    Finish(t_.ikc_reply_handle, [] {});
+    Charge(t_.ikc_reply_handle);
     FinishObtain(pending, reply.err, reply.cap, reply.payload, reply.opaque,
                  reply.payload.session);
   });
@@ -735,8 +726,7 @@ void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
              [this, ctx] { ReplySyscall(ctx, ErrCode::kNoSuchCap); });
       return;
     }
-    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.session_exchange_extra,
-           [] {});
+    Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.session_exchange_extra);
     OwnerSideObtain(AskOp::kExchange, service_cap, svc_cap->holder(), kInvalidSel, req.vpe,
                     op.child_key, req.payload, session_id,
                     [this, op](ErrCode err, DdlKey parent, const CapPayload& payload, MsgRef opq,
@@ -750,8 +740,8 @@ void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   obtains_[token] = op;
-  Finish(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send, [] {});
-  auto msg = std::make_shared<IkcMsg>();
+  Charge(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send);
+  auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kObtainReq;
   msg->vpe = req.vpe;
   msg->cap = service_cap;
@@ -763,7 +753,7 @@ void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
     CHECK(it != obtains_.end());
     ObtainOp pending = it->second;
     obtains_.erase(it);
-    Finish(t_.ikc_reply_handle, [] {});
+    Charge(t_.ikc_reply_handle);
     FinishObtain(pending, reply.err, reply.cap, reply.payload, reply.opaque,
                  reply.payload.session);
   });
@@ -796,23 +786,23 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
 
   if (IsLocalVpe(req.peer)) {
     // Group-internal delegate: no handshake needed, one kernel owns both.
-    auto vit = vpes_.find(req.peer);
-    if (vit == vpes_.end() || !vit->second.alive) {
+    VpeState* peer_vpe = vpes_.Find(req.peer);
+    if (peer_vpe == nullptr || !peer_vpe->alive) {
       Finish(t_.syscall_dispatch + t_.syscall_reply,
              [this, ctx] { ReplySyscall(ctx, ErrCode::kVpeGone); });
       return;
     }
-    if (vit->second.migrating) {
+    if (peer_vpe->migrating) {
       Finish(t_.syscall_dispatch + t_.syscall_reply,
              [this, ctx] { ReplySyscall(ctx, ErrCode::kVpeMigrating); });
       return;
     }
-    Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode, [] {});
-    auto ask = std::make_shared<AskMsg>();
+    Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode);
+    auto ask = NewMsg<AskMsg>();
     ask->op = AskOp::kDelegate;
     ask->client = req.vpe;
     ask->offered = cap->payload();
-    AskParty(vit->second.node, ask, [this, op](const AskReply& reply) {
+    AskParty(peer_vpe->node, ask, [this, op](const AskReply& reply) {
       if (reply.err != ErrCode::kOk) {
         Finish(t_.syscall_reply, [this, op, err = reply.err] { ReplySyscall(op.sc, err); });
         return;
@@ -823,12 +813,12 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
         Finish(t_.syscall_reply, [this, op] { ReplySyscall(op.sc, ErrCode::kCapRevoked); });
         return;
       }
-      auto vit2 = vpes_.find(op.peer);
-      if (vit2 == vpes_.end() || !vit2->second.alive) {
+      VpeState* receiver = vpes_.Find(op.peer);
+      if (receiver == nullptr || !receiver->alive) {
         Finish(t_.syscall_reply, [this, op] { ReplySyscall(op.sc, ErrCode::kVpeGone); });
         return;
       }
-      Capability* child = CreateCap(&vit2->second, parent->type(), parent->payload(),
+      Capability* child = CreateCap(receiver, parent->type(), parent->payload(),
                                     parent->key());
       parent->AddChild(child->key());
       stats_.delegates++;
@@ -843,8 +833,8 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   delegates_[token] = op;
-  Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ikc_send, [] {});
-  auto msg = std::make_shared<IkcMsg>();
+  Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ikc_send);
+  auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kDelegateReq;
   msg->vpe = req.vpe;
   msg->peer = req.peer;
@@ -855,7 +845,7 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
     CHECK(it != delegates_.end());
     DelegateOp pending = it->second;
     delegates_.erase(it);
-    Finish(t_.ikc_reply_handle, [] {});
+    Charge(t_.ikc_reply_handle);
     FinishDelegate(pending, reply.err, reply.child);
   });
 }
@@ -871,17 +861,17 @@ void Kernel::FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key) {
   // stays valid at the receiving VPE" — prevented here (§4.3.2, "Invalid").
   Capability* parent = caps_.Find(op.cap);
   bool ok = parent != nullptr && !parent->marked();
-  auto ack = std::make_shared<IkcMsg>();
+  auto ack = NewMsg<IkcMsg>();
   ack->op = IkcOp::kDelegateAck;
   ack->child = child_key;
   ack->cap = op.cap;
   if (ok) {
     parent->AddChild(child_key);
     stats_.delegates++;
-    Finish(t_.tree_insert + t_.ddl_decode + t_.ikc_send, [] {});
+    Charge(t_.tree_insert + t_.ddl_decode + t_.ikc_send);
   } else {
     stats_.invalid_prevented++;
-    Finish(t_.ikc_send, [] {});
+    Charge(t_.ikc_send);
   }
   ack->payload.session = ok ? 0 : 1;  // non-zero session field = abort
   SendIkc(KernelOfVpe(op.peer), ack, [](const IkcReply&) {});
@@ -891,17 +881,16 @@ void Kernel::FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key) {
 }
 
 void Kernel::OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& msg) {
-  auto vit = vpes_.find(req.peer);
-  if (vit == vpes_.end() || !vit->second.alive || vit->second.migrating) {
-    auto reply = std::make_shared<IkcReply>();
+  VpeState* receiver = vpes_.Find(req.peer);
+  if (receiver == nullptr || !receiver->alive || receiver->migrating) {
+    auto reply = NewMsg<IkcReply>();
     reply->token = req.token;
-    reply->err = (vit != vpes_.end() && vit->second.migrating) ? ErrCode::kVpeMigrating
-                                                               : ErrCode::kVpeGone;
+    reply->err = (receiver != nullptr && receiver->migrating) ? ErrCode::kVpeMigrating
+                                                              : ErrCode::kVpeGone;
     Emit(Charge(t_.ikc_send), [this, recv_ep, msg, reply] { ReplyIkc(recv_ep, msg, reply); });
     return;
   }
-  VpeState* receiver = &vit->second;
-  auto ask = std::make_shared<AskMsg>();
+  auto ask = NewMsg<AskMsg>();
   ask->op = AskOp::kDelegate;
   ask->client = req.vpe;
   ask->offered = req.payload;
@@ -913,7 +902,7 @@ void Kernel::OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& m
   AskParty(receiver->node, ask,
            [this, token, parent_key, payload, from, peer, recv_ep, msg](const AskReply& areply) {
              if (areply.err != ErrCode::kOk) {
-               auto reply = std::make_shared<IkcReply>();
+               auto reply = NewMsg<IkcReply>();
                reply->token = token;
                reply->err = areply.err;
                Emit(Charge(t_.ikc_send), [this, recv_ep, msg, reply] { ReplyIkc(recv_ep, msg, reply); });
@@ -930,7 +919,7 @@ void Kernel::OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& m
              parked.payload = payload;
              parked.from_kernel = from;
              parked_delegates_[child_key.raw()] = parked;
-             auto reply = std::make_shared<IkcReply>();
+             auto reply = NewMsg<IkcReply>();
              reply->token = token;
              reply->err = ErrCode::kOk;
              reply->child = child_key;
@@ -1003,11 +992,11 @@ Cycles Kernel::FlushRevokeRequests(RevokeTask* task) {
       // work); the peer replies once when its whole share is gone.
       task->outstanding++;
       cost += t_.ikc_send + static_cast<Cycles>(keys.size()) * 30;
-      auto msg = std::make_shared<IkcMsg>();
+      auto msg = NewMsg<IkcMsg>();
       msg->op = IkcOp::kRevokeBatchReq;
       msg->caps = keys;
       SendIkc(peer, msg, [this, id](const IkcReply&) {
-        Finish(t_.ikc_reply_handle, [] {});
+        Charge(t_.ikc_reply_handle);
         RevokeDependencyDone(id);
       });
     } else {
@@ -1016,11 +1005,11 @@ Cycles Kernel::FlushRevokeRequests(RevokeTask* task) {
       for (DdlKey key : keys) {
         task->outstanding++;
         cost += t_.ikc_send;
-        auto msg = std::make_shared<IkcMsg>();
+        auto msg = NewMsg<IkcMsg>();
         msg->op = IkcOp::kRevokeReq;
         msg->cap = key;
         SendIkc(peer, msg, [this, id](const IkcReply&) {
-          Finish(t_.ikc_reply_handle, [] {});
+          Charge(t_.ikc_reply_handle);
           RevokeDependencyDone(id);
         });
       }
@@ -1048,7 +1037,7 @@ void Kernel::CheckRevokeComplete(RevokeTask* task) {
   // acknowledgements only go out once the deletion work is done.
   uint32_t deleted = 0;
   Cycles cost = SweepPass(task->root, task, &deleted);
-  Finish(cost, [] {});
+  Charge(cost);
   CompleteRevokeTask(task);
 }
 
@@ -1065,7 +1054,7 @@ Cycles Kernel::SweepPass(DdlKey key, RevokeTask* task, uint32_t* deleted) {
   if (cap->type() == CapType::kSession) {
     // The client's connection is gone; tell the service so it can drop the
     // session state (m3fs frees open-file bookkeeping).
-    auto ask = std::make_shared<AskMsg>();
+    auto ask = NewMsg<AskMsg>();
     ask->op = AskOp::kCloseSession;
     ask->session = cap->payload().session;
     AskParty(cap->payload().dst_node, ask, [](const AskReply&) {});
@@ -1074,14 +1063,14 @@ Cycles Kernel::SweepPass(DdlKey key, RevokeTask* task, uint32_t* deleted) {
     // Enforce the revocation: invalidate the DTU endpoint this capability
     // was bound to (NoC-level isolation makes this sufficient).
     cost += t_.ep_invalidate;
-    auto vit = vpes_.find(cap->holder());
-    if (vit != vpes_.end()) {
-      pe_->dtu().InvalidateRemoteEp(vit->second.node, cap->activated_ep(), nullptr);
+    VpeState* h = vpes_.Find(cap->holder());
+    if (h != nullptr) {
+      pe_->dtu().InvalidateRemoteEp(h->node, cap->activated_ep(), nullptr);
     }
   }
-  auto vit = vpes_.find(cap->holder());
-  if (vit != vpes_.end()) {
-    vit->second.table.erase(cap->sel());
+  VpeState* holder = vpes_.Find(cap->holder());
+  if (holder != nullptr) {
+    holder->table.Erase(cap->sel());
   }
   caps_.Erase(key);
   stats_.caps_deleted++;
@@ -1105,7 +1094,7 @@ void Kernel::CompleteRevokeTask(RevokeTask* task) {
         p->RemoveChild(task->root);
       }
     } else {
-      auto msg = std::make_shared<IkcMsg>();
+      auto msg = NewMsg<IkcMsg>();
       msg->op = IkcOp::kChildDrop;
       msg->parent = task->parent_unlink;
       msg->child = task->root;
@@ -1131,7 +1120,7 @@ void Kernel::CompleteRevokeTask(RevokeTask* task) {
     // Participant: reply to the requesting kernel only now that our entire
     // part of the subtree (including everything below remote children) is
     // gone — never acknowledge an incomplete revoke (§4.3.1 "Incomplete").
-    auto reply = std::make_shared<IkcReply>();
+    auto reply = NewMsg<IkcReply>();
     reply->token = task->req_token;
     reply->err = ErrCode::kOk;
     EpId ep = task->reply_recv_ep;
@@ -1175,7 +1164,7 @@ void Kernel::SysRevoke(SyscallCtx ctx, const SyscallMsg& req) {
     task->suspended = true;
     cost += t_.revoke_suspend;
   }
-  Finish(cost, [] {});
+  Charge(cost);
   CheckRevokeComplete(task);
 }
 
@@ -1223,7 +1212,7 @@ void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
   Capability* cap = caps_.Find(req.cap);
   if (cap == nullptr) {
     // Already revoked by an overlapping operation — the subtree is gone.
-    auto reply = std::make_shared<IkcReply>();
+    auto reply = NewMsg<IkcReply>();
     reply->token = req.token;
     reply->err = ErrCode::kOk;
     Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
@@ -1233,12 +1222,12 @@ void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
     // A running revocation covers this capability; reply when it finished.
     uint64_t token = req.token;
     cap->task()->on_complete.push_back([this, ep, msg, token] {
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = token;
       reply->err = ErrCode::kOk;
       Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
     });
-    Finish(t_.ikc_dispatch, [] {});
+    Charge(t_.ikc_dispatch);
     return;
   }
 
@@ -1249,7 +1238,7 @@ void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
   task->req_token = req.token;
   Cycles cost = t_.ikc_dispatch + MarkPass(cap, task);
   cost += FlushRevokeRequests(task);
-  Finish(cost, [] {});
+  Charge(cost);
   CheckRevokeComplete(task);
 }
 
@@ -1263,7 +1252,7 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
     if (--*remaining != 0) {
       return;
     }
-    auto reply = std::make_shared<IkcReply>();
+    auto reply = NewMsg<IkcReply>();
     reply->token = token;
     reply->err = ErrCode::kOk;
     Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
@@ -1278,7 +1267,7 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
         // assembled: relay a single REVOKE_REQ to the current owner and
         // fold its completion into the batch countdown.
         stats_.ikc_forwarded++;
-        auto fwd = std::make_shared<IkcMsg>();
+        auto fwd = NewMsg<IkcMsg>();
         fwd->op = IkcOp::kRevokeReq;
         fwd->cap = key;
         cost += t_.ddl_decode + t_.ikc_send;
@@ -1299,7 +1288,7 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
     cost += FlushRevokeRequests(task);
     CheckRevokeComplete(task);
   }
-  Finish(cost, [] {});
+  Charge(cost);
   maybe_reply();
 }
 
@@ -1308,18 +1297,15 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
 // ---------------------------------------------------------------------------
 
 void Kernel::AdminKillVpe(VpeId vpe, std::function<void()> done) {
-  auto it = vpes_.find(vpe);
-  CHECK(it != vpes_.end());
-  CHECK(!it->second.migrating) << "cannot kill VPE " << vpe << " while it is migrating";
-  VpeState* v = &it->second;
+  VpeState* v = vpes_.Find(vpe);
+  CHECK(v != nullptr);
+  CHECK(!v->migrating) << "cannot kill VPE " << vpe << " while it is migrating";
   v->alive = false;
 
   // Snapshot the selectors: revocations mutate the table.
   std::vector<DdlKey> roots;
   roots.reserve(v->table.size());
-  for (const auto& [sel, key] : v->table) {
-    roots.push_back(key);
-  }
+  v->table.ForEach([&roots](CapSel, DdlKey key) { roots.push_back(key); });
   auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(roots.size()) + 1);
   auto maybe_done = [remaining, done]() {
     if (--*remaining == 0 && done) {
@@ -1342,7 +1328,7 @@ void Kernel::AdminKillVpe(VpeId vpe, std::function<void()> done) {
     task->parent_unlink = cap->parent();
     Cycles cost = t_.revoke_entry + MarkPass(cap, task);
     cost += FlushRevokeRequests(task);
-    Finish(cost, [] {});
+    Charge(cost);
     CheckRevokeComplete(task);
   }
   maybe_done();
@@ -1422,12 +1408,12 @@ bool Kernel::MaybeForwardIkc(EpId ep, const Message& msg, const IkcMsg& req) {
   // the partition's current owner and proxy the reply back, so stale
   // lookups stay correct for the settle round.
   stats_.ikc_forwarded++;
-  auto fwd = std::make_shared<IkcMsg>(req);
+  auto fwd = NewMsg<IkcMsg>(req);
   fwd->token = 0;  // fresh token for the forward leg
   uint64_t orig_token = req.token;
-  Finish(t_.ddl_decode + t_.ikc_send, [] {});
+  Charge(t_.ddl_decode + t_.ikc_send);
   SendIkc(owner, fwd, [this, ep, msg, orig_token](const IkcReply& r) {
-    auto reply = std::make_shared<IkcReply>(r);
+    auto reply = NewMsg<IkcReply>(r);
     reply->token = orig_token;
     Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
   });
@@ -1452,36 +1438,33 @@ bool Kernel::MigrationBlocked(NodeId pe) const {
       return true;
     }
   }
-  for (const auto& [token, node] : ask_nodes_) {
+  for (const auto& [token, ask] : asks_) {
     (void)token;
-    if (node == pe) {
+    if (ask.node == pe) {
       return true;  // an exchange-ask to the PE is outstanding
     }
   }
   if (!revoke_queue_.empty()) {
     return true;  // queued revocations could still touch the partition
   }
-  const VpeState& vpe = vpes_.at(pe);
-  for (const auto& [sel, key] : vpe.table) {
-    (void)sel;
+  const VpeState& vpe = vpes_.At(pe);
+  // An in-flight revocation holding part of the subtree blocks the handoff.
+  return vpe.table.Any([&](CapSel, DdlKey key) {
     const Capability* cap = caps_.Find(key);
-    if (cap != nullptr && cap->marked()) {
-      return true;  // an in-flight revocation holds part of the subtree
-    }
-  }
-  return false;
+    return cap != nullptr && cap->marked();
+  });
 }
 
 void Kernel::AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)> done) {
-  auto it = vpes_.find(pe);
-  CHECK(it != vpes_.end()) << "kernel " << config_.id << " does not manage PE " << pe;
-  if (shutting_down_ || !it->second.alive) {
+  VpeState* v = vpes_.Find(pe);
+  CHECK(v != nullptr) << "kernel " << config_.id << " does not manage PE " << pe;
+  if (shutting_down_ || !v->alive) {
     if (done) {
       done(ErrCode::kAborted);
     }
     return;
   }
-  if (it->second.migrating || dst == config_.id || dst >= config_.kernel_nodes.size() ||
+  if (v->migrating || dst == config_.id || dst >= config_.kernel_nodes.size() ||
       peer_down_.at(dst)) {
     if (done) {
       done(ErrCode::kInvalidArgs);
@@ -1489,7 +1472,7 @@ void Kernel::AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)
     return;
   }
 
-  it->second.migrating = true;
+  v->migrating = true;
   auto task = std::make_unique<MigrateTask>();
   task->id = next_token_++;
   task->pe = pe;
@@ -1498,7 +1481,7 @@ void Kernel::AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)
   uint64_t id = task->id;
   migrate_tasks_[id] = std::move(task);
   // Freeze bookkeeping, then poll until the moving partition quiesced.
-  Finish(t_.migrate_freeze, [] {});
+  Charge(t_.migrate_freeze);
   pe_->sim()->Schedule(t_.migrate_quiesce_poll, [this, id] { PollMigrateQuiesce(id); });
 }
 
@@ -1522,7 +1505,7 @@ void Kernel::StartMigrateTransfer(uint64_t task_id) {
   MigrateTask* task = it->second.get();
   task->phase = MigrateTask::Phase::kTransfer;
 
-  VpeState& vpe = vpes_.at(task->pe);
+  VpeState& vpe = vpes_.At(task->pe);
   auto payload = std::make_shared<MigratePayload>();
   payload->vpe = vpe.id;
   payload->node = vpe.node;
@@ -1531,7 +1514,7 @@ void Kernel::StartMigrateTransfer(uint64_t task_id) {
   payload->next_sel = vpe.next_sel;
   payload->next_obj = next_obj_;
   payload->caps.reserve(vpe.table.size());
-  for (const auto& [sel, key] : vpe.table) {
+  vpe.table.ForEach([&](CapSel sel, DdlKey key) {
     Capability* cap = caps_.Find(key);
     CHECK(cap != nullptr);
     CHECK(!cap->marked()) << "quiesce left a marked capability in the partition";
@@ -1545,7 +1528,7 @@ void Kernel::StartMigrateTransfer(uint64_t task_id) {
     record.activated = cap->activated();
     record.activated_ep = cap->activated_ep();
     payload->caps.push_back(std::move(record));
-  }
+  });
   stats_.caps_migrated += payload->caps.size();
   // Mint the handoff's epoch now, apply it in FinishMigrateTransfer once
   // the destination confirmed (a refused transfer must not bump anything).
@@ -1553,14 +1536,13 @@ void Kernel::StartMigrateTransfer(uint64_t task_id) {
   // gating at every peer makes the newest owner win (see ddl.h Apply).
   task->epoch = config_.membership.Epoch() + 1;
 
-  auto msg = std::make_shared<IkcMsg>();
+  auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kMigrateVpe;
   msg->node = task->pe;
   msg->new_owner = task->dst;
   msg->epoch = task->epoch;
   msg->migrate = payload;
-  Finish(static_cast<Cycles>(payload->caps.size()) * t_.migrate_pack_per_cap + t_.ikc_send,
-         [] {});
+  Charge(static_cast<Cycles>(payload->caps.size()) * t_.migrate_pack_per_cap + t_.ikc_send);
   SendIkc(task->dst, msg,
           [this, task_id](const IkcReply& reply) { FinishMigrateTransfer(task_id, reply); });
 }
@@ -1569,9 +1551,9 @@ void Kernel::OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req) {
   CHECK(req.migrate != nullptr);
   CHECK_EQ(req.new_owner, config_.id);
   const MigratePayload& mp = *req.migrate;
-  auto reply = std::make_shared<IkcReply>();
+  auto reply = NewMsg<IkcReply>();
   reply->token = req.token;
-  if (shutting_down_ || vpes_.size() >= size_t{kMaxVpesPerKernel}) {
+  if (shutting_down_ || vpes_.size() >= kMaxVpesPerKernel) {
     reply->err = shutting_down_ ? ErrCode::kAborted : ErrCode::kInvalidArgs;
     Emit(Charge(t_.ikc_dispatch + t_.ikc_send),
          [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
@@ -1585,13 +1567,12 @@ void Kernel::OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req) {
   vpe.is_service = mp.is_service;
   vpe.migrating = false;
   vpe.next_sel = mp.next_sel;
-  auto [vit, inserted] = vpes_.emplace(mp.vpe, std::move(vpe));
-  CHECK(inserted) << "kernel " << config_.id << " already manages PE " << mp.vpe;
+  VpeState* v = vpes_.Insert(std::move(vpe));
+  CHECK(v != nullptr) << "kernel " << config_.id << " already manages PE " << mp.vpe;
   // The PE may have been migrated away from here earlier and is now coming
   // back; it is no longer "away", and a later death must report kNoSuchVpe
   // instead of the retryable kVpeMigrating.
   migrated_away_.erase(mp.vpe);
-  VpeState* v = &vit->second;
   for (const MigratedCap& record : mp.caps) {
     Capability* cap = caps_.Create(record.key, record.type, mp.vpe, record.sel);
     cap->payload() = record.payload;
@@ -1602,7 +1583,7 @@ void Kernel::OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req) {
     if (record.activated) {
       cap->SetActivated(record.activated_ep);
     }
-    v->table[record.sel] = record.key;
+    v->table.Set(record.sel, record.key);
   }
   // Keep allocating collision-free object ids in the moved partition.
   next_obj_ = std::max(next_obj_, mp.next_obj);
@@ -1611,9 +1592,8 @@ void Kernel::OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req) {
   // kernels converge on the same epoch through the settle broadcast.
   ApplyMembershipUpdate(mp.node, config_.id, req.epoch);
 
-  Finish(t_.ikc_dispatch + static_cast<Cycles>(mp.caps.size()) * t_.migrate_install_per_cap +
-             t_.epoch_apply + t_.ep_config,
-         [] {});
+  Charge(t_.ikc_dispatch + static_cast<Cycles>(mp.caps.size()) * t_.migrate_install_per_cap +
+             t_.epoch_apply + t_.ep_config);
   // Retarget the PE's syscall send endpoint at this kernel, then confirm
   // the takeover — the moved VPE's retried syscalls land here from now on.
   EpId syscall_ep = kEpSyscall0 + (mp.vpe % kNumSyscallEps);
@@ -1630,7 +1610,7 @@ void Kernel::FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply) {
   MigrateTask* task = it->second.get();
   if (reply.err != ErrCode::kOk) {
     // The destination refused; unfreeze and report. Nothing moved.
-    vpes_.at(task->pe).migrating = false;
+    vpes_.At(task->pe).migrating = false;
     for (MigrateTask::ParkedIkc& p : task->parked) {
       DispatchIkcRequest(p.ep, p.msg, p.req);
     }
@@ -1642,15 +1622,12 @@ void Kernel::FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply) {
   // The destination owns the partition now: drop the local copy. The
   // records moved; the capability tree itself did not change, so no
   // parent/child unlinking happens here.
-  VpeState& vpe = vpes_.at(task->pe);
-  for (const auto& [sel, key] : vpe.table) {
-    (void)sel;
-    caps_.Erase(key);
-  }
-  vpes_.erase(task->pe);
+  VpeState& vpe = vpes_.At(task->pe);
+  vpe.table.ForEach([this](CapSel, DdlKey key) { caps_.Erase(key); });
+  vpes_.Erase(task->pe);
   migrated_away_[task->pe] = task->dst;
   ApplyMembershipUpdate(task->pe, task->dst, task->epoch);
-  Finish(t_.ikc_reply_handle + t_.epoch_apply, [] {});
+  Charge(t_.ikc_reply_handle + t_.epoch_apply);
 
   // Leave kTransfer before releasing the parked requests — MaybeForwardIkc
   // parks for in-transfer partitions, and these must forward now instead.
@@ -1667,18 +1644,17 @@ void Kernel::FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply) {
   }
 
   // Settle round: broadcast the epoch so every kernel re-routes directly.
-  for (auto& [peer, state] : peers_) {
-    (void)state;
-    if (peer_down_.at(peer)) {
+  for (KernelId peer = 0; peer < config_.kernel_nodes.size(); ++peer) {
+    if (peer == config_.id || peer_down_.at(peer)) {
       continue;
     }
     task->outstanding++;
-    auto update = std::make_shared<IkcMsg>();
+    auto update = NewMsg<IkcMsg>();
     update->op = IkcOp::kEpochUpdate;
     update->node = task->pe;
     update->new_owner = task->dst;
     update->epoch = task->epoch;
-    Finish(t_.ikc_send, [] {});
+    Charge(t_.ikc_send);
     SendIkc(peer, update, [this, task_id](const IkcReply&) {
       auto tit = migrate_tasks_.find(task_id);
       CHECK(tit != migrate_tasks_.end());
@@ -1736,13 +1712,13 @@ void Kernel::AdminShutdown(std::function<void()> done) {
   // Tear down every VPE of the group; their capabilities — including copies
   // delegated into other groups — are revoked recursively.
   std::vector<VpeId> ids;
-  for (const auto& [id, vpe] : vpes_) {
+  vpes_.ForEach([&ids](const VpeState& vpe) {
     if (vpe.alive) {
-      ids.push_back(id);
+      ids.push_back(vpe.id);
     }
-  }
+  });
   auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(ids.size()) +
-                                              static_cast<uint32_t>(peers_.size()) + 1);
+                                              PeerCount() + 1);
   auto maybe_done = [remaining, done] {
     if (--*remaining == 0 && done) {
       done();
@@ -1752,9 +1728,11 @@ void Kernel::AdminShutdown(std::function<void()> done) {
     AdminKillVpe(id, maybe_done);
   }
   // Announce the shutdown so peers stop routing requests to this group.
-  for (auto& [peer, state] : peers_) {
-    (void)state;
-    auto msg = std::make_shared<IkcMsg>();
+  for (KernelId peer = 0; peer < config_.kernel_nodes.size(); ++peer) {
+    if (peer == config_.id) {
+      continue;
+    }
+    auto msg = NewMsg<IkcMsg>();
     msg->op = IkcOp::kShutdown;
     SendIkc(peer, msg, [maybe_done](const IkcReply&) { maybe_done(); });
   }
@@ -1778,10 +1756,9 @@ void Kernel::SysActivate(SyscallCtx ctx, const SyscallMsg& req) {
            [this, ctx] { ReplySyscall(ctx, ErrCode::kCapRevoked); });
     return;
   }
-  auto vit = vpes_.find(req.vpe);
-  NodeId node = vit->second.node;
+  NodeId node = vpes_.At(req.vpe).node;
   stats_.activates++;
-  Finish(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ep_config, [] {});
+  Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ep_config);
 
   if (cap->type() == CapType::kMem) {
     cap->SetActivated(req.ep);
@@ -1831,8 +1808,7 @@ void Kernel::SysDeriveMem(SyscallCtx ctx, const SyscallMsg& req) {
   child_payload.mem_base = p.mem_base + req.arg0;
   child_payload.mem_size = req.arg1;
   child_payload.perms = req.perms;
-  auto vit = vpes_.find(req.vpe);
-  Capability* child = CreateCap(&vit->second, CapType::kMem, child_payload, cap->key());
+  Capability* child = CreateCap(&vpes_.At(req.vpe), CapType::kMem, child_payload, cap->key());
   cap->AddChild(child->key());
   stats_.derives++;
   CapSel sel = child->sel();
@@ -1848,8 +1824,7 @@ void Kernel::SysDeriveMem(SyscallCtx ctx, const SyscallMsg& req) {
 // ---------------------------------------------------------------------------
 
 void Kernel::SysRegisterService(SyscallCtx ctx, const SyscallMsg& req) {
-  auto vit = vpes_.find(req.vpe);
-  VpeState* vpe = &vit->second;
+  VpeState* vpe = &vpes_.At(req.vpe);
   vpe->is_service = true;
   CapPayload payload;
   payload.type = CapType::kService;
@@ -1866,9 +1841,11 @@ void Kernel::SysRegisterService(SyscallCtx ctx, const SyscallMsg& req) {
   services_[req.name].push_back(entry);
 
   // Announce to all peer kernels (IKC functional group 2, §4.1).
-  for (auto& [peer, state] : peers_) {
-    (void)state;
-    auto msg = std::make_shared<IkcMsg>();
+  for (KernelId peer = 0; peer < config_.kernel_nodes.size(); ++peer) {
+    if (peer == config_.id) {
+      continue;
+    }
+    auto msg = NewMsg<IkcMsg>();
     msg->op = IkcOp::kServiceAnnounce;
     msg->name = req.name;
     msg->cap = cap->key();
@@ -1897,7 +1874,7 @@ void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
   pending.cb = std::move(cb);
   ikcs_[msg->token] = std::move(pending);
 
-  PeerState& state = peers_.at(peer);
+  PeerState& state = peers_[peer];
   if (state.credits == 0) {
     // All four in-flight slots at the peer are taken (paper §4.1); the
     // request waits here instead of overflowing the peer's receive EP.
@@ -1908,7 +1885,7 @@ void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
 }
 
 void Kernel::DispatchIkc(KernelId peer) {
-  PeerState& state = peers_.at(peer);
+  PeerState& state = peers_[peer];
   while (state.credits > 0 && !state.queue.empty()) {
     std::shared_ptr<IkcMsg> msg = std::move(state.queue.front());
     state.queue.pop_front();
@@ -1937,7 +1914,7 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
     if (const IkcCredit* credit = msg.As<IkcCredit>()) {
       // Flow control: the peer dispatched one of our requests; its receive
       // slot is free again, so another request may go out (§4.1).
-      PeerState& state = peers_.at(credit->from);
+      PeerState& state = peers_[credit->from];
       state.credits++;
       CHECK_LE(state.credits, config_.max_inflight);
       DispatchIkc(credit->from);
@@ -1963,7 +1940,7 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
   // revocations possibly for a long time — without blocking the channel,
   // which keeps deep alternating revocation chains deadlock-free (§4.3.3).
   pe_->dtu().Ack(ep, msg);
-  auto credit = std::make_shared<IkcCredit>();
+  auto credit = NewMsg<IkcCredit>();
   credit->from = config_.id;
   Emit(pe_->sim()->Now(), [this, msg, credit] { pe_->dtu().SendDeferredReply(msg, credit); });
 
@@ -1977,7 +1954,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
   const IkcMsg* req = &request;
   switch (req->op) {
     case IkcOp::kHello: {
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
@@ -1991,7 +1968,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
         std::erase_if(entries,
                       [&](const ServiceEntry& e) { return e.kernel == req->src_kernel; });
       }
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
@@ -2004,7 +1981,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       entry.node = req->node;
       entry.vpe = req->vpe;
       services_[req->name].push_back(entry);
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
@@ -2014,9 +1991,8 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       AcquireThread();
       bool open_session = req->op == IkcOp::kOpenSessionReq;
       bool service_mediated = open_session || req->opaque != nullptr;
-      Finish(t_.ikc_dispatch + t_.ikc_exchange_extra + t_.exchange_validate + t_.ddl_decode +
-                 (service_mediated ? t_.session_exchange_extra : 0),
-             [] {});
+      Charge(t_.ikc_dispatch + t_.ikc_exchange_extra + t_.exchange_validate + t_.ddl_decode +
+                 (service_mediated ? t_.session_exchange_extra : 0));
       AskOp ask_op = open_session ? AskOp::kOpenSession
                                   : (req->opaque ? AskOp::kExchange : AskOp::kObtain);
       VpeId owner_vpe;
@@ -2027,7 +2003,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       } else {
         Capability* anchor = caps_.Find(req->cap);
         if (anchor == nullptr) {
-          auto reply = std::make_shared<IkcReply>();
+          auto reply = NewMsg<IkcReply>();
           reply->token = req->token;
           reply->err = ErrCode::kNoSuchCap;
           Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
@@ -2043,7 +2019,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
                       [this, ep, msg, token](ErrCode err, DdlKey parent,
                                              const CapPayload& payload, MsgRef opq,
                                              uint64_t new_session) {
-                        auto reply = std::make_shared<IkcReply>();
+                        auto reply = NewMsg<IkcReply>();
                         reply->token = token;
                         reply->err = err;
                         reply->cap = parent;
@@ -2057,7 +2033,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       break;
     }
     case IkcOp::kDelegateReq: {
-      Finish(t_.ikc_dispatch + t_.ikc_exchange_extra, [] {});
+      Charge(t_.ikc_dispatch + t_.ikc_exchange_extra);
       OwnerSideDelegate(*req, ep, msg);
       break;
     }
@@ -2067,25 +2043,24 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       CHECK(it != parked_delegates_.end()) << "delegate ack for unknown parked child";
       ParkedDelegate parked = it->second;
       parked_delegates_.erase(it);
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       if (!abort) {
-        auto vit = vpes_.find(parked.receiver);
-        if (vit != vpes_.end() && vit->second.alive) {
-          VpeState* receiver = &vit->second;
+        VpeState* receiver = vpes_.Find(parked.receiver);
+        if (receiver != nullptr && receiver->alive) {
           CapSel sel = receiver->AllocSel();
           Capability* cap =
               caps_.Create(parked.child_key, parked.payload.type, parked.receiver, sel);
           cap->payload() = parked.payload;
           cap->set_parent(parked.parent_key);
-          receiver->table[sel] = parked.child_key;
+          receiver->table.Set(sel, parked.child_key);
           stats_.caps_created++;
           Emit(Charge(t_.ikc_reply_handle + t_.tree_insert + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
         } else {
           // Receiver died while waiting for the ACK: tell the delegator's
           // kernel to drop the orphaned child entry (§4.3.2).
           stats_.orphans_cleaned++;
-          auto orphan = std::make_shared<IkcMsg>();
+          auto orphan = NewMsg<IkcMsg>();
           orphan->op = IkcOp::kOrphanNotify;
           orphan->parent = parked.parent_key;
           orphan->child = parked.child_key;
@@ -2109,7 +2084,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
         parent->RemoveChild(req->child);
         stats_.orphans_cleaned++;
       }
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
@@ -2119,7 +2094,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       if (parent != nullptr) {
         parent->RemoveChild(req->child);
       }
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
@@ -2131,7 +2106,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
     case IkcOp::kEpochUpdate: {
       ApplyMembershipUpdate(req->node, req->new_owner, req->epoch);
       stats_.epoch_updates++;
-      auto reply = std::make_shared<IkcReply>();
+      auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.epoch_apply + t_.ikc_send),
            [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
@@ -2149,6 +2124,7 @@ void Kernel::AskParty(NodeId node, std::shared_ptr<AskMsg> ask,
   ask->token = next_token_++;
   PendingAsk pending;
   pending.token = ask->token;
+  pending.node = node;
   pending.cb = std::move(cb);
   asks_[ask->token] = std::move(pending);
 
@@ -2160,12 +2136,8 @@ void Kernel::AskParty(NodeId node, std::shared_ptr<AskMsg> ask,
     window.inflight++;
     send();
   } else {
-    window.queue.push_back([this, node, send] {
-      (void)node;
-      send();
-    });
+    window.queue.push_back(send);
   }
-  ask_nodes_[ask->token] = node;
 }
 
 void Kernel::OnAskReply(const Message& msg) {
@@ -2174,11 +2146,9 @@ void Kernel::OnAskReply(const Message& msg) {
   auto it = asks_.find(reply->token);
   CHECK(it != asks_.end()) << "ask reply for unknown token";
   auto cb = std::move(it->second.cb);
+  NodeId asked_node = it->second.node;
   asks_.erase(it);
-  auto nit = ask_nodes_.find(reply->token);
-  CHECK(nit != ask_nodes_.end());
-  AskWindow& window = ask_windows_[nit->second];
-  ask_nodes_.erase(nit);
+  AskWindow& window = ask_windows_[asked_node];
   window.inflight--;
   if (!window.queue.empty()) {
     auto fn = std::move(window.queue.front());

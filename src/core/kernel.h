@@ -55,6 +55,7 @@
 #include "core/protocol.h"
 #include "core/timing.h"
 #include "pe/pe.h"
+#include "sim/inline_fn.h"
 
 namespace semperos {
 
@@ -113,7 +114,7 @@ struct RevokeTask {
   // Tasks / requests waiting for this task's completion (overlapping
   // revokes; "revoke_syscall_hdlr will also wait for the already
   // outstanding kernel replies", §4.3.3).
-  std::vector<std::function<void()>> on_complete;
+  std::vector<InlineFn> on_complete;
   // Remote children discovered by the marking pass, grouped by owning
   // kernel; flushed as one request per child, or one per peer when
   // revocation batching is enabled.
@@ -237,6 +238,7 @@ class Kernel : public Program {
            asks_.size() + ikcs_.size() + migrate_tasks_.size();
   }
   uint32_t ThreadPoolSize() const;  // Eq. 1: V_group + K_max * M_inflight
+  uint32_t PeerCount() const { return static_cast<uint32_t>(config_.kernel_nodes.size()) - 1; }
 
   // Called by the platform once all programs configured their endpoints;
   // downgrades every user DTU in the group (NoC-level isolation).
@@ -280,9 +282,12 @@ class Kernel : public Program {
     KernelId from_kernel = kInvalidKernel;
   };
 
-  // Ask sent to a party/service, waiting for the AskReply.
+  // Ask sent to a party/service, waiting for the AskReply. Carries the
+  // asked node so migration quiesce can tell whether an exchange-ask still
+  // targets the moving partition (one map, one entry per ask).
   struct PendingAsk {
     uint64_t token = 0;
+    NodeId node = kInvalidNode;
     std::function<void(const AskReply&)> cb;
   };
 
@@ -400,7 +405,7 @@ class Kernel : public Program {
   void ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel = kInvalidSel,
                     const CapPayload& payload = {}, MsgRef opaque = nullptr);
   // Charges `cost` on the kernel core, then runs `effects` (sends replies).
-  void Finish(Cycles cost, std::function<void()> effects);
+  void Finish(Cycles cost, InlineFn effects);
   // Charges `cost` and returns the completion time (for Emit below).
   Cycles Charge(Cycles cost);
 
@@ -412,7 +417,7 @@ class Kernel : public Program {
   // revocation's REVOKE_REQ for that child), every kernel-to-kernel message
   // is enqueued here at mutation time and released strictly in that order,
   // each no earlier than its `ready` (charge-completion) time.
-  void Emit(Cycles ready, std::function<void()> send);
+  void Emit(Cycles ready, InlineFn send);
   void DrainEgress();
 
   // Thread-pool accounting (Eq. 1). CHECK-fails if the statically sized
@@ -429,7 +434,7 @@ class Kernel : public Program {
   // Peers that announced their shutdown; no further IKC traffic to them.
   std::vector<bool> peer_down_;
 
-  std::map<VpeId, VpeState> vpes_;
+  VpeTable vpes_;
   CapSpace caps_;
   uint64_t next_obj_ = 1;
   uint64_t next_token_ = 1;
@@ -438,7 +443,6 @@ class Kernel : public Program {
   std::unordered_map<uint64_t, DelegateOp> delegates_;
   std::unordered_map<uint64_t, ParkedDelegate> parked_delegates_;
   std::unordered_map<uint64_t, PendingAsk> asks_;
-  std::unordered_map<uint64_t, NodeId> ask_nodes_;  // token -> asked node
   std::unordered_map<uint64_t, PendingIkc> ikcs_;
   std::unordered_map<uint64_t, std::unique_ptr<RevokeTask>> revoke_tasks_;
   std::map<uint64_t, std::unique_ptr<MigrateTask>> migrate_tasks_;
@@ -448,17 +452,19 @@ class Kernel : public Program {
   // kernel instead of a misleading kNoSuchVpe.
   std::map<NodeId, KernelId> migrated_away_;
 
-  std::map<KernelId, PeerState> peers_;
+  // Indexed by kernel id (the self entry is unused) — SendIkc/DispatchIkc
+  // touch this on every kernel-to-kernel message.
+  std::vector<PeerState> peers_;
   std::map<std::string, std::vector<ServiceEntry>> services_;
 
   // Incoming REVOKE_REQs beyond the two revocation threads wait here.
-  std::deque<std::function<void()>> revoke_queue_;
+  std::deque<InlineFn> revoke_queue_;
   uint32_t revoke_threads_busy_ = 0;
 
   // Kernel-to-kernel egress (see Emit).
   struct EgressMsg {
     Cycles ready;
-    std::function<void()> send;
+    InlineFn send;
   };
   std::deque<EgressMsg> egress_;
   bool egress_scheduled_ = false;

@@ -105,6 +105,9 @@ enum class SyscallOp : uint8_t {
 const char* SyscallOpName(SyscallOp op);
 
 struct SyscallMsg : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kSyscall;
+  SyscallMsg() : MsgBody(kKind) {}
+
   SyscallOp op = SyscallOp::kNoop;
   VpeId vpe = kInvalidVpe;  // caller
   uint64_t token = 0;       // echoed in the reply
@@ -123,6 +126,9 @@ struct SyscallMsg : MsgBody {
 };
 
 struct SyscallReply : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kSyscallReply;
+  SyscallReply() : MsgBody(kKind) {}
+
   uint64_t token = 0;
   ErrCode err = ErrCode::kOk;
   CapSel sel = kInvalidSel;  // newly created capability, if any
@@ -149,6 +155,9 @@ enum class AskOp : uint8_t {
 };
 
 struct AskMsg : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kAsk;
+  AskMsg() : MsgBody(kKind) {}
+
   AskOp op = AskOp::kObtain;
   uint64_t token = 0;
   VpeId client = kInvalidVpe;  // who triggered the exchange
@@ -161,6 +170,9 @@ struct AskMsg : MsgBody {
 };
 
 struct AskReply : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kAskReply;
+  AskReply() : MsgBody(kKind) {}
+
   uint64_t token = 0;
   ErrCode err = ErrCode::kOk;
   CapSel share_sel = kInvalidSel;  // capability the party shares (its table)
@@ -204,6 +216,9 @@ enum class IkcOp : uint8_t {
 const char* IkcOpName(IkcOp op);
 
 struct IkcMsg : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kIkc;
+  IkcMsg() : MsgBody(kKind) {}
+
   IkcOp op = IkcOp::kHello;
   KernelId src_kernel = kInvalidKernel;
   uint64_t token = 0;
@@ -230,6 +245,9 @@ struct IkcMsg : MsgBody {
 };
 
 struct IkcReply : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kIkcReply;
+  IkcReply() : MsgBody(kKind) {}
+
   uint64_t token = 0;
   ErrCode err = ErrCode::kOk;
   DdlKey cap;         // e.g. parent key the child was linked under
@@ -247,6 +265,9 @@ struct IkcReply : MsgBody {
 // without holding slots, which keeps deep cross-kernel revocation chains
 // deadlock-free under the 4-in-flight limit (paper §4.1, §4.3.3).
 struct IkcCredit : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kIkcCredit;
+  IkcCredit() : MsgBody(kKind) {}
+
   KernelId from = kInvalidKernel;
   uint32_t WireSize() const override { return 16; }
 };

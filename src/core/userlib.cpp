@@ -1,5 +1,7 @@
 #include "core/userlib.h"
 
+#include "dtu/msg_pool.h"
+
 namespace semperos {
 
 void UserEnv::SetupEps(bool is_service) {
@@ -63,7 +65,7 @@ void UserEnv::OnSyscallReply(const Message& msg) {
 }
 
 void UserEnv::OpenSession(const std::string& name, std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kOpenSession;
   msg->name = name;
   Syscall(std::move(msg), std::move(cb));
@@ -71,7 +73,7 @@ void UserEnv::OpenSession(const std::string& name, std::function<void(const Sysc
 
 void UserEnv::Exchange(CapSel session, MsgRef payload,
                        std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kExchange;
   msg->sel = session;
   msg->payload = std::move(payload);
@@ -79,7 +81,7 @@ void UserEnv::Exchange(CapSel session, MsgRef payload,
 }
 
 void UserEnv::Obtain(VpeId peer, CapSel peer_sel, std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kObtain;
   msg->peer = peer;
   msg->sel = peer_sel;
@@ -87,7 +89,7 @@ void UserEnv::Obtain(VpeId peer, CapSel peer_sel, std::function<void(const Sysca
 }
 
 void UserEnv::Delegate(CapSel sel, VpeId peer, std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kDelegate;
   msg->sel = sel;
   msg->peer = peer;
@@ -95,14 +97,14 @@ void UserEnv::Delegate(CapSel sel, VpeId peer, std::function<void(const SyscallR
 }
 
 void UserEnv::Revoke(CapSel sel, std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kRevoke;
   msg->sel = sel;
   Syscall(std::move(msg), std::move(cb));
 }
 
 void UserEnv::Activate(CapSel sel, EpId ep, std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kActivate;
   msg->sel = sel;
   msg->ep = ep;
@@ -111,7 +113,7 @@ void UserEnv::Activate(CapSel sel, EpId ep, std::function<void(const SyscallRepl
 
 void UserEnv::DeriveMem(CapSel sel, uint64_t offset, uint64_t size, uint32_t perms,
                         std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kDeriveMem;
   msg->sel = sel;
   msg->arg0 = offset;
@@ -122,7 +124,7 @@ void UserEnv::DeriveMem(CapSel sel, uint64_t offset, uint64_t size, uint32_t per
 
 void UserEnv::RegisterService(const std::string& name,
                               std::function<void(const SyscallReply&)> cb) {
-  auto msg = std::make_shared<SyscallMsg>();
+  auto msg = NewMsg<SyscallMsg>();
   msg->op = SyscallOp::kRegisterService;
   msg->name = name;
   Syscall(std::move(msg), std::move(cb));
@@ -139,7 +141,7 @@ void UserEnv::OnAsk(const Message& msg) {
   work_.push_back([this, copy] {
     const AskMsg& a = *copy.As<AskMsg>();
     auto reply_fn = [this, copy](AskReply reply_value) {
-      auto reply = std::make_shared<AskReply>(std::move(reply_value));
+      auto reply = NewMsg<AskReply>(std::move(reply_value));
       reply->token = copy.As<AskMsg>()->token;
       // Answering costs the party `ask_cost_` cycles on its own core.
       pe_->exec().Post(ask_cost_, [this, copy, reply] {
@@ -213,12 +215,12 @@ void UserEnv::ReplyRequest(const Message& msg, MsgRef body) {
 // Memory access
 // ---------------------------------------------------------------------------
 
-void UserEnv::ReadMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done) {
+void UserEnv::ReadMem(EpId ep, uint64_t offset, uint64_t bytes, InlineFn done) {
   Status st = pe_->dtu().Read(ep, offset, bytes, std::move(done));
   CHECK(st.ok()) << "mem read failed: " << st.name();
 }
 
-void UserEnv::WriteMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done) {
+void UserEnv::WriteMem(EpId ep, uint64_t offset, uint64_t bytes, InlineFn done) {
   Status st = pe_->dtu().Write(ep, offset, bytes, std::move(done));
   CHECK(st.ok()) << "mem write failed: " << st.name();
 }

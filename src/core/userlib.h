@@ -71,11 +71,11 @@ class UserEnv {
   void ReplyRequest(const Message& msg, MsgRef body);
 
   // ---- Remote memory through an activated memory endpoint ----
-  void ReadMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
-  void WriteMem(EpId ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
+  void ReadMem(EpId ep, uint64_t offset, uint64_t bytes, InlineFn done);
+  void WriteMem(EpId ep, uint64_t offset, uint64_t bytes, InlineFn done);
 
   // Occupies this PE's core for `cost` cycles (compute phases).
-  void Compute(Cycles cost, std::function<void()> then) { pe_->Compute(cost, std::move(then)); }
+  void Compute(Cycles cost, InlineFn then) { pe_->Compute(cost, std::move(then)); }
 
   uint64_t syscalls_issued() const { return syscalls_issued_; }
   uint64_t syscall_retries() const { return syscall_retries_; }
@@ -110,7 +110,7 @@ class UserEnv {
   RequestHandler request_handler_;
 
   // Serialized service work: asks and client requests.
-  std::deque<std::function<void()>> work_;
+  std::deque<InlineFn> work_;
   bool work_busy_ = false;
 };
 

@@ -295,7 +295,7 @@ void Dtu::ReturnCredit(EpId send_ep) {
 }
 
 Status Dtu::MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write,
-                      std::function<void()> done) {
+                      InlineFn done) {
   CHECK_LT(mem_ep, kNumEps);
   Endpoint& e = eps_[mem_ep];
   if (e.type != EpType::kMemory) {
@@ -325,11 +325,11 @@ Status Dtu::MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write,
   return Status::Ok();
 }
 
-Status Dtu::Read(EpId mem_ep, uint64_t offset, uint64_t bytes, std::function<void()> done) {
+Status Dtu::Read(EpId mem_ep, uint64_t offset, uint64_t bytes, InlineFn done) {
   return MemAccess(mem_ep, offset, bytes, /*write=*/false, std::move(done));
 }
 
-Status Dtu::Write(EpId mem_ep, uint64_t offset, uint64_t bytes, std::function<void()> done) {
+Status Dtu::Write(EpId mem_ep, uint64_t offset, uint64_t bytes, InlineFn done) {
   return MemAccess(mem_ep, offset, bytes, /*write=*/true, std::move(done));
 }
 

@@ -124,8 +124,8 @@ class Dtu {
   // Remote memory access through a memory endpoint. Timing only — data is
   // not moved. Deliberately uncontended (paper §5.3.1 excludes memory
   // contention; see DESIGN.md §2). `done` fires on completion.
-  Status Read(EpId mem_ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
-  Status Write(EpId mem_ep, uint64_t offset, uint64_t bytes, std::function<void()> done);
+  Status Read(EpId mem_ep, uint64_t offset, uint64_t bytes, InlineFn done);
+  Status Write(EpId mem_ep, uint64_t offset, uint64_t bytes, InlineFn done);
 
   // Introspection for tests.
   uint32_t Credits(EpId ep) const;
@@ -158,8 +158,7 @@ class Dtu {
   void Deliver(EpId ep, Message msg);
   void ReturnCredit(EpId send_ep);
 
-  Status MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write,
-                   std::function<void()> done);
+  Status MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write, InlineFn done);
 
   Simulation* sim_;
   DtuFabric* fabric_;

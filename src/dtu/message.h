@@ -4,6 +4,12 @@
 // bodies (shared_ptr<const MsgBody>) and charges NoC time for the body's
 // declared wire size. Every protocol (system calls, inter-kernel calls,
 // service requests) derives its message structs from MsgBody.
+//
+// Dispatch is tag-checked, not RTTI: every concrete body type carries a
+// MsgKind set at construction, and Message::As<T>/MsgAs<T> compare the tag
+// and static_cast. A dynamic_cast per delivery was one of the simulator's
+// hottest instructions — every syscall, IKC and exchange-ask pays at least
+// one body downcast on receive.
 #ifndef SEMPEROS_DTU_MESSAGE_H_
 #define SEMPEROS_DTU_MESSAGE_H_
 
@@ -14,17 +20,50 @@
 
 namespace semperos {
 
+// One value per concrete MsgBody subclass. A new body type must add its tag
+// here and pass it to the MsgBody constructor; As<T> on a mistagged body
+// returns nullptr, which the receivers CHECK loudly.
+enum class MsgKind : uint8_t {
+  kNone = 0,       // untagged base (never matches an As<T>)
+  kSyscall,        // SyscallMsg
+  kSyscallReply,   // SyscallReply
+  kAsk,            // AskMsg
+  kAskReply,       // AskReply
+  kIkc,            // IkcMsg
+  kIkcReply,       // IkcReply
+  kIkcCredit,      // IkcCredit
+  kFsRequest,      // FsRequest
+  kFsReply,        // FsReply
+  kNginxRequest,   // NginxRequestMsg
+  kNginxResponse,  // NginxResponseMsg
+  kTest,           // ad-hoc payloads in unit tests/benchmarks
+};
+
 // Base class for all simulated message payloads.
 class MsgBody {
  public:
+  explicit MsgBody(MsgKind kind = MsgKind::kNone) : kind_(kind) {}
   virtual ~MsgBody() = default;
+
+  MsgKind kind() const { return kind_; }
 
   // Approximate serialized size in bytes, used for NoC timing. The default
   // matches a small fixed-size control message (one cache line).
   virtual uint32_t WireSize() const { return 64; }
+
+ private:
+  MsgKind kind_;
 };
 
 using MsgRef = std::shared_ptr<const MsgBody>;
+
+// Tag-checked downcast of an opaque payload reference (service-defined
+// bodies travelling inside syscalls/asks). Returns nullptr on mismatch.
+template <typename T>
+const T* MsgAs(const MsgRef& body) {
+  return body != nullptr && body->kind() == T::kKind ? static_cast<const T*>(body.get())
+                                                     : nullptr;
+}
 
 // Endpoint id used when the sender expects no reply.
 inline constexpr EpId kNoReplyEp = 0xffffffffu;
@@ -40,7 +79,7 @@ struct Message {
 
   template <typename T>
   const T* As() const {
-    return dynamic_cast<const T*>(body.get());
+    return MsgAs<T>(body);
   }
 };
 

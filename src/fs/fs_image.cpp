@@ -1,5 +1,7 @@
 #include "fs/fs_image.h"
 
+#include <utility>
+
 namespace semperos {
 
 namespace {
@@ -21,22 +23,42 @@ std::string FsImage::ParentOf(const std::string& path) const {
   return path.substr(0, pos);
 }
 
+void FsImage::Freeze() {
+  auto merged = std::make_shared<InodeMap>();
+  if (base_ != nullptr) {
+    for (const auto& [path, inode] : *base_) {
+      if (erased_.count(path) == 0 && overlay_.count(path) == 0) {
+        merged->emplace(path, inode);
+      }
+    }
+  }
+  for (auto& [path, inode] : overlay_) {
+    merged->emplace(path, inode);
+  }
+  CHECK_EQ(merged->size(), live_);
+  base_ = std::move(merged);
+  overlay_.clear();
+  erased_.clear();
+}
+
 void FsImage::AddDir(const std::string& path) {
-  if (inodes_.count(path) != 0) {
+  if (Lookup(path) != nullptr) {
     return;
   }
   if (path != "/") {
-    CHECK(inodes_.count(ParentOf(path)) != 0) << "parent of " << path << " missing";
+    CHECK(Lookup(ParentOf(path)) != nullptr) << "parent of " << path << " missing";
   }
   Inode inode;
   inode.ino = next_ino_++;
   inode.is_dir = true;
-  inodes_[path] = inode;
+  overlay_[path] = inode;
+  erased_.erase(path);
+  ++live_;
 }
 
 const Inode* FsImage::AddFile(const std::string& path, uint64_t size, uint64_t reserve) {
-  CHECK(inodes_.count(path) == 0) << path << " exists";
-  CHECK(inodes_.count(ParentOf(path)) != 0) << "parent of " << path << " missing";
+  CHECK(Lookup(path) == nullptr) << path << " exists";
+  CHECK(Lookup(ParentOf(path)) != nullptr) << "parent of " << path << " missing";
   Inode inode;
   inode.ino = next_ino_++;
   inode.is_dir = false;
@@ -44,41 +66,88 @@ const Inode* FsImage::AddFile(const std::string& path, uint64_t size, uint64_t r
   inode.reserved = RoundUpToExtent(reserve > size ? reserve : size);
   inode.offset = next_offset_;
   next_offset_ += inode.reserved;
-  auto [it, ok] = inodes_.emplace(path, inode);
+  auto [it, ok] = overlay_.emplace(path, inode);
   CHECK(ok);
+  erased_.erase(path);
+  ++live_;
   return &it->second;
 }
 
 const Inode* FsImage::Lookup(const std::string& path) const {
-  auto it = inodes_.find(path);
-  return it == inodes_.end() ? nullptr : &it->second;
+  auto it = overlay_.find(path);
+  if (it != overlay_.end()) {
+    return &it->second;
+  }
+  if (base_ != nullptr && erased_.count(path) == 0) {
+    auto bit = base_->find(path);
+    if (bit != base_->end()) {
+      return &bit->second;
+    }
+  }
+  return nullptr;
 }
 
 Inode* FsImage::LookupMutable(const std::string& path) {
-  auto it = inodes_.find(path);
-  return it == inodes_.end() ? nullptr : &it->second;
+  auto it = overlay_.find(path);
+  if (it != overlay_.end()) {
+    return &it->second;
+  }
+  if (InBase(path)) {
+    // Promote: first mutable access copies the inode into the overlay.
+    auto [oit, ok] = overlay_.emplace(path, base_->at(path));
+    CHECK(ok);
+    return &oit->second;
+  }
+  return nullptr;
 }
 
 uint32_t FsImage::CountEntries(const std::string& dir) const {
   std::string prefix = dir == "/" ? "/" : dir + "/";
+  auto direct_child = [&prefix](const std::string& path) {
+    return path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
+           path.find('/', prefix.size()) == std::string::npos;
+  };
   uint32_t n = 0;
-  for (const auto& [path, inode] : inodes_) {
+  for (const auto& [path, inode] : overlay_) {
     (void)inode;
-    if (path.size() > prefix.size() && path.compare(0, prefix.size(), prefix) == 0 &&
-        path.find('/', prefix.size()) == std::string::npos) {
+    if (direct_child(path)) {
       ++n;
+    }
+  }
+  if (base_ != nullptr) {
+    for (const auto& [path, inode] : *base_) {
+      (void)inode;
+      // Promoted entries were already counted through the overlay.
+      if (direct_child(path) && erased_.count(path) == 0 && overlay_.count(path) == 0) {
+        ++n;
+      }
     }
   }
   return n;
 }
 
 bool FsImage::Unlink(const std::string& path) {
-  auto it = inodes_.find(path);
-  if (it == inodes_.end() || it->second.is_dir) {
-    return false;
+  auto it = overlay_.find(path);
+  if (it != overlay_.end()) {
+    if (it->second.is_dir) {
+      return false;
+    }
+    overlay_.erase(it);
+    if (base_ != nullptr && base_->count(path) != 0) {
+      erased_.insert(path);  // the promoted original must stay hidden
+    }
+    --live_;
+    return true;
   }
-  inodes_.erase(it);
-  return true;
+  if (InBase(path)) {
+    if (base_->at(path).is_dir) {
+      return false;
+    }
+    erased_.insert(path);
+    --live_;
+    return true;
+  }
+  return false;
 }
 
 void FsImage::Grow(Inode* inode, uint64_t new_size) {

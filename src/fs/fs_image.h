@@ -8,13 +8,22 @@
 // The image is a functional model: lookups, directory listings, creation,
 // growth and unlinking all work; file *contents* are never materialized
 // (data movement is pure timing, see Dtu::Read/Write).
+//
+// Storage is an immutable shared base plus a per-image overlay. The paper's
+// "each service has its own copy" becomes: populate a template image once,
+// Freeze() it, and hand every service a copy — copies share the frozen base
+// (one shared_ptr bump instead of re-hashing tens of thousands of inode
+// paths per service) and diverge through their private overlays, which is
+// observationally identical to a deep copy. Inodes promote into the overlay
+// on first mutable access; unlinks of base entries leave tombstones.
 #ifndef SEMPEROS_FS_FS_IMAGE_H_
 #define SEMPEROS_FS_FS_IMAGE_H_
 
 #include <cstdint>
-#include <map>
+#include <memory>
 #include <string>
-#include <vector>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "base/log.h"
 #include "base/status.h"
@@ -39,6 +48,10 @@ class FsImage {
  public:
   FsImage() { AddDir("/"); }
 
+  // Merges the overlay into a new immutable base. Copies taken afterwards
+  // share that base; call once after populating a template image.
+  void Freeze();
+
   // Creates a directory (parents must exist).
   void AddDir(const std::string& path);
 
@@ -47,6 +60,8 @@ class FsImage {
   const Inode* AddFile(const std::string& path, uint64_t size, uint64_t reserve = 0);
 
   const Inode* Lookup(const std::string& path) const;
+  // References returned here stay valid across later image operations: they
+  // always point into the overlay (node-based map, no erase until Unlink).
   Inode* LookupMutable(const std::string& path);
 
   // Number of entries directly inside `dir`.
@@ -64,12 +79,21 @@ class FsImage {
   // must cover this; callers reserve headroom for growth).
   uint64_t bytes_used() const { return next_offset_; }
 
-  size_t inode_count() const { return inodes_.size(); }
+  size_t inode_count() const { return live_; }
 
  private:
-  std::string ParentOf(const std::string& path) const;
+  using InodeMap = std::unordered_map<std::string, Inode>;
 
-  std::map<std::string, Inode> inodes_;  // keyed by absolute path
+  std::string ParentOf(const std::string& path) const;
+  // True if `path` exists in the base and is not tombstoned.
+  bool InBase(const std::string& path) const {
+    return base_ != nullptr && erased_.count(path) == 0 && base_->count(path) != 0;
+  }
+
+  std::shared_ptr<const InodeMap> base_;  // frozen snapshot, shared by copies
+  InodeMap overlay_;                      // local additions and promotions
+  std::unordered_set<std::string> erased_;  // tombstones over base_ entries
+  size_t live_ = 0;                       // current inode count
   uint64_t next_ino_ = 1;
   uint64_t next_offset_ = 0;
 };

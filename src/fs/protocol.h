@@ -33,6 +33,9 @@ inline constexpr uint32_t kOpenWrite = 2;
 inline constexpr uint32_t kOpenCreate = 4;
 
 struct FsRequest : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kFsRequest;
+  FsRequest() : MsgBody(kKind) {}
+
   FsOp op = FsOp::kStat;
   std::string path;
   uint32_t flags = 0;
@@ -43,6 +46,9 @@ struct FsRequest : MsgBody {
 };
 
 struct FsReply : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kFsReply;
+  FsReply() : MsgBody(kKind) {}
+
   ErrCode err = ErrCode::kOk;
   uint64_t fid = 0;
   uint64_t size = 0;      // file size (open/stat)

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/log.h"
+#include "dtu/msg_pool.h"
 
 namespace semperos {
 
@@ -106,7 +107,7 @@ void FsService::AskOpenSession(const AskMsg& ask, std::function<void(AskReply)> 
 
 void FsService::AskExchange(const AskMsg& ask, std::function<void(AskReply)> reply) {
   Session* session = SessionOf(ask.session);
-  const FsRequest* req = ask.payload ? dynamic_cast<const FsRequest*>(ask.payload.get()) : nullptr;
+  const FsRequest* req = MsgAs<FsRequest>(ask.payload);
   if (session == nullptr || req == nullptr) {
     AskReply r;
     r.err = ErrCode::kInvalidArgs;
@@ -180,7 +181,7 @@ void FsService::HandleOpen(Session* session, const FsRequest& req,
                    Session* live_session = SessionOf(session_id);
                    CHECK(live_session != nullptr);
                    live_session->files[fid] = std::move(file);
-                   auto fs_reply = std::make_shared<FsReply>();
+                   auto fs_reply = NewMsg<FsReply>();
                    fs_reply->err = ErrCode::kOk;
                    fs_reply->fid = fid;
                    fs_reply->size = size;
@@ -224,7 +225,7 @@ void FsService::HandleNextExtent(Session* session, const FsRequest& req,
                    auto live_fit = live_session->files.find(fid);
                    CHECK(live_fit != live_session->files.end());
                    live_fit->second.handed.push_back(sel);
-                   auto fs_reply = std::make_shared<FsReply>();
+                   auto fs_reply = NewMsg<FsReply>();
                    fs_reply->err = ErrCode::kOk;
                    fs_reply->fid = fid;
                    fs_reply->size = extent_len;
@@ -273,7 +274,7 @@ void FsService::OnRequest(const Message& msg) {
 
 void FsService::ReplyMeta(const Message& msg, ErrCode err, uint64_t size, uint32_t entries,
                           uint32_t revoked) {
-  auto reply = std::make_shared<FsReply>();
+  auto reply = NewMsg<FsReply>();
   reply->err = err;
   reply->size = size;
   reply->entries = entries;

@@ -1,6 +1,5 @@
 #include "noc/noc.h"
 
-#include <cstdlib>
 #include <utility>
 
 namespace semperos {
@@ -27,28 +26,6 @@ uint32_t Noc::LinkIndex(NodeId node, int dir) const {
   return node * 4 + static_cast<uint32_t>(dir);
 }
 
-void Noc::Route(NodeId src, NodeId dst, std::vector<uint32_t>* out) const {
-  // Dimension-ordered routing: X first, then Y. Deterministic, so message
-  // order between any pair of nodes is preserved.
-  uint32_t x = src % config_.width;
-  uint32_t y = src / config_.width;
-  uint32_t dx = dst % config_.width;
-  uint32_t dy = dst / config_.width;
-  NodeId cur = src;
-  while (x != dx) {
-    int dir = x < dx ? 0 : 1;
-    out->push_back(LinkIndex(cur, dir));
-    x = x < dx ? x + 1 : x - 1;
-    cur = y * config_.width + x;
-  }
-  while (y != dy) {
-    int dir = y < dy ? 3 : 2;
-    out->push_back(LinkIndex(cur, dir));
-    y = y < dy ? y + 1 : y - 1;
-    cur = y * config_.width + x;
-  }
-}
-
 Cycles Noc::UnloadedLatency(NodeId src, NodeId dst, uint32_t bytes) const {
   uint32_t hops = Hops(src, dst);
   Cycles serialization = bytes / config_.link_bytes_per_cycle;
@@ -58,7 +35,18 @@ Cycles Noc::UnloadedLatency(NodeId src, NodeId dst, uint32_t bytes) const {
   return hops * (config_.router_latency + config_.wire_latency) + serialization;
 }
 
-Cycles Noc::Send(NodeId src, NodeId dst, uint32_t bytes, std::function<void()> deliver) {
+Cycles Noc::ReserveLink(uint32_t link, Cycles t, Cycles serialization, Cycles* queueing) {
+  Cycles arrive = t + config_.router_latency + config_.wire_latency;
+  Cycles start = arrive;
+  if (link_free_at_[link] > start) {
+    *queueing += link_free_at_[link] - start;
+    start = link_free_at_[link];
+  }
+  link_free_at_[link] = start + serialization;
+  return start;
+}
+
+Cycles Noc::Send(NodeId src, NodeId dst, uint32_t bytes, InlineFn deliver) {
   CHECK_LT(src, NodeCount());
   CHECK_LT(dst, NodeCount());
   Cycles now = sim_->Now();
@@ -73,19 +61,27 @@ Cycles Noc::Send(NodeId src, NodeId dst, uint32_t bytes, std::function<void()> d
     // Loopback through the local router only.
     t += config_.router_latency;
   } else if (config_.model_contention) {
-    scratch_path_.clear();
-    Route(src, dst, &scratch_path_);
-    // The packet head advances hop by hop; each link is reserved for the
-    // packet's serialization time. A busy link stalls the head (FIFO).
-    for (uint32_t link : scratch_path_) {
-      Cycles arrive = t + config_.router_latency + config_.wire_latency;
-      Cycles start = arrive;
-      if (link_free_at_[link] > start) {
-        queueing += link_free_at_[link] - start;
-        start = link_free_at_[link];
-      }
-      link_free_at_[link] = start + serialization;
-      t = start;
+    // Dimension-ordered routing, X first then Y — deterministic, so message
+    // order between any pair of nodes is preserved. The packet head advances
+    // hop by hop; each traversed link is reserved inline for the packet's
+    // serialization time (no materialized path vector), and a busy link
+    // stalls the head (FIFO).
+    uint32_t x = src % config_.width;
+    uint32_t y = src / config_.width;
+    uint32_t dx = dst % config_.width;
+    uint32_t dy = dst / config_.width;
+    NodeId cur = src;
+    while (x != dx) {
+      int dir = x < dx ? 0 : 1;
+      t = ReserveLink(LinkIndex(cur, dir), t, serialization, &queueing);
+      x = x < dx ? x + 1 : x - 1;
+      cur = y * config_.width + x;
+    }
+    while (y != dy) {
+      int dir = y < dy ? 3 : 2;
+      t = ReserveLink(LinkIndex(cur, dir), t, serialization, &queueing);
+      y = y < dy ? y + 1 : y - 1;
+      cur = y * config_.width + x;
     }
     t += serialization;  // tail of the packet drains over the last link
   } else {

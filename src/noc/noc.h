@@ -20,11 +20,11 @@
 #define SEMPEROS_NOC_NOC_H_
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "base/log.h"
 #include "base/types.h"
+#include "sim/inline_fn.h"
 #include "sim/simulation.h"
 
 namespace semperos {
@@ -59,7 +59,7 @@ class Noc {
 
   // Sends `bytes` from src to dst; `deliver` runs when the last flit arrives.
   // Returns the delivery time.
-  Cycles Send(NodeId src, NodeId dst, uint32_t bytes, std::function<void()> deliver);
+  Cycles Send(NodeId src, NodeId dst, uint32_t bytes, InlineFn deliver);
 
   // Latency a packet would see on an unloaded network (for calibration).
   Cycles UnloadedLatency(NodeId src, NodeId dst, uint32_t bytes) const;
@@ -72,14 +72,15 @@ class Noc {
   // (0=east, 1=west, 2=north, 3=south).
   uint32_t LinkIndex(NodeId node, int dir) const;
 
-  // Appends the directed links of the XY path src->dst to `out`.
-  void Route(NodeId src, NodeId dst, std::vector<uint32_t>* out) const;
+  // Reserves one link of the XY path for `serialization` cycles: the packet
+  // head arrives at `t`, stalls while the link is busy (FIFO), and holds it
+  // for its serialization time. Returns the head's departure time.
+  Cycles ReserveLink(uint32_t link, Cycles t, Cycles serialization, Cycles* queueing);
 
   Simulation* sim_;
   NocConfig config_;
   std::vector<Cycles> link_free_at_;  // per directed link: next free cycle
   NocStats stats_;
-  std::vector<uint32_t> scratch_path_;
 };
 
 }  // namespace semperos

@@ -85,7 +85,7 @@ class ProcessingElement {
   }
 
   // Occupies the core for `cost` cycles, then runs `then`.
-  void Compute(Cycles cost, std::function<void()> then) { exec_.Post(cost, std::move(then)); }
+  void Compute(Cycles cost, InlineFn then) { exec_.Post(cost, std::move(then)); }
 
  private:
   Simulation* sim_;

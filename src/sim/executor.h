@@ -12,9 +12,8 @@
 #ifndef SEMPEROS_SIM_EXECUTOR_H_
 #define SEMPEROS_SIM_EXECUTOR_H_
 
-#include <functional>
-
 #include "base/types.h"
+#include "sim/inline_fn.h"
 #include "sim/simulation.h"
 
 namespace semperos {
@@ -25,7 +24,7 @@ class Executor {
 
   // Runs `fn` after occupying the core for `cost` cycles (queueing behind any
   // work already posted). Returns the completion time.
-  Cycles Post(Cycles cost, std::function<void()> fn) {
+  Cycles Post(Cycles cost, InlineFn fn) {
     Cycles start = busy_until_ > sim_->Now() ? busy_until_ : sim_->Now();
     Cycles finish = start + cost;
     busy_until_ = finish;
@@ -34,9 +33,16 @@ class Executor {
     return finish;
   }
 
-  // Occupies the core without running anything (pure compute delay).
+  // Occupies the core without running anything (pure compute delay). No
+  // event is scheduled — the completion time is only recorded as the
+  // simulation's work horizon, so a drain still idles at the same Now().
   Cycles Occupy(Cycles cost) {
-    return Post(cost, [] {});
+    Cycles start = busy_until_ > sim_->Now() ? busy_until_ : sim_->Now();
+    Cycles finish = start + cost;
+    busy_until_ = finish;
+    busy_cycles_ += cost;
+    sim_->NoteTime(finish);
+    return finish;
   }
 
   Cycles busy_until() const { return busy_until_; }

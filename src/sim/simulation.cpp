@@ -4,17 +4,66 @@
 
 namespace semperos {
 
+void Simulation::Push(Entry entry) {
+  size_t i = heap_.size();
+  heap_.push_back(entry);
+  while (i > 0) {
+    size_t parent = (i - 1) / 4;
+    if (!Before(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+Simulation::Entry Simulation::PopEntry() {
+  Entry top = heap_.front();
+  Entry last = heap_.back();
+  heap_.pop_back();
+  size_t n = heap_.size();
+  if (n == 0) {
+    return top;
+  }
+  // Sift the root hole down towards the smallest child, then drop `last` in.
+  size_t i = 0;
+  for (;;) {
+    size_t first_child = 4 * i + 1;
+    if (first_child >= n) {
+      break;
+    }
+    size_t end = first_child + 4 < n ? first_child + 4 : n;
+    size_t best = first_child;
+    for (size_t c = first_child + 1; c < end; ++c) {
+      if (Before(heap_[c], heap_[best])) {
+        best = c;
+      }
+    }
+    if (!Before(heap_[best], last)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = last;
+  return top;
+}
+
 uint64_t Simulation::RunUntilIdle(uint64_t max_events) {
   uint64_t ran = 0;
-  while (!queue_.empty() && ran < max_events) {
-    // priority_queue::top() returns const&; the closure must be moved out
-    // before pop, so copy the header fields first.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    CHECK_GE(ev.when, now_);
-    now_ = ev.when;
-    ev.fn();
+  while (!Idle() && ran < max_events) {
+    Cycles when;
+    uint32_t slot = PopSlot(&when);
+    CHECK_GE(when, now_);
+    now_ = when;
+    RunSlot(slot);
     ++ran;
+  }
+  if (Idle() && now_ < horizon_) {
+    // Trailing charge-only work (NoteTime) extends past the last event;
+    // idle time lands exactly where the old no-op events ended.
+    now_ = horizon_;
   }
   events_run_ += ran;
   return ran;
@@ -22,11 +71,13 @@ uint64_t Simulation::RunUntilIdle(uint64_t max_events) {
 
 uint64_t Simulation::RunUntil(Cycles until, uint64_t max_events) {
   uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= until && ran < max_events) {
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    now_ = ev.when;
-    ev.fn();
+  while (((!NowFifoEmpty() && now_ <= until) ||
+          (!heap_.empty() && heap_.front().when <= until)) &&
+         ran < max_events) {
+    Cycles when;
+    uint32_t slot = PopSlot(&when);
+    now_ = when;
+    RunSlot(slot);
     ++ran;
   }
   if (now_ < until) {

@@ -91,7 +91,7 @@ CapSel DriverRig::BuildTree(uint32_t children) {
     // endpoint (the shared-memory scenario of Figure 5).
     Kernel* rk = kernel_of_client(receiver);
     const VpeState* state = rk->FindVpe(vpe(receiver));
-    CapSel child_sel = state->table.rbegin()->first;
+    CapSel child_sel = state->table.LastSel();
     bool activated = false;
     client(receiver).env().Activate(child_sel, user_ep::kMem0,
                                     [&activated](const SyscallReply& r) {

@@ -47,6 +47,7 @@ AppRunResult RunApp(const AppRunConfig& config) {
 
   FsImage image;
   PopulateImage(&image, config.app, config.instances);
+  image.Freeze();  // services share the frozen base instead of deep-copying
   uint64_t region = image.bytes_used() + config.instances * kGrowthHeadroom;
   AttachServices(&platform, image, timing, region);
 
@@ -128,6 +129,7 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
 
   FsImage image;
   PopulateNginxImage(&image);
+  image.Freeze();  // services share the frozen base instead of deep-copying
   AttachServices(&platform, image, timing, image.bytes_used() + kGrowthHeadroom);
 
   std::vector<NginxServer*> servers;

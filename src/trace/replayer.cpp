@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/log.h"
+#include "dtu/msg_pool.h"
 #include "fs/fs_image.h"
 
 namespace semperos {
@@ -108,7 +109,7 @@ void TraceReplayer::FreeMemEp(EpId ep) {
 
 void TraceReplayer::DoOpen(const TraceOp& op) {
   CHECK(files_.count(op.path) == 0) << "double open of " << op.path;
-  auto req = std::make_shared<FsRequest>();
+  auto req = NewMsg<FsRequest>();
   req->op = FsOp::kOpen;
   req->path = op.path;
   req->flags = op.flags;
@@ -116,7 +117,7 @@ void TraceReplayer::DoOpen(const TraceOp& op) {
   uint32_t flags = op.flags;
   env_->Exchange(session_sel_, req, [this, path, flags](const SyscallReply& reply) {
     CHECK(reply.err == ErrCode::kOk) << "open " << path << " failed: " << ErrName(reply.err);
-    const FsReply* fs = dynamic_cast<const FsReply*>(reply.payload.get());
+    const FsReply* fs = MsgAs<FsReply>(reply.payload);
     CHECK(fs != nullptr);
     result_.cap_ops++;  // extent-0 capability obtain
     OpenFile file;
@@ -138,7 +139,7 @@ void TraceReplayer::DoOpen(const TraceOp& op) {
 }
 
 void TraceReplayer::FetchExtent(OpenFile* file, uint64_t offset, std::function<void()> then) {
-  auto req = std::make_shared<FsRequest>();
+  auto req = NewMsg<FsRequest>();
   req->op = FsOp::kNextExtent;
   req->fid = file->fid;
   req->offset = offset;
@@ -198,7 +199,7 @@ void TraceReplayer::DoClose(const TraceOp& op) {
   uint64_t fid = it->second.fid;
   FreeMemEp(it->second.mem_ep);
   files_.erase(it);
-  auto req = std::make_shared<FsRequest>();
+  auto req = NewMsg<FsRequest>();
   req->op = FsOp::kClose;
   req->fid = fid;
   env_->Request(req, [this](const Message& msg) {
@@ -211,7 +212,7 @@ void TraceReplayer::DoClose(const TraceOp& op) {
 }
 
 void TraceReplayer::DoMeta(const TraceOp& op, FsOp fs_op) {
-  auto req = std::make_shared<FsRequest>();
+  auto req = NewMsg<FsRequest>();
   req->op = fs_op;
   req->path = op.path;
   bool unlink = fs_op == FsOp::kUnlink;

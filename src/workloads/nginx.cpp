@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/log.h"
+#include "dtu/msg_pool.h"
 
 namespace semperos {
 
@@ -50,20 +51,20 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
   auto next = [this, idx, request] { RunOp(idx + 1, request); };
   switch (op.kind) {
     case TraceOpKind::kStat: {
-      auto req = std::make_shared<FsRequest>();
+      auto req = NewMsg<FsRequest>();
       req->op = FsOp::kStat;
       req->path = op.path;
       env_->Request(req, [next](const Message&) { next(); });
       return;
     }
     case TraceOpKind::kOpen: {
-      auto req = std::make_shared<FsRequest>();
+      auto req = NewMsg<FsRequest>();
       req->op = FsOp::kOpen;
       req->path = op.path;
       req->flags = op.flags;
       env_->Exchange(session_sel_, req, [this, next](const SyscallReply& reply) {
         CHECK(reply.err == ErrCode::kOk) << "nginx open failed: " << ErrName(reply.err);
-        const FsReply* fs = dynamic_cast<const FsReply*>(reply.payload.get());
+        const FsReply* fs = MsgAs<FsReply>(reply.payload);
         CHECK(fs != nullptr);
         open_.fid = fs->fid;
         open_.extent_sel = reply.sel;
@@ -82,7 +83,7 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
       return;
     }
     case TraceOpKind::kClose: {
-      auto req = std::make_shared<FsRequest>();
+      auto req = NewMsg<FsRequest>();
       req->op = FsOp::kClose;
       req->fid = open_.fid;
       env_->Request(req, [next](const Message&) { next(); });
@@ -100,7 +101,7 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
 void NginxServer::FinishRequest(const Message& request) {
   served_++;
   const NginxRequestMsg* req = request.As<NginxRequestMsg>();
-  auto response = std::make_shared<NginxResponseMsg>();
+  auto response = NewMsg<NginxResponseMsg>();
   response->seq = req != nullptr ? req->seq : 0;
   pe_->dtu().Reply(kNginxServerRecvEp, request, response);
   busy_ = false;
@@ -129,7 +130,7 @@ void LoadGen::Start() {
 }
 
 void LoadGen::SendOne() {
-  auto req = std::make_shared<NginxRequestMsg>();
+  auto req = NewMsg<NginxRequestMsg>();
   req->seq = next_seq_++;
   Status st = pe_->dtu().Send(user_ep::kSyscallSend, req, user_ep::kSyscallReply);
   CHECK(st.ok()) << "loadgen send failed: " << st.name();

@@ -25,11 +25,17 @@
 namespace semperos {
 
 struct NginxRequestMsg : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kNginxRequest;
+  NginxRequestMsg() : MsgBody(kKind) {}
+
   uint64_t seq = 0;
   uint32_t WireSize() const override { return 128; }  // HTTP GET
 };
 
 struct NginxResponseMsg : MsgBody {
+  static constexpr MsgKind kKind = MsgKind::kNginxResponse;
+  NginxResponseMsg() : MsgBody(kKind) {}
+
   uint64_t seq = 0;
   uint32_t WireSize() const override { return 256; }  // headers; body via "NIC"
 };

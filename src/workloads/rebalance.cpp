@@ -196,6 +196,12 @@ RebalanceResult RunRebalance(const RebalanceConfig& config) {
     result.ops_per_sec_after = WindowRate(completions, tracker->end, tracker->end + window);
   }
 
+  result.noc_packets = platform.noc().stats().packets;
+  result.noc_bytes = platform.noc().stats().total_bytes;
+  result.noc_latency = platform.noc().stats().total_latency;
+  result.noc_queueing = platform.noc().stats().total_queueing;
+  result.events = platform.sim().EventsRun();
+
   result.kernel_stats = platform.TotalKernelStats();
   result.migrations_completed = result.kernel_stats.migrations;
   result.forwarded_ikcs = result.kernel_stats.ikc_forwarded;

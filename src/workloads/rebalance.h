@@ -53,6 +53,13 @@ struct RebalanceResult {
   // (one self capability + one granted root each). Must be 0.
   uint64_t leaked_caps = 0;
   KernelStats kernel_stats;
+  // NoC totals and engine event count, exposed so the determinism guard can
+  // assert bit-identical runs across engine refactors.
+  uint64_t noc_packets = 0;
+  uint64_t noc_bytes = 0;
+  Cycles noc_latency = 0;
+  Cycles noc_queueing = 0;
+  uint64_t events = 0;
 };
 
 RebalanceResult RunRebalance(const RebalanceConfig& config);

@@ -82,7 +82,7 @@ TEST_P(KillSweep, ReceiverDies) {
   // The dead receiver holds nothing; the delegator's capability has no
   // stale child entries (quick orphan removal, §4.3.2).
   const VpeState* receiver = rig.kernel_of_client(1)->FindVpe(rig.vpe(1));
-  EXPECT_TRUE(receiver->table.empty());
+  EXPECT_EQ(receiver->table.size(), 0u);
 }
 
 TEST_P(KillSweep, OwnerDiesDuringObtain) {
@@ -100,12 +100,12 @@ TEST_P(KillSweep, OwnerDiesDuringObtain) {
   // memory capability whose owner subtree is gone.
   if (replied) {
     const VpeState* obtainer = rig.kernel_of_client(0)->FindVpe(rig.vpe(0));
-    for (const auto& [sel, key] : obtainer->table) {
+    obtainer->table.ForEach([&](CapSel sel, DdlKey key) {
       Capability* cap = rig.kernel_of_client(0)->FindCap(key);
       ASSERT_NE(cap, nullptr);
       EXPECT_NE(cap->type(), CapType::kMem) << "copy outlived the revoked owner";
       (void)sel;
-    }
+    });
   }
 }
 

@@ -107,7 +107,7 @@ TEST(BatchingBehaviour, OverlappingRevokesStayComplete) {
   });
   rig.p().RunToCompletion();
   Kernel* ka = rig.kernel_of_client(a);
-  CapSel a_sel = ka->FindVpe(rig.vpe(a))->table.rbegin()->first;
+  CapSel a_sel = ka->FindVpe(rig.vpe(a))->table.LastSel();
   size_t b = a + 1;
   while (b < 9 && (rig.kernel_of_client(b) == rig.kernel_of_client(a) ||
                    rig.kernel_of_client(b) == rig.kernel_of_client(0))) {

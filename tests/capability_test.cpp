@@ -250,13 +250,13 @@ TEST(Anomaly, InvalidDelegatePrevented) {
   // it were inserted, the kill's recursive revoke must have removed it.
   const VpeState* receiver = k1->FindVpe(rig.vpe(1));
   ASSERT_NE(receiver, nullptr);
-  for (const auto& [rsel, key] : receiver->table) {
+  receiver->table.ForEach([&](CapSel rsel, DdlKey key) {
     Capability* cap = k1->FindCap(key);
     ASSERT_NE(cap, nullptr);
     EXPECT_NE(cap->type(), CapType::kMem)
         << "receiver holds a delegated capability that outlived the delegator";
     (void)rsel;
-  }
+  });
 }
 
 TEST(Anomaly, IncompleteRevokeNeverAcked) {
@@ -446,7 +446,7 @@ TEST(KillVpe, RevokesEverythingIncludingRemoteChildren) {
   const VpeState* dead = k0->FindVpe(rig.vpe(victim));
   ASSERT_NE(dead, nullptr);
   EXPECT_FALSE(dead->alive);
-  EXPECT_TRUE(dead->table.empty());
+  EXPECT_EQ(dead->table.size(), 0u);
   // The delegated children are revoked recursively on both kernels.
   EXPECT_EQ(k0->FindVpe(rig.vpe(local_peer))->table.size(), 1u);  // VPE cap only
   EXPECT_EQ(k1->caps().size(), k1_caps_before - 1);

@@ -1,0 +1,96 @@
+// Determinism regression guard: the same configuration must produce
+// bit-identical runs — modeled times, every kernel counter, NoC totals and
+// engine event counts. This is what makes engine refactors (event-queue
+// replacement, callback storage, message pooling) reviewable: any hidden
+// ordering or lifetime change shows up here as a flat mismatch instead of a
+// subtly shifted benchmark curve.
+#include <gtest/gtest.h>
+
+#include "system/experiment.h"
+#include "workloads/rebalance.h"
+
+namespace semperos {
+namespace {
+
+void ExpectSameStats(const KernelStats& a, const KernelStats& b) {
+#define SEMPEROS_EXPECT_FIELD(f) EXPECT_EQ(a.f, b.f) << "KernelStats::" #f " diverged"
+  SEMPEROS_EXPECT_FIELD(syscalls);
+  SEMPEROS_EXPECT_FIELD(obtains);
+  SEMPEROS_EXPECT_FIELD(delegates);
+  SEMPEROS_EXPECT_FIELD(revokes);
+  SEMPEROS_EXPECT_FIELD(derives);
+  SEMPEROS_EXPECT_FIELD(activates);
+  SEMPEROS_EXPECT_FIELD(sessions_opened);
+  SEMPEROS_EXPECT_FIELD(spanning_obtains);
+  SEMPEROS_EXPECT_FIELD(spanning_delegates);
+  SEMPEROS_EXPECT_FIELD(spanning_revokes);
+  SEMPEROS_EXPECT_FIELD(ikc_sent);
+  SEMPEROS_EXPECT_FIELD(ikc_received);
+  SEMPEROS_EXPECT_FIELD(ikc_flow_queued);
+  SEMPEROS_EXPECT_FIELD(caps_created);
+  SEMPEROS_EXPECT_FIELD(caps_deleted);
+  SEMPEROS_EXPECT_FIELD(orphans_cleaned);
+  SEMPEROS_EXPECT_FIELD(pointless_denials);
+  SEMPEROS_EXPECT_FIELD(invalid_prevented);
+  SEMPEROS_EXPECT_FIELD(revoke_reqs_queued);
+  SEMPEROS_EXPECT_FIELD(migrations);
+  SEMPEROS_EXPECT_FIELD(caps_migrated);
+  SEMPEROS_EXPECT_FIELD(ikc_forwarded);
+  SEMPEROS_EXPECT_FIELD(epoch_updates);
+  SEMPEROS_EXPECT_FIELD(syscalls_frozen);
+  SEMPEROS_EXPECT_FIELD(threads_in_use);
+  SEMPEROS_EXPECT_FIELD(threads_in_use_max);
+#undef SEMPEROS_EXPECT_FIELD
+}
+
+TEST(Determinism, AppRunsAreBitIdentical) {
+  AppRunConfig config;
+  config.app = "postmark";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 16;
+  AppRunResult a = RunApp(config);
+  AppRunResult b = RunApp(config);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.total_cap_ops, b.total_cap_ops);
+  EXPECT_DOUBLE_EQ(a.mean_runtime_us, b.mean_runtime_us);
+  EXPECT_DOUBLE_EQ(a.max_runtime_us, b.max_runtime_us);
+  EXPECT_DOUBLE_EQ(a.cap_ops_per_sec, b.cap_ops_per_sec);
+  ExpectSameStats(a.kernel_stats, b.kernel_stats);
+}
+
+TEST(Determinism, RebalanceRunsAreBitIdentical) {
+  // The migration workload exercises every engine mechanism at once:
+  // spanning exchanges, revocations, freezes, parking, forwarding, and the
+  // epoch settle round — with identical seeds it must replay exactly.
+  RebalanceConfig config;
+  config.kernels = 4;
+  config.users_per_kernel = 4;
+  config.ops_per_client = 12;
+  config.migrate_pes = 2;
+  RebalanceResult a = RunRebalance(config);
+  RebalanceResult b = RunRebalance(config);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.migrations_completed, b.migrations_completed);
+  EXPECT_EQ(a.migration_start, b.migration_start);
+  EXPECT_EQ(a.migration_end, b.migration_end);
+  EXPECT_EQ(a.migration_latency_max, b.migration_latency_max);
+  EXPECT_EQ(a.forwarded_ikcs, b.forwarded_ikcs);
+  EXPECT_EQ(a.frozen_syscalls, b.frozen_syscalls);
+  EXPECT_EQ(a.client_retries, b.client_retries);
+  EXPECT_EQ(a.caps_migrated, b.caps_migrated);
+  EXPECT_EQ(a.leaked_caps, b.leaked_caps);
+  // NoC totals and the raw engine event count: bit-identical, not just
+  // statistically close.
+  EXPECT_EQ(a.noc_packets, b.noc_packets);
+  EXPECT_EQ(a.noc_bytes, b.noc_bytes);
+  EXPECT_EQ(a.noc_latency, b.noc_latency);
+  EXPECT_EQ(a.noc_queueing, b.noc_queueing);
+  EXPECT_EQ(a.events, b.events);
+  ExpectSameStats(a.kernel_stats, b.kernel_stats);
+}
+
+}  // namespace
+}  // namespace semperos

@@ -11,7 +11,8 @@ namespace semperos {
 namespace {
 
 struct Payload : MsgBody {
-  explicit Payload(int v) : value(v) {}
+  static constexpr MsgKind kKind = MsgKind::kTest;
+  explicit Payload(int v) : MsgBody(kKind), value(v) {}
   int value;
 };
 

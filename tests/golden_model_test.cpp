@@ -1,0 +1,57 @@
+// Golden-model guard: the timing model's outputs for a small fixed
+// configuration, pinned to exact values.
+//
+// The engine invariant (docs/benchmarks.md, "Wall-clock vs modeled cycles")
+// is that wall-clock optimizations must never move modeled numbers. The
+// bench-regression gate enforces that for the committed sweep curves; this
+// test enforces it at unit-test granularity, so an accidental change to the
+// timing model fails `ctest` loudly instead of silently shifting benchmark
+// curves until someone re-reads a figure.
+//
+// If you *intentionally* change the timing model (new TimingModel costs, new
+// protocol steps on a modeled path), re-derive these constants with the same
+// configs and say so in the commit message — and expect the bench baseline
+// to need a refresh too.
+#include <gtest/gtest.h>
+
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+TEST(GoldenModel, TarFourInstancesOnTwoKernels) {
+  AppRunConfig config;
+  config.app = "tar";
+  config.kernels = 2;
+  config.services = 2;
+  config.instances = 4;
+  AppRunResult r = RunApp(config);
+
+  EXPECT_EQ(r.makespan, 5814791u);
+  EXPECT_DOUBLE_EQ(r.mean_runtime_us, 2904.5275000000001);
+  EXPECT_DOUBLE_EQ(r.max_runtime_us, 2907.3955000000001);
+  EXPECT_EQ(r.total_cap_ops, 84u);
+
+  const KernelStats& stats = r.kernel_stats;
+  EXPECT_EQ(stats.syscalls, 166u);
+  EXPECT_EQ(stats.obtains, 44u);
+  EXPECT_EQ(stats.revokes, 40u);
+  EXPECT_EQ(stats.derives, 40u);
+  EXPECT_EQ(stats.activates, 40u);
+  EXPECT_EQ(stats.sessions_opened, 4u);
+  EXPECT_EQ(stats.ikc_sent, 4u);
+  EXPECT_EQ(stats.caps_created, 94u);
+  EXPECT_EQ(stats.caps_deleted, 80u);
+}
+
+TEST(GoldenModel, SoloRuntimes) {
+  // Single-instance modeled runtimes on a 2-kernel, 2-service system.
+  // These anchor the parallel-efficiency figures: every efficiency value is
+  // solo/parallel, so a drifting solo runtime skews whole curves.
+  EXPECT_DOUBLE_EQ(SoloRuntimeUs("tar", 2, 2), 2878.5720000000001);
+  EXPECT_DOUBLE_EQ(SoloRuntimeUs("find", 2, 2), 2289.77);
+  EXPECT_DOUBLE_EQ(SoloRuntimeUs("postmark", 2, 2), 1795.2349999999999);
+}
+
+}  // namespace
+}  // namespace semperos

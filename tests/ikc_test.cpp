@@ -170,7 +170,7 @@ TEST(ChildDrop, RemoteParentUnlinkedAfterChildRevoke) {
   ASSERT_EQ(parent->children().size(), 1u);
 
   const VpeState* v1 = k1->FindVpe(rig.vpe(1));
-  CapSel child_sel = v1->table.rbegin()->first;
+  CapSel child_sel = v1->table.LastSel();
   rig.client(1).env().Revoke(child_sel, [](const SyscallReply& r) {
     ASSERT_EQ(r.err, ErrCode::kOk);
   });

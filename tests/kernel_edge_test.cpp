@@ -165,7 +165,7 @@ TEST(Fanout, RedelegationTreeAcrossThreeKernels) {
   });
   rig.p().RunToCompletion();
   Kernel* ka = rig.kernel_of_client(v_a);
-  CapSel a_sel = ka->FindVpe(rig.vpe(v_a))->table.rbegin()->first;
+  CapSel a_sel = ka->FindVpe(rig.vpe(v_a))->table.LastSel();
   for (size_t peer : {v_b, v_c}) {
     rig.client(v_a).env().Delegate(a_sel, rig.vpe(peer), [](const SyscallReply& r) {
       ASSERT_EQ(r.err, ErrCode::kOk);
@@ -198,7 +198,7 @@ TEST(Concurrency, ManyRevokesAgainstOneOwner) {
       ASSERT_EQ(r.err, ErrCode::kOk);
     });
     rig.p().RunToCompletion();
-    copies[i] = rig.kernel_of_client(i)->FindVpe(rig.vpe(i))->table.rbegin()->first;
+    copies[i] = rig.kernel_of_client(i)->FindVpe(rig.vpe(i))->table.LastSel();
   }
   int done = 0;
   for (size_t i = 1; i < 13; ++i) {

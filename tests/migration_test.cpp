@@ -153,7 +153,7 @@ TEST(MigrationTest, CrossKernelRevocationCompleteAcrossHandoff) {
   {
     // Grandchild below the kernel-1 child (deepens the cross-kernel tree).
     Kernel* k1 = rig.p().kernel(1);
-    CapSel child_sel = k1->FindVpe(rig.vpe(c1))->table.rbegin()->first;
+    CapSel child_sel = k1->FindVpe(rig.vpe(c1))->table.LastSel();
     bool ok = false;
     rig.client(c1).env().DeriveMem(child_sel, 0, 128, kPermR, [&ok](const SyscallReply& r) {
       ASSERT_EQ(r.err, ErrCode::kOk);

@@ -124,9 +124,9 @@ TEST_P(CapabilityFuzz, InvariantsHoldAfterRandomInterleavings) {
       const VpeState* holder = kernel->FindVpe(cap->holder());
       ASSERT_NE(holder, nullptr) << "capability with unknown holder";
       EXPECT_TRUE(holder->alive) << "capability held by dead VPE " << cap->holder();
-      auto it = holder->table.find(cap->sel());
-      ASSERT_NE(it, holder->table.end()) << "capability missing from holder table";
-      EXPECT_EQ(it->second, key);
+      DdlKey table_key = holder->table.Find(cap->sel());
+      ASSERT_FALSE(table_key.IsNull()) << "capability missing from holder table";
+      EXPECT_EQ(table_key, key);
 
       // I2: parent symmetry.
       if (!cap->parent().IsNull()) {
@@ -163,7 +163,7 @@ TEST_P(CapabilityFuzz, InvariantsHoldAfterRandomInterleavings) {
       if (dead[i] && p.membership().KernelOf(rig.vpe(i)) == k) {
         const VpeState* vpe = kernel->FindVpe(rig.vpe(i));
         ASSERT_NE(vpe, nullptr);
-        EXPECT_TRUE(vpe->table.empty()) << "dead VPE still holds capabilities";
+        EXPECT_EQ(vpe->table.size(), 0u) << "dead VPE still holds capabilities";
       }
     }
   }

@@ -21,7 +21,7 @@ TEST(Shutdown, SingleKernelTeardown) {
     const VpeState* vpe = rig.p().kernel(0)->FindVpe(rig.vpe(i));
     ASSERT_NE(vpe, nullptr);
     EXPECT_FALSE(vpe->alive);
-    EXPECT_TRUE(vpe->table.empty());
+    EXPECT_EQ(vpe->table.size(), 0u);
   }
   EXPECT_EQ(rig.p().kernel(0)->caps().size(), 0u);
 }

@@ -1,17 +1,28 @@
 #!/usr/bin/env python3
-"""Compare fast-sweep benchmark JSON against a committed baseline.
+"""Compare benchmark JSON against a baseline.
 
-Every bench binary reports *simulated* time (cycle-exact manual time), so
-runs are deterministic across machines and compilers: any drift beyond the
-threshold is a real behavioural regression, not noise.
+Two modes, for the two kinds of numbers a bench run produces (see
+docs/benchmarks.md, "Wall-clock vs modeled cycles"):
+
+Modeled mode (default). Every figure/table binary reports *simulated* time
+(cycle-exact manual time), so runs are deterministic across machines and
+compilers: any drift beyond the threshold is a real behavioural regression,
+not noise. Wall-clock-only files (bench_simcore) are excluded — committing
+one into the baseline must never make the modeled gate machine-dependent.
+
+Wall-clock mode (--wallclock). Compares only the wall-clock files
+(BENCH_simcore.json), whose real_time is HOST time. The default tolerance is
+generous (1.5x) to absorb machine and CI noise; use it to check that an
+engine change did not regress events/sec / messages/sec.
 
 Usage:
     tools/bench_compare.py BASELINE_DIR NEW_DIR [--threshold 0.25]
+    tools/bench_compare.py OLD_DIR NEW_DIR --wallclock [--threshold 0.5]
 
-Exits non-zero if any benchmark in the baseline regressed by more than
-THRESHOLD (relative simulated-time increase), or if a baseline file or
-benchmark disappeared. New benchmarks (not in the baseline) are reported
-but do not fail the gate — commit a refreshed baseline to cover them.
+Exits non-zero if any compared benchmark regressed by more than THRESHOLD
+(relative time increase), or if a compared baseline file or benchmark
+disappeared. New benchmarks (not in the baseline) are reported but do not
+fail the gate — commit a refreshed baseline to cover them.
 """
 
 import argparse
@@ -19,9 +30,28 @@ import json
 import pathlib
 import sys
 
+# Files whose real_time is host wall-clock, not simulated time.
+WALLCLOCK_FILES = {"BENCH_simcore.json"}
+
+
+# Benchmark-entry fields that are host-dependent or structural, not modeled
+# outputs. Everything else numeric (real_time plus user counters like
+# cap_ops_per_s, parallel_efficiency, requests_per_s) is a modeled metric.
+NON_MODELED_FIELDS = {"cpu_time", "iterations", "repetitions", "threads",
+                      "repetition_index", "family_index",
+                      "per_family_instance_index"}
+
+# Relative tolerance for counter identity in modeled mode: the simulation is
+# cycle-deterministic, but derived doubles may differ in the last ulp across
+# compilers (FMA contraction), so "identical" means within 1e-9.
+COUNTER_RTOL = 1e-9
+
 
 def load_benchmarks(path):
-    """Returns {benchmark name: real_time in ns} for one google-benchmark JSON."""
+    """Returns {benchmark name: {field: value}} for one google-benchmark JSON.
+
+    Every numeric, modeled field is kept: real_time and the user counters.
+    """
     with open(path, encoding="utf-8") as f:
         data = json.load(f)
     out = {}
@@ -29,7 +59,11 @@ def load_benchmarks(path):
         # Skip aggregate rows (mean/median/stddev of repetitions).
         if bench.get("run_type") == "aggregate":
             continue
-        out[bench["name"]] = float(bench["real_time"])
+        out[bench["name"]] = {
+            key: float(value) for key, value in bench.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+            and key not in NON_MODELED_FIELDS
+        }
     return out
 
 
@@ -37,13 +71,30 @@ def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline_dir", type=pathlib.Path)
     parser.add_argument("new_dir", type=pathlib.Path)
-    parser.add_argument("--threshold", type=float, default=0.25,
-                        help="maximum tolerated relative slowdown (default 0.25 = 25%%)")
+    parser.add_argument("--threshold", type=float, default=None,
+                        help="maximum tolerated relative slowdown "
+                             "(default 0.25 modeled, 0.5 wall-clock)")
+    parser.add_argument("--wallclock", action="store_true",
+                        help="compare the wall-clock files (bench_simcore) "
+                             "instead of the modeled figure/table files")
     args = parser.parse_args()
+    threshold = args.threshold
+    if threshold is None:
+        threshold = 0.5 if args.wallclock else 0.25
 
-    baseline_files = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    def in_scope(path):
+        return (path.name in WALLCLOCK_FILES) == args.wallclock
+
+    baseline_files = [p for p in sorted(args.baseline_dir.glob("BENCH_*.json"))
+                      if in_scope(p)]
+    skipped = [p.name for p in sorted(args.baseline_dir.glob("BENCH_*.json"))
+               if not in_scope(p)]
+    if skipped:
+        kind = "modeled" if args.wallclock else "wall-clock"
+        print(f"ignoring {len(skipped)} {kind} file(s): {', '.join(skipped)}")
     if not baseline_files:
-        print(f"error: no BENCH_*.json files in {args.baseline_dir}", file=sys.stderr)
+        print(f"error: no comparable BENCH_*.json files in {args.baseline_dir}",
+              file=sys.stderr)
         return 2
 
     failures = []
@@ -55,35 +106,51 @@ def main():
             continue
         base = load_benchmarks(base_path)
         new = load_benchmarks(new_path)
-        for name, base_time in sorted(base.items()):
+        for name, base_fields in sorted(base.items()):
             if name not in new:
                 failures.append(f"{base_path.name}: benchmark '{name}' disappeared")
                 continue
             compared += 1
-            new_time = new[name]
-            if base_time <= 0:
+            new_fields = new[name]
+            base_time = base_fields.get("real_time", 0.0)
+            new_time = new_fields.get("real_time", 0.0)
+            if base_time > 0:
+                ratio = new_time / base_time
+                marker = ""
+                if ratio > 1.0 + threshold:
+                    marker = "  <-- REGRESSION"
+                    failures.append(
+                        f"{base_path.name}: '{name}' {base_time:.1f} -> {new_time:.1f} ns "
+                        f"({(ratio - 1.0) * 100.0:+.1f}%)")
+                if marker or abs(ratio - 1.0) > 0.01:
+                    print(f"{base_path.name}: {name}: {base_time:.1f} -> {new_time:.1f} ns "
+                          f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
+            if args.wallclock:
                 continue
-            ratio = new_time / base_time
-            marker = ""
-            if ratio > 1.0 + args.threshold:
-                marker = "  <-- REGRESSION"
-                failures.append(
-                    f"{base_path.name}: '{name}' {base_time:.1f} -> {new_time:.1f} ns "
-                    f"({(ratio - 1.0) * 100.0:+.1f}%)")
-            if marker or abs(ratio - 1.0) > 0.01:
-                print(f"{base_path.name}: {name}: {base_time:.1f} -> {new_time:.1f} ns "
-                      f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
+            # Modeled counters (efficiency percentages, ops/s, ...) must be
+            # *identical*, not merely within the time threshold: they are
+            # deterministic outputs of the cycle model.
+            for field in sorted(set(base_fields) - {"real_time"}):
+                if field not in new_fields:
+                    failures.append(
+                        f"{base_path.name}: '{name}' counter '{field}' disappeared")
+                    continue
+                b, n = base_fields[field], new_fields[field]
+                if abs(n - b) > COUNTER_RTOL * max(1.0, abs(b)):
+                    failures.append(
+                        f"{base_path.name}: '{name}' counter '{field}' changed: "
+                        f"{b!r} -> {n!r}  <-- MODELED DRIFT")
         for name in sorted(set(new) - set(base)):
             print(f"{base_path.name}: new benchmark '{name}' (not gated; refresh the baseline)")
 
+    kind = "wall-clock" if args.wallclock else "simulated-time"
     print(f"\ncompared {compared} benchmarks against {len(baseline_files)} baseline files")
     if failures:
         print(f"\n{len(failures)} failure(s):", file=sys.stderr)
         for failure in failures:
             print(f"  {failure}", file=sys.stderr)
         return 1
-    print("no simulated-time regressions beyond "
-          f"{args.threshold * 100:.0f}% — gate passed")
+    print(f"no {kind} regressions beyond {threshold * 100:.0f}% — gate passed")
     return 0
 
 
