@@ -1,0 +1,137 @@
+// Failover benchmark: the cost of surviving a kernel crash.
+//
+// The paper's platform has no fault model; this repo adds kernel failure
+// injection, heartbeat/quorum detection, and distributed capability-tree
+// recovery (src/ft, docs/architecture.md §5). Three questions are measured:
+//   1. recovery latency vs. the number of orphaned capabilities the
+//      survivors must revoke (the repair pass scales with the subtrees the
+//      dead kernel's VPEs had shared out);
+//   2. recovery latency vs. kernel count (verdict decree broadcast plus
+//      per-survivor takeover of the re-partitioned DDL range);
+//   3. what a mid-run crash costs a loaded system: throughput in equal
+//      windows before / during / after the kill-to-recovered span, plus
+//      detection latency and the repair counters.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "system/experiment.h"
+
+namespace semperos {
+namespace {
+
+// One kill-and-recover run sized for latency measurements: one client per
+// kernel, `caps` capabilities seeded from the victim group (these become
+// the orphaned subtrees), minimal loop traffic. The kill waits out the
+// seeding phase, which serializes ~25k cycles per seeded capability.
+FailoverResult MeasureFailover(uint32_t kernels, uint32_t caps) {
+  FailoverConfig config;
+  config.kernels = kernels;
+  config.users_per_kernel = 1;
+  config.ops_per_client = 4;
+  config.orphan_caps = caps;
+  config.activate_caps = caps < 4 ? caps : 4;
+  config.kill_at = 400'000 + static_cast<Cycles>(caps) * 30'000;
+  FailoverResult r = RunFailover(config);
+  CHECK(r.recovered) << "failover did not recover";
+  CHECK(r.leaked_caps == 0) << "failover leaked capabilities";
+  return r;
+}
+
+std::vector<uint32_t> CapCounts() { return bench::Sweep<uint32_t>({1, 8, 32, 64, 128, 256}); }
+
+std::vector<uint32_t> KernelCounts() { return bench::Sweep<uint32_t>({3, 4, 8, 16, 32}); }
+
+void PrintFigure() {
+  bench::Header("Failover: kernel-crash detection and recovery cost",
+                "extension of Hille et al., SemperOS (ATC'19) — fault tolerance");
+
+  std::printf("%-12s %16s %16s\n", "orphaned", "detect latency", "recover latency");
+  std::printf("%-12s %16s %16s\n", "[caps]", "[K cycles]", "[K cycles]");
+  for (uint32_t caps : CapCounts()) {
+    FailoverResult r = MeasureFailover(4, caps);
+    std::printf("%-12u %16.1f %16.1f\n", caps, r.detect_latency / 1000.0,
+                r.recover_latency / 1000.0);
+  }
+
+  std::printf("\n%-12s %16s %16s\n", "kernels", "detect latency", "recover latency");
+  for (uint32_t kernels : KernelCounts()) {
+    FailoverResult r = MeasureFailover(kernels, 32);
+    std::printf("%-12u %16.1f %16.1f\n", kernels, r.detect_latency / 1000.0,
+                r.recover_latency / 1000.0);
+  }
+
+  std::printf("\n%-8s %12s %12s %12s %12s %10s %10s\n", "group", "before", "during", "after",
+              "dip", "orphans", "retries");
+  std::printf("%-8s %12s %12s %12s %12s %10s %10s\n", "size", "[Kops/s]", "[Kops/s]", "[Kops/s]",
+              "[%]", "[roots]", "[calls]");
+  for (uint32_t users : bench::Sweep<uint32_t>({2, 4, 8})) {
+    FailoverConfig config;
+    config.kernels = 4;
+    config.users_per_kernel = users;
+    config.ops_per_client = 30;
+    FailoverResult r = RunFailover(config);
+    double dip = r.ops_per_sec_before > 0
+                     ? 100.0 * (1.0 - r.ops_per_sec_during / r.ops_per_sec_before)
+                     : 0.0;
+    std::printf("%-8u %12.1f %12.1f %12.1f %12.1f %10llu %10llu\n", users,
+                r.ops_per_sec_before / 1000.0, r.ops_per_sec_during / 1000.0,
+                r.ops_per_sec_after / 1000.0, dip,
+                static_cast<unsigned long long>(r.orphan_roots),
+                static_cast<unsigned long long>(r.client_retries));
+    CHECK(r.recovered) << "failover did not recover";
+    CHECK(r.leaked_caps == 0) << "failover leaked capabilities";
+  }
+  bench::Footnote("dip = throughput lost between the kill and the last survivor's recovery");
+}
+
+void BM_FailoverRecoveryVsCaps(benchmark::State& state) {
+  uint32_t caps = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    FailoverResult r = MeasureFailover(4, caps);
+    state.SetIterationTime(CyclesToSeconds(r.recover_latency));
+    state.counters["detect_latency_us"] = CyclesToMicros(r.detect_latency);
+    state.counters["orphan_roots"] = static_cast<double>(r.orphan_roots);
+  }
+}
+BENCHMARK(BM_FailoverRecoveryVsCaps)->Arg(8)->Arg(64)->Arg(256)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FailoverRecoveryVsKernels(benchmark::State& state) {
+  uint32_t kernels = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    FailoverResult r = MeasureFailover(kernels, 32);
+    state.SetIterationTime(CyclesToSeconds(r.recover_latency));
+    state.counters["detect_latency_us"] = CyclesToMicros(r.detect_latency);
+  }
+}
+BENCHMARK(BM_FailoverRecoveryVsKernels)->Arg(3)->Arg(8)->Arg(32)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FailoverMakespan(benchmark::State& state) {
+  uint32_t users = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    FailoverConfig config;
+    config.kernels = 4;
+    config.users_per_kernel = users;
+    config.ops_per_client = 30;
+    FailoverResult r = RunFailover(config);
+    state.SetIterationTime(CyclesToSeconds(r.makespan));
+    state.counters["ops_per_sec"] = r.ops_per_sec;
+    state.counters["recover_latency_us"] = CyclesToMicros(r.recover_latency);
+    state.counters["client_retries"] = static_cast<double>(r.client_retries);
+  }
+}
+BENCHMARK(BM_FailoverMakespan)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace semperos
+
+int main(int argc, char** argv) {
+  semperos::PrintFigure();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

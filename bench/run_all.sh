@@ -31,6 +31,7 @@ BENCHES=(
   bench_fig9_system_efficiency
   bench_fig10_nginx
   bench_migration
+  bench_failover
   bench_ablation
 )
 

@@ -1,6 +1,7 @@
 #include "core/kernel.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <utility>
 
@@ -89,6 +90,10 @@ const char* IkcOpName(IkcOp op) {
       return "migrate_vpe";
     case IkcOp::kEpochUpdate:
       return "epoch_update";
+    case IkcOp::kSuspectKernel:
+      return "suspect_kernel";
+    case IkcOp::kFailoverDecree:
+      return "failover_decree";
   }
   return "?";
 }
@@ -102,6 +107,11 @@ Kernel::Kernel(Config config) : config_(std::move(config)), t_(config_.timing) {
       peers_[k].credits = config_.max_inflight;
     }
   }
+  hb_last_seen_.assign(config_.kernel_nodes.size(), 0);
+  ft_suspected_.assign(config_.kernel_nodes.size(), 0);
+  peer_failed_.assign(config_.kernel_nodes.size(), 0);
+  ft_refused_.assign(config_.kernel_nodes.size(), 0);
+  ft_vote_bits_.assign(config_.kernel_nodes.size(), 0);
 }
 
 uint32_t Kernel::ThreadPoolSize() const {
@@ -163,6 +173,8 @@ void Kernel::DrainEgress() {
 void Kernel::Start() {
   Dtu& dtu = pe_->dtu();
   dtu.ConfigureRecv(kEpAskReply, 64, [this](EpId, const Message& msg) { OnAskReply(msg); });
+  dtu.ConfigureRecv(kEpHeartbeat, Dtu::kDefaultSlots,
+                    [this](EpId ep, const Message& msg) { OnHeartbeat(ep, msg); });
   for (uint32_t i = 0; i < kNumSyscallEps; ++i) {
     dtu.ConfigureRecv(kEpSyscall0 + i, Dtu::kDefaultSlots,
                       [this](EpId ep, const Message& msg) { OnSyscall(ep, msg); });
@@ -1465,7 +1477,7 @@ void Kernel::AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)
     return;
   }
   if (v->migrating || dst == config_.id || dst >= config_.kernel_nodes.size() ||
-      peer_down_.at(dst)) {
+      peer_down_.at(dst) || peer_failed_.at(dst) != 0) {
     if (done) {
       done(ErrCode::kInvalidArgs);
     }
@@ -1740,6 +1752,387 @@ void Kernel::AdminShutdown(std::function<void()> done) {
 }
 
 // ---------------------------------------------------------------------------
+// Fault tolerance (src/ft) — injection, heartbeat detection, quorum verdict,
+// and distributed capability-tree recovery
+// ---------------------------------------------------------------------------
+
+void Kernel::AdminKill() {
+  CHECK(!dead_) << "kernel " << config_.id << " killed twice";
+  dead_ = true;
+  pe_->dtu().Kill();
+  LOG_INFO(kTag) << "kernel " << config_.id << " KILLED (fault injection)";
+}
+
+void Kernel::AdminStartFailureDetector(const FtConfig& ft) {
+  CHECK(!dead_);
+  CHECK_GE(ft.heartbeat_timeout, ft.heartbeat_period);
+  // A monitor window that ends before the second tick can never time a
+  // peer out — catch the forgotten-monitor_until misuse loudly instead of
+  // silently never detecting anything.
+  CHECK_GT(ft.monitor_until, pe_->sim()->Now() + ft.heartbeat_period)
+      << "failure detector armed with an already-expired monitor window";
+  ft_ = ft;
+  ft_.enabled = true;
+  Cycles now = pe_->sim()->Now();
+  for (KernelId p = 0; p < hb_last_seen_.size(); ++p) {
+    hb_last_seen_[p] = now;
+  }
+  pe_->sim()->Schedule(ft_.heartbeat_period, [this] { HeartbeatTick(); });
+}
+
+FtVerdict Kernel::ft_verdict(KernelId peer) const {
+  if (peer_failed_.at(peer) != 0) {
+    return FtVerdict::kFailed;
+  }
+  if (ft_refused_.at(peer) != 0) {
+    return FtVerdict::kNoQuorum;
+  }
+  if (ft_suspected_.at(peer) != 0) {
+    return FtVerdict::kSuspected;
+  }
+  return FtVerdict::kAlive;
+}
+
+void Kernel::OnHeartbeat(EpId ep, const Message& msg) {
+  const HeartbeatMsg* hb = msg.As<HeartbeatMsg>();
+  CHECK(hb != nullptr) << "non-heartbeat message on heartbeat EP";
+  if (!msg.is_reply) {
+    // Ping: free the slot and answer immediately. The reply needs no slot
+    // (deferred-reply path) and no IKC credit, so even a kernel whose flow
+    // window towards us is exhausted still proves its liveness.
+    pe_->dtu().Ack(ep, msg);
+    Charge(t_.hb_process);
+    auto ack = NewMsg<HeartbeatMsg>();
+    ack->from = config_.id;
+    ack->ack = true;
+    pe_->dtu().SendDeferredReply(msg, ack);
+    return;
+  }
+  stats_.hb_acked++;
+  hb_last_seen_.at(hb->from) = pe_->sim()->Now();
+}
+
+void Kernel::HeartbeatTick() {
+  if (dead_ || shutting_down_ || !ft_.enabled) {
+    return;  // a crashed kernel's detector dies with it
+  }
+  Cycles now = pe_->sim()->Now();
+  for (KernelId p = 0; p < config_.kernel_nodes.size(); ++p) {
+    if (p == config_.id || peer_failed_[p] != 0 || peer_down_.at(p)) {
+      continue;
+    }
+    if (ft_suspected_[p] == 0 && now - hb_last_seen_[p] > ft_.heartbeat_timeout) {
+      RaiseSuspicion(p);
+    }
+    if (ft_suspected_[p] != 0) {
+      continue;  // no point pinging a peer we already consider silent
+    }
+    stats_.hb_sent++;
+    Charge(t_.hb_process);
+    auto ping = NewMsg<HeartbeatMsg>();
+    ping->from = config_.id;
+    pe_->dtu().SendTo(config_.kernel_nodes.at(p), kEpHeartbeat, ping, kEpHeartbeat);
+  }
+  SendSuspectVotes();
+  if (now + ft_.heartbeat_period <= ft_.monitor_until) {
+    pe_->sim()->Schedule(ft_.heartbeat_period, [this] { HeartbeatTick(); });
+  }
+}
+
+void Kernel::RaiseSuspicion(KernelId peer) {
+  if (ft_suspected_.at(peer) != 0) {
+    return;
+  }
+  ft_suspected_[peer] = 1;
+  stats_.ft_suspicions++;
+  Charge(t_.ft_suspect);
+  LOG_INFO(kTag) << "kernel " << config_.id << " suspects kernel " << peer << " (silent for > "
+                 << ft_.heartbeat_timeout << " cycles)";
+}
+
+KernelId Kernel::FtLeader() const {
+  for (KernelId k = 0; k < config_.kernel_nodes.size(); ++k) {
+    if (ft_suspected_[k] == 0 && peer_failed_[k] == 0 && !peer_down_.at(k)) {
+      return k;
+    }
+  }
+  return config_.id;  // everyone else is unreachable; we answer to ourselves
+}
+
+void Kernel::SendSuspectVotes() {
+  // Votes are re-sent every tick until a verdict (or refusal) lands: the
+  // leader's identity can shift while suspicion spreads, and the tally side
+  // deduplicates by voter bit, so repetition is cheap and loss-tolerant.
+  for (KernelId d = 0; d < config_.kernel_nodes.size(); ++d) {
+    if (ft_suspected_[d] == 0 || peer_failed_[d] != 0 || ft_refused_[d] != 0) {
+      continue;
+    }
+    KernelId leader = FtLeader();
+    if (leader == config_.id) {
+      RecordSuspectVote(d, config_.id);
+      continue;
+    }
+    Charge(t_.ikc_send);
+    auto vote = NewMsg<IkcMsg>();
+    vote->op = IkcOp::kSuspectKernel;
+    vote->suspect = d;
+    SendIkc(leader, vote, [](const IkcReply&) {});
+  }
+}
+
+void Kernel::RecordSuspectVote(KernelId dead, KernelId voter) {
+  if (dead >= peer_failed_.size() || peer_failed_[dead] != 0) {
+    return;  // verdict already applied
+  }
+  uint64_t bit = 1ull << voter;
+  if ((ft_vote_bits_[dead] & bit) == 0) {
+    ft_vote_bits_[dead] |= bit;
+    stats_.ft_votes++;
+  }
+  uint32_t total = static_cast<uint32_t>(config_.kernel_nodes.size());
+  uint32_t quorum = total / 2 + 1;
+  uint32_t votes = static_cast<uint32_t>(std::popcount(ft_vote_bits_[dead]));
+  if (votes >= quorum) {
+    StartFailover(dead);
+    return;
+  }
+  // Refusal check: once every configured kernel has either voted or is
+  // itself unreachable from here, no majority can ever be assembled —
+  // a surviving minority must not guess (split-brain). Record the refusal
+  // instead of recovering.
+  uint64_t covered = ft_vote_bits_[dead];
+  for (KernelId k = 0; k < total; ++k) {
+    if (k == dead || ft_suspected_[k] != 0 || peer_failed_[k] != 0 || peer_down_.at(k)) {
+      covered |= 1ull << k;
+    }
+  }
+  uint64_t all = total >= 64 ? ~0ull : (1ull << total) - 1;
+  if (covered == all && ft_refused_[dead] == 0) {
+    ft_refused_[dead] = 1;
+    stats_.ft_refusals++;
+    LOG_WARN(kTag) << "kernel " << config_.id << " refuses recovery of kernel " << dead << ": "
+                   << votes << " votes < quorum " << quorum << " of " << total << " kernels";
+  }
+}
+
+void Kernel::StartFailover(KernelId dead) {
+  if (peer_failed_.at(dead) != 0) {
+    return;
+  }
+  // One new epoch covers every reassigned partition of the takeover plan;
+  // per-PE epoch gating at the followers keeps late stale broadcasts from
+  // rolling any of them back (see ddl.h).
+  uint64_t epoch = config_.membership.Epoch() + 1;
+  LOG_INFO(kTag) << "kernel " << config_.id << " declares kernel " << dead
+                 << " FAILED (quorum reached), recovery epoch " << epoch;
+  // Snapshot the plan this decree stands for before recovery rewrites the
+  // membership (afterwards no partition maps to `dead` any more).
+  std::vector<TakeoverAssignment> plan = PlanTakeover(
+      config_.membership, dead, static_cast<uint32_t>(config_.kernel_nodes.size()), peer_failed_);
+  RecoverFromFailure(dead, epoch);
+  for (KernelId p = 0; p < config_.kernel_nodes.size(); ++p) {
+    if (p == config_.id || peer_failed_[p] != 0 || peer_down_.at(p)) {
+      continue;
+    }
+    Charge(t_.ikc_send);
+    auto decree = NewMsg<IkcMsg>();
+    decree->op = IkcOp::kFailoverDecree;
+    decree->suspect = dead;
+    decree->epoch = epoch;
+    SendIkc(p, decree, [](const IkcReply&) {});
+  }
+  if (config_.on_failover) {
+    config_.on_failover(dead, epoch, plan);
+  }
+}
+
+void Kernel::RecoverFromFailure(KernelId dead, uint64_t epoch) {
+  if (dead >= peer_failed_.size() || peer_failed_[dead] != 0) {
+    return;  // idempotent: decree may race a local quorum decision
+  }
+  peer_failed_[dead] = 1;
+  ft_suspected_[dead] = 1;
+  peer_down_.at(dead) = true;
+  stats_.ft_failovers++;
+  ft_verdict_at_ = pe_->sim()->Now();
+
+  // The dead group's services are unreachable; stop routing sessions there.
+  for (auto& [name, entries] : services_) {
+    (void)name;
+    std::erase_if(entries, [&](const ServiceEntry& e) { return e.kernel == dead; });
+  }
+
+  // 1. DDL range takeover: every survivor computes the identical plan from
+  // its replicated membership table, so no negotiation is needed — the
+  // quorum leader only minted the epoch.
+  std::vector<TakeoverAssignment> plan = PlanTakeover(
+      config_.membership, dead, static_cast<uint32_t>(config_.kernel_nodes.size()), peer_failed_);
+  std::vector<uint8_t> dead_part(config_.membership.PeCount(), 0);
+  Cycles cost = t_.ft_decree;
+  for (const TakeoverAssignment& a : plan) {
+    dead_part.at(a.pe) = 1;
+    config_.membership.Apply(a.pe, a.new_owner, epoch);
+    cost += t_.epoch_apply;
+    if (a.new_owner == config_.id) {
+      cost += t_.ft_takeover_per_pe;
+      AdoptPe(a.pe);
+    }
+  }
+
+  // 2. Reconstruct the capability tree from the surviving halves: this
+  // kernel knows exactly which of its capabilities were obtained from or
+  // delegated to the dead kernel — edges into the dead range. Child edges
+  // are pruned (the children's records died with their kernel); a local
+  // capability whose parent lived in the dead range roots an orphaned
+  // subtree and is collected for revocation. Key-sorted order keeps the
+  // recovery bit-identical across reruns and standard libraries.
+  std::vector<Capability*> pruned;
+  std::vector<DdlKey> orphan_roots;
+  for (const auto& [key, cap] : caps_.all()) {
+    cost += t_.ft_scan_per_cap;
+    for (DdlKey child : cap->children()) {
+      if (child.pe() < dead_part.size() && dead_part[child.pe()] != 0) {
+        pruned.push_back(cap.get());
+        break;
+      }
+    }
+    DdlKey parent = cap->parent();
+    if (!parent.IsNull() && parent.pe() < dead_part.size() && dead_part[parent.pe()] != 0) {
+      orphan_roots.push_back(key);
+    }
+  }
+  std::sort(pruned.begin(), pruned.end(),
+            [](const Capability* x, const Capability* y) { return x->key().raw() < y->key().raw(); });
+  for (Capability* cap : pruned) {
+    std::vector<DdlKey> dead_children;
+    for (DdlKey child : cap->children()) {
+      if (child.pe() < dead_part.size() && dead_part[child.pe()] != 0) {
+        dead_children.push_back(child);
+      }
+    }
+    for (DdlKey child : dead_children) {
+      cap->RemoveChild(child);
+      stats_.ft_edges_pruned++;
+      cost += t_.ft_prune_per_edge;
+    }
+  }
+  Charge(cost);
+
+  // 3. Unwedge every in-flight call addressed to the dead kernel. For
+  // REVOKE_REQs this is semantically exact: the dead kernel's share of the
+  // subtree is gone with its kernel, so the revocation may complete.
+  // Requests parked behind a migration transfer towards the dead kernel
+  // unwind through the existing refused-transfer path.
+  AbortPendingIkcsTo(dead);
+
+  // 4. Recursively revoke the orphaned subtrees (deny-by-default: a
+  // capability whose ancestry can no longer vouch for it must go). Remote
+  // children at other survivors unwind through the normal REVOKE_REQ path;
+  // activated DTU endpoints are invalidated by the sweep.
+  ft_pending_recovery_ += static_cast<uint32_t>(orphan_roots.size()) + 1;
+  std::sort(orphan_roots.begin(), orphan_roots.end(),
+            [](DdlKey x, DdlKey y) { return x.raw() < y.raw(); });
+  for (DdlKey root : orphan_roots) {
+    Capability* cap = caps_.Find(root);
+    if (cap == nullptr) {
+      FtRecoveryStepDone();
+      continue;
+    }
+    if (cap->marked()) {
+      // An in-flight revocation already covers this subtree; recovery is
+      // complete once it finished.
+      cap->task()->on_complete.push_back([this] { FtRecoveryStepDone(); });
+      continue;
+    }
+    stats_.ft_orphan_roots++;
+    RevokeTask* task = NewRevokeTask(root);
+    task->admin = true;
+    task->admin_done = [this] { FtRecoveryStepDone(); };
+    Cycles rcost = t_.revoke_entry + MarkPass(cap, task);
+    rcost += FlushRevokeRequests(task);
+    Charge(rcost);
+    CheckRevokeComplete(task);
+  }
+  FtRecoveryStepDone();  // sentinel: recovery with zero orphans is done now
+}
+
+void Kernel::FtRecoveryStepDone() {
+  CHECK_GT(ft_pending_recovery_, 0u);
+  if (--ft_pending_recovery_ == 0) {
+    ft_recovered_at_ = pe_->sim()->Now();
+    LOG_INFO(kTag) << "kernel " << config_.id << " recovery complete";
+  }
+}
+
+void Kernel::AdoptPe(NodeId pe) {
+  PeType type = pe < config_.pe_types.size() ? config_.pe_types[pe] : PeType::kUser;
+  if (type == PeType::kKernel || type == PeType::kMemory) {
+    return;  // ownership-only takeover: nothing runs a VPE on those tiles
+  }
+  if (vpes_.Find(pe) != nullptr) {
+    return;  // already ours (PE had migrated here before its kernel died)
+  }
+  stats_.ft_pes_adopted++;
+  CHECK_LT(vpes_.size(), kMaxVpesPerKernel)
+      << "kernel " << config_.id << " exceeds 192 VPEs adopting PE " << pe;
+  // The VPE's kernel-side state died with its kernel; only a fresh identity
+  // can be rebuilt. The program on the PE itself kept running — its old
+  // capabilities are unrecoverable (orphan revocation at the survivors
+  // removes every remaining trace), so it restarts from an empty table
+  // plus the standard self capability. New keys minted here cannot clash
+  // with stale edges into this partition: every survivor prunes those
+  // edges when it applies the decree, before any exchange from the adopted
+  // VPE can reach it.
+  VpeState vpe_state;
+  vpe_state.id = pe;
+  vpe_state.node = pe;
+  vpe_state.alive = true;
+  vpe_state.is_service = type == PeType::kService;
+  VpeState* v = vpes_.Insert(std::move(vpe_state));
+  CHECK(v != nullptr);
+  migrated_away_.erase(pe);
+  CapPayload payload;
+  payload.type = CapType::kVpe;
+  CreateCap(v, CapType::kVpe, payload, DdlKey());
+  // Retarget the PE's syscall send endpoint at this kernel: the endpoint
+  // reset also restores the send credit its last (lost) syscall consumed,
+  // so the user runtime's retry can actually leave the PE.
+  Charge(t_.ep_config);
+  EpId syscall_ep = kEpSyscall0 + (pe % kNumSyscallEps);
+  pe_->dtu().ConfigureRemoteSend(pe, user_ep::kSyscallSend, pe_->node(), syscall_ep,
+                                 /*credits=*/1, /*label=*/0, nullptr);
+}
+
+void Kernel::AbortPendingIkcsTo(KernelId dead) {
+  // Flow-queued requests that never left: their tokens are pending too, so
+  // dropping the queue first keeps the abort loop the single completion
+  // point.
+  peers_.at(dead).queue.clear();
+  std::vector<uint64_t> tokens;
+  for (const auto& [token, pending] : ikcs_) {
+    if (pending.peer == dead) {
+      tokens.push_back(token);
+    }
+  }
+  std::sort(tokens.begin(), tokens.end());  // issue order: deterministic unwind
+  for (uint64_t token : tokens) {
+    auto it = ikcs_.find(token);
+    if (it == ikcs_.end()) {
+      continue;  // unwound by an earlier abort's callback
+    }
+    auto cb = std::move(it->second.cb);
+    ikcs_.erase(it);
+    stats_.ft_ikcs_aborted++;
+    IkcReply reply;
+    reply.token = token;
+    reply.err = ErrCode::kUnreachable;
+    if (cb) {
+      cb(reply);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Activate & derive
 // ---------------------------------------------------------------------------
 
@@ -1869,8 +2262,25 @@ void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
   if (msg->token == 0) {
     msg->token = next_token_++;
   }
+  if (peer_failed_.at(peer) != 0) {
+    // The peer is quorum-confirmed dead: fail fast with the same deferred
+    // kUnreachable a recovery abort produces, instead of leaking a token
+    // that waits on a reply that can never come.
+    stats_.ft_ikcs_aborted++;
+    uint64_t token = msg->token;
+    pe_->sim()->Schedule(0, [cb = std::move(cb), token] {
+      if (cb) {
+        IkcReply reply;
+        reply.token = token;
+        reply.err = ErrCode::kUnreachable;
+        cb(reply);
+      }
+    });
+    return;
+  }
   PendingIkc pending;
   pending.token = msg->token;
+  pending.peer = peer;
   pending.cb = std::move(cb);
   ikcs_[msg->token] = std::move(pending);
 
@@ -2110,6 +2520,22 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       reply->token = req->token;
       Emit(Charge(t_.ikc_dispatch + t_.epoch_apply + t_.ikc_send),
            [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kSuspectKernel: {
+      Charge(t_.ikc_dispatch);
+      RecordSuspectVote(req->suspect, req->src_kernel);
+      auto reply = NewMsg<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kFailoverDecree: {
+      Charge(t_.ikc_dispatch);
+      RecoverFromFailure(req->suspect, req->epoch);
+      auto reply = NewMsg<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
     }
   }

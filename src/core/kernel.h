@@ -54,6 +54,7 @@
 #include "core/ddl.h"
 #include "core/protocol.h"
 #include "core/timing.h"
+#include "ft/ft.h"
 #include "pe/pe.h"
 #include "sim/inline_fn.h"
 
@@ -86,6 +87,17 @@ struct KernelStats {
   uint64_t ikc_forwarded = 0;       // stale-epoch requests relayed to the owner
   uint64_t epoch_updates = 0;       // EPOCH_UPDATE IKCs applied
   uint64_t syscalls_frozen = 0;     // syscalls answered with kVpeMigrating
+  // Fault tolerance (src/ft).
+  uint64_t hb_sent = 0;             // heartbeat pings sent
+  uint64_t hb_acked = 0;            // heartbeat acknowledgements received
+  uint64_t ft_suspicions = 0;       // peers locally declared silent
+  uint64_t ft_votes = 0;            // distinct suspicion votes tallied (leader)
+  uint64_t ft_failovers = 0;        // failure verdicts applied (recoveries run)
+  uint64_t ft_refusals = 0;         // verdicts refused for lack of quorum
+  uint64_t ft_pes_adopted = 0;      // dead-group PEs taken over by this kernel
+  uint64_t ft_orphan_roots = 0;     // orphaned subtrees revoked at recovery
+  uint64_t ft_edges_pruned = 0;     // tree edges into the dead range dropped
+  uint64_t ft_ikcs_aborted = 0;     // pending IKCs to a dead kernel unwedged
   uint32_t threads_in_use = 0;
   uint32_t threads_in_use_max = 0;
 };
@@ -156,11 +168,14 @@ struct MigrateTask {
 class Kernel : public Program {
  public:
   // DTU endpoint layout of a kernel PE (paper §5.1): 2 send + 14 receive.
-  // EP 0 receives replies from asked parties/services, EPs 2..7 receive
-  // system calls (6 x 32 slots = 192 VPEs max per kernel), EPs 8..15
-  // receive inter-kernel calls (8 x 32 slots; 4 in flight per peer => 64
-  // kernels max).
+  // EP 0 receives replies from asked parties/services, EP 1 carries the
+  // failure detector's heartbeats (outside the credit-based IKC flow, so a
+  // dead peer cannot wedge detection), EPs 2..7 receive system calls
+  // (6 x 32 slots = 192 VPEs max per kernel), EPs 8..15 receive
+  // inter-kernel calls (8 x 32 slots; 4 in flight per peer => 64 kernels
+  // max).
   static constexpr EpId kEpAskReply = 0;
+  static constexpr EpId kEpHeartbeat = 1;
   static constexpr EpId kEpSyscall0 = 2;
   static constexpr uint32_t kNumSyscallEps = 6;
   static constexpr EpId kEpKernel0 = 8;
@@ -180,6 +195,17 @@ class Kernel : public Program {
     // Extension (paper §5.2 future work): batch all REVOKE_REQs to the
     // same peer kernel into one message instead of one per child.
     bool revoke_batching = false;
+    // Fault tolerance (src/ft). `ft` only stores the detector parameters;
+    // heartbeats start when the platform arms the detector via
+    // AdminStartFailureDetector. `pe_types` lets adopters rebuild VPE state
+    // for a dead group's PEs; `on_failover` lets the platform mirror the
+    // membership changes a quorum leader decrees mid-run.
+    FtConfig ft;
+    std::vector<PeType> pe_types;  // node -> tile type (empty: assume user)
+    // Invoked by a quorum leader with the decreed takeover plan, so the
+    // platform mirrors exactly what the kernels applied (no recompute).
+    std::function<void(KernelId dead, uint64_t epoch, const std::vector<TakeoverAssignment>&)>
+        on_failover;
   };
 
   explicit Kernel(Config config);
@@ -217,6 +243,30 @@ class Kernel : public Program {
   // `done` fires when the teardown settled.
   void AdminShutdown(std::function<void()> done);
   bool shutting_down() const { return shutting_down_; }
+
+  // --- Fault tolerance (src/ft) ---
+
+  // Simulated crash: freezes this kernel's state mid-flight and powers the
+  // node off at the interconnect (no announcement, unlike AdminShutdown —
+  // peers only observe silence). Driven by Platform::KillKernel.
+  void AdminKill();
+  bool dead() const { return dead_; }
+
+  // Arms the failure detector: heartbeats every live peer each
+  // `ft.heartbeat_period` cycles until `ft.monitor_until` (absolute time).
+  // A peer silent for `ft.heartbeat_timeout` is suspected; suspicion votes
+  // flow to the lowest-id unsuspected kernel, which applies and broadcasts
+  // the failure verdict once a majority of all configured kernels concurs.
+  void AdminStartFailureDetector(const FtConfig& ft);
+
+  // This kernel's current verdict about `peer`.
+  FtVerdict ft_verdict(KernelId peer) const;
+  // When the last failure verdict was applied / the last recovery finished
+  // (all orphaned subtrees revoked and pending IKCs unwedged) here; 0 if
+  // never. Workloads use these for detection/recovery latency.
+  Cycles ft_verdict_at() const { return ft_verdict_at_; }
+  Cycles ft_recovered_at() const { return ft_recovered_at_; }
+  bool ft_recovery_done() const { return ft_pending_recovery_ == 0 && ft_recovered_at_ != 0; }
 
   // --- Introspection ---
   // Human-readable dump of this kernel's capability forest (per VPE:
@@ -291,9 +341,11 @@ class Kernel : public Program {
     std::function<void(const AskReply&)> cb;
   };
 
-  // IKC request awaiting its reply.
+  // IKC request awaiting its reply. Carries the addressed peer so a failure
+  // recovery can complete every call wedged on a dead kernel.
   struct PendingIkc {
     uint64_t token = 0;
+    KernelId peer = kInvalidKernel;
     std::function<void(const IkcReply&)> cb;
   };
 
@@ -374,6 +426,29 @@ class Kernel : public Program {
   // for a partition this kernel no longer owns. Returns true if handled.
   bool MaybeForwardIkc(EpId ep, const Message& msg, const IkcMsg& req);
 
+  // ===== Fault tolerance (src/ft) =====
+  void OnHeartbeat(EpId ep, const Message& msg);
+  // Periodic detector work: ping live peers, time out silent ones, re-send
+  // suspicion votes until a verdict lands.
+  void HeartbeatTick();
+  void RaiseSuspicion(KernelId peer);
+  // Lowest-id kernel this kernel does not currently suspect — where votes go.
+  KernelId FtLeader() const;
+  void SendSuspectVotes();
+  // Leader-side tally; a new vote may push `dead` over the quorum (verdict)
+  // or complete coverage below it (refusal).
+  void RecordSuspectVote(KernelId dead, KernelId voter);
+  void StartFailover(KernelId dead);
+  // Survivor-side recovery: apply the takeover plan under `epoch`, adopt
+  // assigned PEs, prune edges into the dead range, revoke orphaned
+  // subtrees, and unwedge pending IKCs to the dead kernel. Idempotent.
+  void RecoverFromFailure(KernelId dead, uint64_t epoch);
+  // Rebuilds VPE state for an adopted PE and retargets its syscall EP.
+  void AdoptPe(NodeId pe);
+  // Completes every pending IKC addressed to `dead` with kUnreachable.
+  void AbortPendingIkcsTo(KernelId dead);
+  void FtRecoveryStepDone();
+
   // ===== Capability helpers =====
   DdlKey AllocKey(VpeId creator, CapType type);
   Capability* CreateCap(VpeState* vpe, CapType type, const CapPayload& payload, DdlKey parent);
@@ -433,6 +508,20 @@ class Kernel : public Program {
   bool shutting_down_ = false;
   // Peers that announced their shutdown; no further IKC traffic to them.
   std::vector<bool> peer_down_;
+
+  // ===== Fault-tolerance state (src/ft) =====
+  bool dead_ = false;  // this kernel crashed (fault injection)
+  FtConfig ft_;        // active detector parameters (enabled once armed)
+  std::vector<Cycles> hb_last_seen_;     // per peer: last heartbeat ack
+  std::vector<uint8_t> ft_suspected_;    // per peer: local timeout expired
+  std::vector<uint8_t> peer_failed_;     // per peer: quorum-confirmed dead
+  std::vector<uint8_t> ft_refused_;      // per peer: verdict refused (quorum)
+  std::vector<uint64_t> ft_vote_bits_;   // per peer: bitmask of voters (≤64)
+  Cycles ft_verdict_at_ = 0;
+  Cycles ft_recovered_at_ = 0;
+  // Outstanding recovery steps (orphan-subtree revocations); recovery is
+  // done when this drains back to zero.
+  uint32_t ft_pending_recovery_ = 0;
 
   VpeTable vpes_;
   CapSpace caps_;

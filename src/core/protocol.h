@@ -211,6 +211,13 @@ enum class IkcOp : uint8_t {
   // converges within one settle round.
   kMigrateVpe,
   kEpochUpdate,
+  // Fault tolerance (src/ft): quorum-based kernel failure handling.
+  // kSuspectKernel carries a suspicion vote to the current quorum leader;
+  // kFailoverDecree broadcasts the quorum-agreed verdict plus the recovery
+  // epoch, upon which every survivor applies the deterministic takeover
+  // plan (DDL re-partitioning, orphan revocation, pending-IKC aborts).
+  kSuspectKernel,
+  kFailoverDecree,
 };
 
 const char* IkcOpName(IkcOp op);
@@ -236,6 +243,8 @@ struct IkcMsg : MsgBody {
   // Migration (kMigrateVpe / kEpochUpdate).
   KernelId new_owner = kInvalidKernel;  // kernel taking over partition `node`
   uint64_t epoch = 0;                   // membership epoch of the reassignment
+  // Fault tolerance (kSuspectKernel / kFailoverDecree).
+  KernelId suspect = kInvalidKernel;    // kernel the vote / decree is about
   std::shared_ptr<MigratePayload> migrate;  // kMigrateVpe: the moved state
 
   uint32_t WireSize() const override {

@@ -86,6 +86,19 @@ struct TimingModel {
   Cycles migrate_install_per_cap = 180;  // materialize one record at the dest
   Cycles epoch_apply = 90;
 
+  // --- Fault tolerance (src/ft; beyond the paper) ---
+  // Not constrained by Table 3; all of these are only paid in runs that arm
+  // the failure detector. Heartbeat handling is deliberately tiny (send a
+  // 16-byte ping / flip a timestamp); suspicion and decree bookkeeping are
+  // one-off control work; takeover costs scale with adopted PEs, pruned
+  // edges, and the local capability scan of the recovery pass.
+  Cycles hb_process = 60;            // send or acknowledge one heartbeat
+  Cycles ft_suspect = 300;           // raise a suspicion, marshal the vote
+  Cycles ft_decree = 600;            // verdict bookkeeping per survivor
+  Cycles ft_takeover_per_pe = 250;   // adopt one PE: VPE rebuild + EP retarget
+  Cycles ft_scan_per_cap = 40;       // recovery scan of one local capability
+  Cycles ft_prune_per_edge = 80;     // drop one tree edge into the dead range
+
   // --- Service-side handler costs (m3fs) ---
   // Not constrained by Table 3 (which measures kernel capability
   // operations); set to the magnitude of real m3fs handler work — path

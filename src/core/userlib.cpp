@@ -35,14 +35,78 @@ void UserEnv::Syscall(std::shared_ptr<SyscallMsg> msg,
   msg->vpe = vpe();
   msg->token = next_token_++;
   syscall_msg_ = msg;
+  uint64_t token = msg->token;
   Status st = pe_->dtu().Send(user_ep::kSyscallSend, std::move(msg), user_ep::kSyscallReply);
+  if (retry_timeout_ > 0) {
+    // Crash watchdog armed: a failed send (the kernel died holding our
+    // credit) is not fatal — the watchdog re-sends once the endpoint was
+    // reset by an adopter, or completes the call with kUnreachable.
+    retry_count_ = 0;
+    last_syscall_activity_ = pe_->sim()->Now();
+    ArmSyscallWatchdog(token);
+    return;
+  }
   CHECK(st.ok()) << "syscall send failed: " << st.name();
+}
+
+void UserEnv::EnableSyscallRetry(Cycles timeout, uint32_t max_retries) {
+  CHECK_GT(timeout, 0u);
+  retry_timeout_ = timeout;
+  retry_max_ = max_retries;
+}
+
+void UserEnv::ArmSyscallWatchdog(uint64_t token) {
+  pe_->sim()->Schedule(retry_timeout_, [this, token] {
+    if (!syscall_pending_ || syscall_msg_ == nullptr || syscall_msg_->token != token) {
+      return;  // the call completed; this watchdog is stale
+    }
+    Cycles quiet = pe_->sim()->Now() - last_syscall_activity_;
+    if (quiet < retry_timeout_) {
+      // Something (a reply, a migration backoff) happened recently — the
+      // kernel is alive, just slow. Never duplicate a call to a live
+      // kernel; wait out the remainder of the quiet window.
+      ArmSyscallWatchdog(token);
+      return;
+    }
+    if (retry_count_ >= retry_max_ || syscall_unreachable_) {
+      // The kernel stayed dark beyond every retry: fail the call so the
+      // application can decide (a failover run reaches this only when
+      // recovery was refused for lack of quorum). Later calls on this
+      // unreachable channel fail after a single quiet window instead of
+      // the full retry budget; any reply ever arriving clears the state.
+      syscall_unreachable_ = true;
+      syscall_pending_ = false;
+      auto cb = std::move(syscall_cb_);
+      syscall_cb_ = nullptr;
+      syscall_msg_ = nullptr;
+      if (cb) {
+        SyscallReply reply;
+        reply.err = ErrCode::kUnreachable;
+        cb(reply);
+      }
+      return;
+    }
+    retry_count_++;
+    syscall_retries_++;
+    last_syscall_activity_ = pe_->sim()->Now();
+    // The send fails with kNoCredits until a surviving kernel reset this
+    // PE's syscall endpoint (adoption restores the credit); keep watching.
+    (void)pe_->dtu().Send(user_ep::kSyscallSend, syscall_msg_, user_ep::kSyscallReply);
+    ArmSyscallWatchdog(token);
+  });
 }
 
 void UserEnv::OnSyscallReply(const Message& msg) {
   const SyscallReply* reply = msg.As<SyscallReply>();
   CHECK(reply != nullptr);
-  CHECK(syscall_pending_);
+  syscall_unreachable_ = false;  // any reply proves the channel works again
+  if (!syscall_pending_) {
+    // Duplicate reply: the watchdog re-sent a call whose original reply was
+    // only delayed, not lost. The first answer won; drop the echo.
+    CHECK_GT(retry_timeout_, 0u) << "unexpected syscall reply";
+    return;
+  }
+  last_syscall_activity_ = pe_->sim()->Now();
   if (reply->err == ErrCode::kVpeMigrating) {
     // This VPE — or the exchange peer — is moving kernels. The call stays
     // pending and is re-sent after a backoff; migration handoffs retarget
@@ -58,7 +122,7 @@ void UserEnv::OnSyscallReply(const Message& msg) {
   syscall_pending_ = false;
   auto cb = std::move(syscall_cb_);
   syscall_cb_ = nullptr;
-  syscall_msg_ = nullptr;  // only retained for migration retries
+  syscall_msg_ = nullptr;  // only retained for migration/crash retries
   if (cb) {
     cb(*reply);
   }

@@ -85,12 +85,24 @@ class UserEnv {
   // PE's syscall endpoint, so the retry lands at the right kernel.
   static constexpr Cycles kMigrateRetryBackoff = 6000;
 
+  // Opt-in crash watchdog (src/ft): if a syscall sees no reply for
+  // `timeout` cycles — the kernel died with the call or its reply in
+  // flight — the call is re-sent, up to `max_retries` times, after which it
+  // completes with kUnreachable. Re-sends only fire after a full quiet
+  // window (any reply, including the retryable kVpeMigrating, counts as
+  // activity), so a merely slow kernel is never sent duplicates. The retry
+  // starts flowing once a surviving kernel adopted this PE and reset its
+  // syscall endpoint (which restores the consumed send credit). Disabled by
+  // default: runs without failure injection behave bit-identically.
+  void EnableSyscallRetry(Cycles timeout, uint32_t max_retries = 32);
+
  private:
   void OnSyscallReply(const Message& msg);
   void OnAsk(const Message& msg);
   void OnServiceReply(const Message& msg);
   void OnRequest(const Message& msg);
   void PumpWork();
+  void ArmSyscallWatchdog(uint64_t token);
 
   ProcessingElement* pe_;
   NodeId kernel_node_;
@@ -102,6 +114,15 @@ class UserEnv {
   bool syscall_pending_ = false;
   std::function<void(const SyscallReply&)> syscall_cb_;
   std::shared_ptr<SyscallMsg> syscall_msg_;  // kept for migration retries
+
+  // Crash watchdog (EnableSyscallRetry); inactive while retry_timeout_ == 0.
+  Cycles retry_timeout_ = 0;
+  uint32_t retry_max_ = 0;
+  uint32_t retry_count_ = 0;         // re-sends of the current call
+  Cycles last_syscall_activity_ = 0; // last send or reply for the call
+  // Set once a call exhausted its retry budget; later calls fail after one
+  // quiet window instead of the full budget. Cleared by any reply.
+  bool syscall_unreachable_ = false;
 
   bool request_pending_ = false;
   std::function<void(const Message&)> request_cb_;

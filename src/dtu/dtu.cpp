@@ -65,6 +65,10 @@ void Dtu::InvalidateEp(EpId ep) {
 void Dtu::ConfigureRemoteSend(NodeId target, EpId ep, NodeId dst_node, EpId dst_ep,
                               uint32_t credits, uint64_t label, std::function<void()> done) {
   CHECK(privileged_) << "remote config from unprivileged DTU " << node_;
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return;  // crashed kernel: the config packet never leaves (done never fires)
+  }
   Dtu* remote = fabric_->At(target);
   CHECK(remote != nullptr);
   fabric_->noc()->Send(node_, target, kConfigPacketBytes,
@@ -87,6 +91,10 @@ void Dtu::ConfigureRemoteSend(NodeId target, EpId ep, NodeId dst_node, EpId dst_
 void Dtu::ConfigureRemoteMem(NodeId target, EpId ep, NodeId dst_node, uint64_t base, uint64_t size,
                              MemPerms perms, std::function<void()> done) {
   CHECK(privileged_) << "remote config from unprivileged DTU " << node_;
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return;
+  }
   Dtu* remote = fabric_->At(target);
   CHECK(remote != nullptr);
   fabric_->noc()->Send(node_, target, kConfigPacketBytes,
@@ -106,6 +114,10 @@ void Dtu::ConfigureRemoteMem(NodeId target, EpId ep, NodeId dst_node, uint64_t b
 
 void Dtu::InvalidateRemoteEp(NodeId target, EpId ep, std::function<void()> done) {
   CHECK(privileged_) << "remote config from unprivileged DTU " << node_;
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return;
+  }
   Dtu* remote = fabric_->At(target);
   CHECK(remote != nullptr);
   fabric_->noc()->Send(node_, target, kConfigPacketBytes, [this, remote, ep, done] {
@@ -126,6 +138,10 @@ Status Dtu::Send(EpId ep, MsgRef body, EpId reply_ep) {
   if (e.credits == 0) {
     stats_.sends_denied++;
     return Status(ErrCode::kNoCredits);
+  }
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return Status(ErrCode::kUnreachable);
   }
   e.credits--;
   stats_.msgs_sent++;
@@ -151,6 +167,10 @@ Status Dtu::Send(EpId ep, MsgRef body, EpId reply_ep) {
 
 Status Dtu::SendTo(NodeId dst_node, EpId dst_ep, MsgRef body, EpId reply_ep, uint64_t label) {
   CHECK(privileged_) << "SendTo from unprivileged DTU " << node_;
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return Status(ErrCode::kUnreachable);
+  }
   stats_.msgs_sent++;
 
   Message msg;
@@ -178,6 +198,10 @@ Status Dtu::Reply(EpId recv_ep, const Message& msg, MsgRef body) {
   }
   CHECK_GT(e.occupied, 0u);
   e.occupied--;
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return Status(ErrCode::kUnreachable);
+  }
 
   Message reply;
   reply.src_node = node_;
@@ -209,6 +233,10 @@ Status Dtu::SendDeferredReply(const Message& msg, MsgRef body) {
   if (msg.reply_ep == kNoReplyEp) {
     return Status(ErrCode::kInvalidArgs);
   }
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return Status(ErrCode::kUnreachable);
+  }
   Message reply;
   reply.src_node = node_;
   reply.src_send_ep = kNoReplyEp;
@@ -238,7 +266,7 @@ void Dtu::Ack(EpId recv_ep, const Message& msg) {
   // Return the credit to the sender with a tiny control packet.
   NodeId dst_node = msg.src_node;
   EpId credit_ep = msg.src_send_ep;
-  if (credit_ep == kNoReplyEp) {
+  if (credit_ep == kNoReplyEp || dead_) {
     return;
   }
   Dtu* remote = fabric_->At(dst_node);
@@ -249,6 +277,13 @@ void Dtu::Ack(EpId recv_ep, const Message& msg) {
 
 void Dtu::Deliver(EpId ep, Message msg) {
   CHECK_LT(ep, kNumEps);
+  if (dead_) {
+    // Fault injection: the node is powered off — arriving packets vanish
+    // without touching slot accounting. Peers observe silence, which is
+    // what the failure detector is built to notice.
+    stats_.msgs_lost_dead++;
+    return;
+  }
   Endpoint& e = eps_[ep];
   if (msg.is_reply) {
     // Replies are received into the context the sender reserved when it
@@ -297,6 +332,10 @@ void Dtu::ReturnCredit(EpId send_ep) {
 Status Dtu::MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write,
                       InlineFn done) {
   CHECK_LT(mem_ep, kNumEps);
+  if (dead_) {
+    stats_.msgs_lost_dead++;
+    return Status(ErrCode::kUnreachable);  // done never fires
+  }
   Endpoint& e = eps_[mem_ep];
   if (e.type != EpType::kMemory) {
     return Status(ErrCode::kInvalidArgs);

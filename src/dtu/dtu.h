@@ -59,6 +59,7 @@ struct DtuStats {
   uint64_t msgs_sent = 0;
   uint64_t msgs_received = 0;
   uint64_t msgs_dropped = 0;  // arrived with no free slot (protocol bug!)
+  uint64_t msgs_lost_dead = 0;  // swallowed by a killed node (fault injection)
   uint64_t sends_denied = 0;  // no credits / bad endpoint
   uint64_t mem_reads = 0;
   uint64_t mem_writes = 0;
@@ -87,6 +88,15 @@ class Dtu {
 
   // Strips the privileged bit (kernel does this to user PEs at boot).
   void Downgrade() { privileged_ = false; }
+
+  // Fault injection (src/ft): powers the node off at the interconnect. Every
+  // delivery to this DTU is swallowed (counted in msgs_lost_dead, NOT in
+  // msgs_dropped — the zero-drop flow-control invariant holds for the live
+  // system) and every outgoing send, reply, credit return, and remote
+  // endpoint configuration becomes a silent no-op. Peers observe pure loss,
+  // exactly like a crashed kernel whose NoC links went dark.
+  void Kill() { dead_ = true; }
+  bool dead() const { return dead_; }
 
   // Privileged remote configuration: models the kernel writing another DTU's
   // endpoint registers over the NoC. `done` fires when the config packet has
@@ -164,6 +174,7 @@ class Dtu {
   DtuFabric* fabric_;
   NodeId node_;
   bool privileged_ = true;
+  bool dead_ = false;  // fault injection: node powered off (see Kill)
   std::vector<Endpoint> eps_;
   DtuStats stats_;
 

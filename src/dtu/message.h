@@ -36,6 +36,7 @@ enum class MsgKind : uint8_t {
   kFsReply,        // FsReply
   kNginxRequest,   // NginxRequestMsg
   kNginxResponse,  // NginxResponseMsg
+  kHeartbeat,      // HeartbeatMsg (kernel failure detector, src/ft)
   kTest,           // ad-hoc payloads in unit tests/benchmarks
 };
 

@@ -17,6 +17,9 @@
 // mid-run PE migration. Re-exported here so harnesses have one entry point
 // for every experiment shape.
 #include "workloads/rebalance.h"
+// Crash-recovery experiment (RunFailover): a kernel is killed mid-run and
+// the survivors detect, take over, and repair (src/ft).
+#include "workloads/failover.h"
 
 namespace semperos {
 

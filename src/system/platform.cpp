@@ -104,6 +104,12 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
     }
   }
 
+  pe_types_.reserve(plan.size());
+  for (const NodePlan& p : plan) {
+    pe_types_.push_back(p.type);
+  }
+  failed_kernels_.assign(config_.kernels, 0);
+
   kernels_.resize(config_.kernels);
   for (KernelId k = 0; k < config_.kernels; ++k) {
     Kernel::Config kc;
@@ -114,6 +120,21 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
     kc.kernel_nodes = kernel_nodes_;
     kc.max_inflight = config_.max_inflight;
     kc.revoke_batching = config_.revoke_batching;
+    kc.pe_types = pe_types_;
+    // Quorum leaders report decreed takeovers so the platform's own
+    // membership copy (and kernel_of()) mirrors exactly what the kernels
+    // applied — the plan travels with the callback, never recomputed from
+    // a possibly divergent table copy.
+    kc.on_failover = [this](KernelId dead, uint64_t epoch,
+                            const std::vector<TakeoverAssignment>& takeover_plan) {
+      if (failed_kernels_.at(dead) != 0) {
+        return;
+      }
+      failed_kernels_[dead] = 1;
+      for (const TakeoverAssignment& a : takeover_plan) {
+        membership_.Apply(a.pe, a.new_owner, epoch);
+      }
+    };
     auto kernel = std::make_unique<Kernel>(std::move(kc));
     kernels_[k] = kernel.get();
     pes_[kernel_nodes_[k]]->AttachProgram(std::move(kernel));
@@ -194,6 +215,33 @@ void Platform::MigratePe(NodeId pe, KernelId dst_kernel, std::function<void(ErrC
   });
 }
 
+void Platform::KillKernel(KernelId victim, double when_us) {
+  KillKernelAt(victim, MicrosToCycles(when_us));
+}
+
+void Platform::KillKernelAt(KernelId victim, Cycles when) {
+  CHECK(booted_);
+  CHECK_LT(victim, config_.kernels);
+  Cycles now = sim_.Now();
+  Cycles at = when > now ? when : now + 1;
+  Kernel* kernel = kernels_.at(victim);
+  sim_.ScheduleAt(at, [kernel] {
+    if (!kernel->dead()) {
+      kernel->AdminKill();
+    }
+  });
+}
+
+void Platform::StartFailureDetector(FtConfig ft) {
+  CHECK(booted_);
+  ft.enabled = true;
+  for (Kernel* kernel : kernels_) {
+    if (!kernel->dead() && !kernel->shutting_down()) {
+      kernel->AdminStartFailureDetector(ft);
+    }
+  }
+}
+
 uint64_t Platform::RunToCompletion(uint64_t max_events) {
   uint64_t ran = sim_.RunUntilIdle(max_events);
   CHECK(sim_.Idle()) << "simulation exceeded event budget";
@@ -230,6 +278,16 @@ KernelStats Platform::TotalKernelStats() const {
     total.ikc_forwarded += s.ikc_forwarded;
     total.epoch_updates += s.epoch_updates;
     total.syscalls_frozen += s.syscalls_frozen;
+    total.hb_sent += s.hb_sent;
+    total.hb_acked += s.hb_acked;
+    total.ft_suspicions += s.ft_suspicions;
+    total.ft_votes += s.ft_votes;
+    total.ft_failovers += s.ft_failovers;
+    total.ft_refusals += s.ft_refusals;
+    total.ft_pes_adopted += s.ft_pes_adopted;
+    total.ft_orphan_roots += s.ft_orphan_roots;
+    total.ft_edges_pruned += s.ft_edges_pruned;
+    total.ft_ikcs_aborted += s.ft_ikcs_aborted;
   }
   return total;
 }

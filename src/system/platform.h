@@ -82,6 +82,29 @@ class Platform {
   // (call before RunToCompletion, or from a scheduled event).
   void MigratePe(NodeId pe, KernelId dst_kernel, std::function<void(ErrCode)> done = nullptr);
 
+  // --- Fault tolerance (src/ft) ---
+
+  // Schedules a deterministic simulated crash of `victim` at absolute time
+  // `when_us` (microseconds; clamped to strictly after now). The victim's
+  // node goes dark at the interconnect: deliveries are swallowed, nothing
+  // leaves. Detection and recovery only happen if the failure detector is
+  // armed (StartFailureDetector) with a monitoring window covering the
+  // kill. Requires a booted platform.
+  void KillKernel(KernelId victim, double when_us);
+  // Same, in cycles.
+  void KillKernelAt(KernelId victim, Cycles when);
+
+  // Arms the failure detector on every (live) kernel: heartbeats flow every
+  // `ft.heartbeat_period` cycles from now until `ft.monitor_until`. When a
+  // quorum of all configured kernels agrees a kernel died, the survivors
+  // re-partition its DDL range; the platform mirrors the decreed
+  // reassignments into its own membership copy, so kernel_of() follows.
+  void StartFailureDetector(FtConfig ft);
+
+  // True once a quorum verdict retired `kernel` (its partitions have been
+  // taken over by the survivors).
+  bool KernelFailed(KernelId kernel) const { return failed_kernels_.at(kernel) != 0; }
+
   // Runs the simulation until no events remain and checks hardware
   // invariants (no dropped messages anywhere). Returns events executed.
   uint64_t RunToCompletion(uint64_t max_events = 2'000'000'000ull);
@@ -106,6 +129,8 @@ class Platform {
   std::vector<NodeId> loadgen_nodes_;
   std::vector<NodeId> mem_nodes_;
   MembershipTable membership_;
+  std::vector<PeType> pe_types_;         // node -> tile type (adoption)
+  std::vector<uint8_t> failed_kernels_;  // quorum-retired kernels
   bool booted_ = false;
 };
 

@@ -1,0 +1,96 @@
+// Failover workload: crash-recovery under live cross-group traffic.
+//
+// Opens the scenario axis the harness could not express before src/ft:
+// applications keep running while one kernel is killed mid-run. Every
+// client runs a closed loop of group-spanning capability operations
+// (obtain a surviving peer's capability, revoke the copy, think); on top,
+// the clients of one surviving group seed themselves with capabilities
+// obtained from the victim group's VPEs — and hold them, some activated on
+// DTU endpoints — so the kill leaves real orphaned subtrees behind. At
+// `kill_at` the victim kernel crashes; the armed failure detector times it
+// out, the survivors reach a quorum verdict, re-partition the dead DDL
+// range, adopt the orphaned PEs, revoke the orphaned subtrees (invalidating
+// the activated endpoints), and unwedge every in-flight call. The run
+// measures what the crash costs: detection and recovery latency, the
+// throughput dip while the dead group's clients are stranded, and how much
+// state had to be repaired.
+#ifndef SEMPEROS_WORKLOADS_FAILOVER_H_
+#define SEMPEROS_WORKLOADS_FAILOVER_H_
+
+#include <cstdint>
+
+#include "core/kernel.h"
+
+namespace semperos {
+
+struct FailoverConfig {
+  uint32_t kernels = 4;
+  uint32_t users_per_kernel = 3;
+  uint32_t ops_per_client = 30;   // obtain+revoke attempts per client
+  Cycles think_time = 2000;       // compute phase between pairs
+  // Failure injection.
+  bool kill = true;               // false: baseline run without a crash
+  KernelId victim = 1;            // kernel to crash
+  Cycles kill_at = 600'000;       // absolute kill time (after boot settles)
+  // Orphan seeding: each client of group (victim+1) obtains this many
+  // capabilities from its victim-group partner and keeps them...
+  uint32_t orphan_caps = 6;
+  // ...activating the first `activate_caps` of them on DTU memory
+  // endpoints, so recovery provably invalidates them.
+  uint32_t activate_caps = 2;
+  // Failure detector parameters (see FtConfig).
+  Cycles hb_period = 30'000;
+  Cycles hb_timeout = 90'000;
+  Cycles monitor_slack = 600'000;  // monitor_until = kill_at + slack
+  // Client-side crash watchdog (UserEnv::EnableSyscallRetry).
+  Cycles retry_timeout = 150'000;
+  uint32_t retry_max = 32;
+};
+
+struct FailoverResult {
+  // Work completed.
+  uint64_t total_ops = 0;          // successful obtain+revoke pairs
+  uint64_t failed_ops = 0;         // attempts that ended in an error reply
+  uint64_t adopted_ops = 0;        // successes by victim-group clients...
+  uint64_t adopted_ops_post_kill = 0;  // ...of which after the kill
+  Cycles makespan = 0;
+  double ops_per_sec = 0;
+  // Crash-recovery outcome.
+  Cycles kill_time = 0;
+  bool recovered = false;          // every survivor finished recovery
+  bool refused = false;            // a no-quorum refusal was recorded
+  Cycles detect_latency = 0;       // kill -> first quorum verdict
+  Cycles recover_latency = 0;      // kill -> last survivor recovery done
+  uint64_t survivor_epoch = 0;     // lowest membership epoch among survivors
+  // Throughput in equal-width windows before / during / after the
+  // kill-to-recovered span (ops per second; zeros when kill == false).
+  double ops_per_sec_before = 0;
+  double ops_per_sec_during = 0;
+  double ops_per_sec_after = 0;
+  // Repair accounting.
+  uint64_t orphan_roots = 0;       // orphaned subtrees revoked
+  uint64_t seeds_revoked = 0;      // seeded caps verified gone post-run
+  uint64_t eps_invalidated = 0;    // activated seed EPs verified invalid
+  uint64_t pes_adopted = 0;
+  uint64_t edges_pruned = 0;
+  uint64_t ikcs_aborted = 0;
+  uint64_t suspicions = 0;
+  uint64_t heartbeats = 0;
+  uint64_t client_retries = 0;
+  // Leak check over the surviving kernels: capabilities beyond the expected
+  // per-client baseline. Must be 0.
+  uint64_t leaked_caps = 0;
+  KernelStats kernel_stats;
+  // NoC totals and engine event count for the determinism guard.
+  uint64_t noc_packets = 0;
+  uint64_t noc_bytes = 0;
+  Cycles noc_latency = 0;
+  Cycles noc_queueing = 0;
+  uint64_t events = 0;
+};
+
+FailoverResult RunFailover(const FailoverConfig& config);
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_WORKLOADS_FAILOVER_H_

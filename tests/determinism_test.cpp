@@ -38,6 +38,16 @@ void ExpectSameStats(const KernelStats& a, const KernelStats& b) {
   SEMPEROS_EXPECT_FIELD(ikc_forwarded);
   SEMPEROS_EXPECT_FIELD(epoch_updates);
   SEMPEROS_EXPECT_FIELD(syscalls_frozen);
+  SEMPEROS_EXPECT_FIELD(hb_sent);
+  SEMPEROS_EXPECT_FIELD(hb_acked);
+  SEMPEROS_EXPECT_FIELD(ft_suspicions);
+  SEMPEROS_EXPECT_FIELD(ft_votes);
+  SEMPEROS_EXPECT_FIELD(ft_failovers);
+  SEMPEROS_EXPECT_FIELD(ft_refusals);
+  SEMPEROS_EXPECT_FIELD(ft_pes_adopted);
+  SEMPEROS_EXPECT_FIELD(ft_orphan_roots);
+  SEMPEROS_EXPECT_FIELD(ft_edges_pruned);
+  SEMPEROS_EXPECT_FIELD(ft_ikcs_aborted);
   SEMPEROS_EXPECT_FIELD(threads_in_use);
   SEMPEROS_EXPECT_FIELD(threads_in_use_max);
 #undef SEMPEROS_EXPECT_FIELD
@@ -84,6 +94,46 @@ TEST(Determinism, RebalanceRunsAreBitIdentical) {
   EXPECT_EQ(a.leaked_caps, b.leaked_caps);
   // NoC totals and the raw engine event count: bit-identical, not just
   // statistically close.
+  EXPECT_EQ(a.noc_packets, b.noc_packets);
+  EXPECT_EQ(a.noc_bytes, b.noc_bytes);
+  EXPECT_EQ(a.noc_latency, b.noc_latency);
+  EXPECT_EQ(a.noc_queueing, b.noc_queueing);
+  EXPECT_EQ(a.events, b.events);
+  ExpectSameStats(a.kernel_stats, b.kernel_stats);
+}
+
+TEST(Determinism, FailoverRunsAreBitIdentical) {
+  // The crash-recovery workload exercises the whole fault-tolerance path:
+  // heartbeats, timeout suspicion, quorum votes, the failover decree, DDL
+  // takeover, orphan revocation, pending-IKC aborts, and watchdog-driven
+  // client retries. Recovery iterates hash-table state (capability spaces,
+  // pending-IKC maps) — the key-sorted collection passes exist exactly so
+  // this test holds: identical configs must replay bit-identically.
+  FailoverConfig config;
+  config.kernels = 4;
+  config.users_per_kernel = 3;
+  config.ops_per_client = 15;
+  FailoverResult a = RunFailover(config);
+  FailoverResult b = RunFailover(config);
+  EXPECT_EQ(a.total_ops, b.total_ops);
+  EXPECT_EQ(a.failed_ops, b.failed_ops);
+  EXPECT_EQ(a.adopted_ops, b.adopted_ops);
+  EXPECT_EQ(a.adopted_ops_post_kill, b.adopted_ops_post_kill);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.kill_time, b.kill_time);
+  EXPECT_EQ(a.recovered, b.recovered);
+  EXPECT_EQ(a.detect_latency, b.detect_latency);
+  EXPECT_EQ(a.recover_latency, b.recover_latency);
+  EXPECT_EQ(a.survivor_epoch, b.survivor_epoch);
+  EXPECT_EQ(a.orphan_roots, b.orphan_roots);
+  EXPECT_EQ(a.seeds_revoked, b.seeds_revoked);
+  EXPECT_EQ(a.eps_invalidated, b.eps_invalidated);
+  EXPECT_EQ(a.pes_adopted, b.pes_adopted);
+  EXPECT_EQ(a.edges_pruned, b.edges_pruned);
+  EXPECT_EQ(a.ikcs_aborted, b.ikcs_aborted);
+  EXPECT_EQ(a.client_retries, b.client_retries);
+  EXPECT_EQ(a.leaked_caps, b.leaked_caps);
+  // NoC totals and the raw engine event count: bit-identical.
   EXPECT_EQ(a.noc_packets, b.noc_packets);
   EXPECT_EQ(a.noc_bytes, b.noc_bytes);
   EXPECT_EQ(a.noc_latency, b.noc_latency);

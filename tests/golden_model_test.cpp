@@ -44,6 +44,51 @@ TEST(GoldenModel, TarFourInstancesOnTwoKernels) {
   EXPECT_EQ(stats.caps_deleted, 80u);
 }
 
+TEST(GoldenModel, FailoverRecoveryPinnedValues) {
+  // Crash-recovery modeled outputs for a fixed small configuration (3
+  // kernels, 2 clients each, kernel 1 killed at cycle 300k mid-run). These
+  // pin the fault-tolerance path end to end: heartbeat cadence, timeout
+  // suspicion, quorum verdict timing, DDL takeover, orphan revocation, and
+  // the stranded clients' watchdog resume. If you intentionally change the
+  // detector parameters or the recovery cost model, re-derive these — and
+  // refresh bench-results/baseline/BENCH_failover.json too.
+  FailoverConfig config;
+  config.kernels = 3;
+  config.users_per_kernel = 2;
+  config.ops_per_client = 30;
+  config.orphan_caps = 4;
+  config.kill_at = 300'000;
+  FailoverResult r = RunFailover(config);
+
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.makespan, 1085608u);
+  EXPECT_EQ(r.detect_latency, 94512u);
+  EXPECT_EQ(r.recover_latency, 109864u);
+  EXPECT_EQ(r.survivor_epoch, 1u);
+  EXPECT_EQ(r.total_ops, 180u);
+  EXPECT_EQ(r.failed_ops, 0u);
+  EXPECT_EQ(r.adopted_ops, 60u);
+  EXPECT_EQ(r.adopted_ops_post_kill, 41u);
+  EXPECT_EQ(r.client_retries, 2u);
+  EXPECT_EQ(r.orphan_roots, 8u);
+  EXPECT_EQ(r.seeds_revoked, 8u);
+  EXPECT_EQ(r.eps_invalidated, 4u);
+  EXPECT_EQ(r.pes_adopted, 2u);
+  EXPECT_EQ(r.edges_pruned, 2u);
+  EXPECT_EQ(r.leaked_caps, 0u);
+  EXPECT_EQ(r.events, 4556u);
+
+  const KernelStats& stats = r.kernel_stats;
+  EXPECT_EQ(stats.hb_sent, 100u);
+  EXPECT_EQ(stats.ft_suspicions, 2u);
+  EXPECT_EQ(stats.ft_votes, 2u);
+  EXPECT_EQ(stats.ft_failovers, 2u);
+  EXPECT_EQ(stats.caps_created, 203u);
+  EXPECT_EQ(stats.caps_deleted, 188u);
+  EXPECT_EQ(stats.syscalls, 374u);
+  EXPECT_EQ(stats.ikc_sent, 338u);
+}
+
 TEST(GoldenModel, SoloRuntimes) {
   // Single-instance modeled runtimes on a 2-kernel, 2-service system.
   // These anchor the parallel-efficiency figures: every efficiency value is

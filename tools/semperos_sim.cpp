@@ -7,8 +7,12 @@
 //   semperos_sim --nginx --kernels=32 --services=32 --servers=128
 //   semperos_sim --micro                      # Table-3 style op latencies
 //   semperos_sim --app=sqlite ... --batching  # revocation batching on
+//   semperos_sim --failover --kernels=8       # crash-recovery workload
+//   semperos_sim --failover --fail-kernel=2@300   # kill kernel 2 at 300 us
+//   semperos_sim --list                       # enumerate experiments
 //
 // Prints runtime/efficiency metrics and the kernel statistics counters.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +40,14 @@ struct Options {
   bool nginx = false;
   bool micro = false;
   bool batching = false;
+  bool failover = false;
+  bool list = false;
+  // --fail-kernel=<id>@<us>: kill kernel <id> at <us> microseconds.
+  // fail_at_us == 0 (the default): pick a kill time that lands after the
+  // workload's orphan-seeding phase, whose length scales with the client
+  // count per group.
+  KernelId fail_kernel = 1;
+  double fail_at_us = 0.0;
   KernelMode mode = KernelMode::kSemperOSMulti;
 };
 
@@ -50,16 +62,90 @@ bool ParseFlag(const char* arg, const char* name, std::string* value) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: semperos_sim [--app=NAME|--nginx|--micro|--trace=FILE]\n"
+               "usage: semperos_sim [--app=NAME|--nginx|--micro|--failover|--trace=FILE|--list]\n"
                "                    [--kernels=N] [--services=N] [--instances=N] [--servers=N]\n"
                "                    [--mode=semperos|m3] [--batching]\n"
+               "                    [--fail-kernel=<id>@<us>]\n"
                "apps: tar untar find sqlite leveldb postmark\n"
                "trace files: one op per line (open/read/write/seek/close/stat/mkdir/unlink/\n"
-               "             readdir/compute), '#' comments; see src/trace/trace_io.h\n");
+               "             readdir/compute), '#' comments; see src/trace/trace_io.h\n"
+               "run --list for the full experiment/workload catalogue\n");
   return 2;
 }
 
 void PrintKernelStats(const KernelStats& s);
+
+// --list: the experiment/workload catalogue, also shown instead of a bare
+// usage error when an unknown --app name is given.
+int PrintList() {
+  std::printf("trace-replay apps (--app=NAME; Figures 6-9, Table 4):\n");
+  for (const auto& name : WorkloadNames()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("experiments:\n");
+  std::printf("  --nginx      closed-loop webserver benchmark (Figure 10)\n");
+  std::printf("  --micro      single-operation latencies (Table 3)\n");
+  std::printf("  --failover   crash-recovery workload (src/ft): kill a kernel mid-run,\n");
+  std::printf("               survivors detect (heartbeats + quorum), re-partition the\n");
+  std::printf("               dead DDL range, revoke orphaned subtrees, adopt the PEs;\n");
+  std::printf("               tune with --fail-kernel=<id>@<us>\n");
+  std::printf("  --trace=FILE replay a custom trace file\n");
+  return 0;
+}
+
+int RunFailoverCli(const Options& opt) {
+  FailoverConfig config;
+  config.kernels = opt.kernels;
+  config.users_per_kernel = std::max(1u, opt.instances / std::max(1u, opt.kernels));
+  config.victim = opt.fail_kernel;
+  if (opt.kernels < 2) {
+    std::fprintf(stderr, "--failover needs at least 2 kernels (got %u)\n", opt.kernels);
+    return 2;
+  }
+  if (opt.fail_kernel >= opt.kernels) {
+    std::fprintf(stderr, "--fail-kernel=%u out of range (%u kernels)\n", opt.fail_kernel,
+                 opt.kernels);
+    return 2;
+  }
+  // Pick the kill time: seeding serializes roughly 30k cycles per orphan
+  // capability at the victim kernel, for every seeder in the neighbouring
+  // group, and must finish before the kill. A user-pinned time below that
+  // floor is raised (with a note) instead of CHECK-aborting mid-seed.
+  Cycles seed_safe =
+      400'000 + static_cast<Cycles>(config.users_per_kernel) * config.orphan_caps * 30'000;
+  config.kill_at = opt.fail_at_us > 0 ? MicrosToCycles(opt.fail_at_us) : seed_safe;
+  if (config.kill_at < seed_safe) {
+    std::fprintf(stderr, "note: raising kill time to %.0f us so the orphan-seeding phase fits\n",
+                 CyclesToMicros(seed_safe));
+    config.kill_at = seed_safe;
+  }
+  FailoverResult r = RunFailover(config);
+  std::printf("failover: %u kernels x %u clients, kernel %u killed at %.0f us\n", opt.kernels,
+              config.users_per_kernel, opt.fail_kernel, CyclesToMicros(r.kill_time));
+  std::printf("  recovered         : %10s%s\n", r.recovered ? "yes" : "NO",
+              r.refused ? " (refused: no quorum)" : "");
+  if (r.recovered) {
+    std::printf("  detect latency    : %10.1f us\n", CyclesToMicros(r.detect_latency));
+    std::printf("  recover latency   : %10.1f us\n", CyclesToMicros(r.recover_latency));
+    std::printf("  membership epoch  : %10llu\n", (unsigned long long)r.survivor_epoch);
+    std::printf("  throughput dip    : %10.1f %%  (%.0f -> %.0f ops/s)\n",
+                r.ops_per_sec_before > 0
+                    ? 100.0 * (1.0 - r.ops_per_sec_during / r.ops_per_sec_before)
+                    : 0.0,
+                r.ops_per_sec_before, r.ops_per_sec_during);
+  }
+  std::printf("  ops completed     : %10llu  (failed %llu, by adopted PEs %llu)\n",
+              (unsigned long long)r.total_ops, (unsigned long long)r.failed_ops,
+              (unsigned long long)r.adopted_ops);
+  std::printf("  orphans revoked   : %10llu  (EPs invalidated %llu, edges pruned %llu)\n",
+              (unsigned long long)r.orphan_roots, (unsigned long long)r.eps_invalidated,
+              (unsigned long long)r.edges_pruned);
+  std::printf("  PEs adopted       : %10llu  (in-flight IKCs unwedged %llu)\n",
+              (unsigned long long)r.pes_adopted, (unsigned long long)r.ikcs_aborted);
+  std::printf("  client retries    : %10llu\n", (unsigned long long)r.client_retries);
+  PrintKernelStats(r.kernel_stats);
+  return 0;
+}
 
 // Replays a user-supplied trace file on a small system and reports the
 // capability-operation footprint.
@@ -128,6 +214,12 @@ void PrintKernelStats(const KernelStats& s) {
   std::printf("  anomaly paths   %10s  orphans=%llu pointless=%llu invalid=%llu\n", "",
               (unsigned long long)s.orphans_cleaned, (unsigned long long)s.pointless_denials,
               (unsigned long long)s.invalid_prevented);
+  if (s.hb_sent > 0 || s.ft_failovers > 0 || s.ft_refusals > 0) {
+    std::printf("  fault tolerance %10s  heartbeats=%llu suspicions=%llu failovers=%llu "
+                "refusals=%llu\n",
+                "", (unsigned long long)s.hb_sent, (unsigned long long)s.ft_suspicions,
+                (unsigned long long)s.ft_failovers, (unsigned long long)s.ft_refusals);
+  }
 }
 
 int RunMicro() {
@@ -186,15 +278,34 @@ int main(int argc, char** argv) {
       } else {
         return Usage();
       }
+    } else if (ParseFlag(argv[i], "--fail-kernel", &value)) {
+      // <id>@<us>: which kernel to kill, and when (microseconds).
+      size_t at = value.find('@');
+      opt.failover = true;
+      opt.fail_kernel = static_cast<KernelId>(std::stoul(value.substr(0, at)));
+      if (at != std::string::npos) {
+        opt.fail_at_us = std::stod(value.substr(at + 1));
+      }
     } else if (std::strcmp(argv[i], "--nginx") == 0) {
       opt.nginx = true;
     } else if (std::strcmp(argv[i], "--micro") == 0) {
       opt.micro = true;
+    } else if (std::strcmp(argv[i], "--failover") == 0) {
+      opt.failover = true;
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      opt.list = true;
     } else if (std::strcmp(argv[i], "--batching") == 0) {
       opt.batching = true;
     } else {
       return Usage();
     }
+  }
+
+  if (opt.list) {
+    return PrintList();
+  }
+  if (opt.failover) {
+    return RunFailoverCli(opt);
   }
 
   if (opt.micro) {
@@ -222,7 +333,10 @@ int main(int argc, char** argv) {
     known |= name == opt.app;
   }
   if (!known) {
-    return Usage();
+    // Unknown workload: show the catalogue instead of a bare usage error.
+    std::fprintf(stderr, "unknown app '%s'; available experiments:\n", opt.app.c_str());
+    PrintList();
+    return 2;
   }
   if (opt.mode == KernelMode::kM3SingleKernel) {
     opt.kernels = 1;
