@@ -14,12 +14,14 @@
 // (generous tolerance; host timing is noisy where simulated time is not).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdint>
 
 #include "dtu/dtu.h"
 #include "dtu/msg_pool.h"
 #include "noc/noc.h"
 #include "sim/simulation.h"
+#include "system/experiment.h"
 
 namespace semperos {
 namespace {
@@ -111,6 +113,59 @@ void BM_MessageDelivery(benchmark::State& state) {
 
 BENCHMARK(BM_EventChurn)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_MessageDelivery)->Unit(benchmark::kMillisecond);
+
+// Thread-scaling sweep: the 1024-instance/64-kernel PostMark scale point
+// (1153 PEs, full fidelity — the workload that saturates one host core on
+// the serial engine) on the sharded parallel engine at 1/2/4/8 worker
+// threads. Modeled results are bit-identical across the whole sweep (the
+// run CHECKs events and makespan against the 1-thread row); the counters
+// report host throughput: events_per_sec and speedup_vs_1t. On a
+// single-core host the sweep degrades gracefully (speedup < 1: barrier
+// handshakes buy nothing without parallel hardware) — scaling numbers are
+// meaningful on >= 4-core machines; see docs/benchmarks.md.
+void BM_ScalePointPostmark1024Threads(benchmark::State& state) {
+  static uint64_t base_events = 0;   // 1-thread row pins the modeled outputs
+  static uint64_t base_makespan = 0;
+  static double base_eps = 0;        // 1-thread events/sec (speedup baseline)
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  uint64_t events = 0;
+  double eps = 0;
+  for (auto _ : state) {
+    AppRunConfig config;
+    config.app = "postmark";
+    config.kernels = 64;
+    config.services = 64;
+    config.instances = 1024;
+    // Row 1 pins the serial engine even under SEMPEROS_THREADS, so the
+    // sweep's speedup baseline is always the real serial throughput.
+    config.threads = threads == 1 ? kForceSerialThreads : threads;
+    auto t0 = std::chrono::steady_clock::now();
+    AppRunResult result = RunApp(config);
+    double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    events = result.events;
+    eps = static_cast<double>(result.events) / wall;
+    if (threads == 1) {
+      base_events = result.events;
+      base_makespan = result.makespan;
+      base_eps = eps;
+    } else if (base_events != 0) {
+      // The engine's contract, enforced on every sweep run: sharding must
+      // not change the model. (base_events == 0 means a --benchmark_filter
+      // skipped the 1-thread row; nothing to compare against then.)
+      CHECK_EQ(result.events, base_events) << "threads=" << threads;
+      CHECK_EQ(result.makespan, base_makespan) << "threads=" << threads;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["events_per_sec"] = eps;
+  if (base_eps > 0) {
+    state.counters["speedup_vs_1t"] = eps / base_eps;
+  }
+}
+BENCHMARK(BM_ScalePointPostmark1024Threads)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace semperos

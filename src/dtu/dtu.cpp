@@ -9,8 +9,8 @@ namespace semperos {
 namespace {
 // Wire size of an endpoint-configuration packet (a few register writes).
 constexpr uint32_t kConfigPacketBytes = 32;
-// Extra cycles the remote DTU needs to apply a configuration packet.
-constexpr Cycles kConfigApplyCycles = 8;
+// See Dtu::kConfigApplyCycles (dtu.h) — shared with the parallel engine.
+constexpr Cycles kConfigApplyCycles = Dtu::kConfigApplyCycles;
 // Fixed DRAM-style access latency charged per memory request.
 constexpr Cycles kMemAccessLatency = 60;
 }  // namespace

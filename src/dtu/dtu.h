@@ -70,6 +70,11 @@ class Dtu {
  public:
   static constexpr uint32_t kNumEps = 16;        // paper §5.1
   static constexpr uint32_t kDefaultSlots = 32;  // paper §5.1
+  // Extra cycles a remote DTU needs to apply a configuration packet. Public
+  // because it is also a cross-shard lookahead bound for the parallel
+  // engine: the `done` continuation of a ConfigureRemote* call is scheduled
+  // this many cycles after delivery, back on the caller's shard.
+  static constexpr Cycles kConfigApplyCycles = 8;
 
   using MsgHandler = std::function<void(EpId ep, const Message& msg)>;
 

@@ -15,7 +15,8 @@
 // reference to a reused block reads plausible live data; with it off, the
 // sanitizer sees the free.
 //
-// Single-threaded by design, like the simulator itself.
+// Freelists are thread_local: under the sharded engine (sim/engine.h)
+// worker threads allocate and free concurrently; see FreeList() below.
 #ifndef SEMPEROS_DTU_MSG_POOL_H_
 #define SEMPEROS_DTU_MSG_POOL_H_
 
@@ -33,10 +34,27 @@ namespace pool_internal {
 
 // One freelist per block type U (the control-block-plus-object type
 // allocate_shared rebinds to), so every entry has exactly sizeof(U) bytes.
+// thread_local: under the sharded engine (sim/engine.h) every worker thread
+// allocates and frees messages concurrently; per-thread freelists keep the
+// pool lock-free. A body allocated on one shard and freed on another simply
+// parks in the freeing thread's list — refcounting on shared_ptr is atomic,
+// so cross-shard body hand-off is already safe. The holder's destructor
+// releases parked blocks when a thread exits (engine worker pools come and
+// go with every parallel Platform; without it each run's peak in-flight
+// message memory would leak).
+struct FreeListHolder {
+  std::vector<void*> blocks;
+  ~FreeListHolder() {
+    for (void* p : blocks) {
+      ::operator delete(p);
+    }
+  }
+};
+
 template <typename U>
 std::vector<void*>& FreeList() {
-  static std::vector<void*> free_list;
-  return free_list;
+  static thread_local FreeListHolder holder;
+  return holder.blocks;
 }
 
 template <typename U>

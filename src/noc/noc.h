@@ -16,6 +16,18 @@
 //     per-hop flit events, a packet reserves every link on its path in order;
 //     this keeps the event count at one per message while still producing
 //     queueing delays under load.
+//
+// Parallel engine (sim/engine.h). Link reservation order is what the serial
+// engine defines it to be: the global time order of Send calls. Under the
+// sharded engine a Send executed inside a window therefore never touches
+// link state live — it is recorded in the sending shard's outbox and applied
+// at the window barrier, where the coordinator (with exclusive ownership of
+// the link array) replays all deferred sends in the serial engine's send
+// order (the recording events' execution keys — see Simulation::Entry) and
+// schedules each delivery into the destination node's shard queue. Loopback packets (src == dst) touch no
+// links and deliver into the sending shard's own queue, so they stay inline.
+// The NoC's minimum cross-node latency — router + wire + min_packet_cycles —
+// is the engine's conservative synchronization lookahead.
 #ifndef SEMPEROS_NOC_NOC_H_
 #define SEMPEROS_NOC_NOC_H_
 
@@ -28,6 +40,8 @@
 #include "sim/simulation.h"
 
 namespace semperos {
+
+class ParallelEngine;
 
 struct NocConfig {
   uint32_t width = 8;            // mesh columns
@@ -51,6 +65,10 @@ class Noc {
  public:
   Noc(Simulation* sim, const NocConfig& config);
 
+  // Switches the NoC to sharded operation: `node_sims[n]` is the queue that
+  // owns node n's events. Called by the platform before any traffic flows.
+  void AttachEngine(ParallelEngine* engine, std::vector<Simulation*> node_sims);
+
   // Number of nodes in the mesh.
   uint32_t NodeCount() const { return config_.width * config_.height; }
 
@@ -58,13 +76,31 @@ class Noc {
   uint32_t Hops(NodeId src, NodeId dst) const;
 
   // Sends `bytes` from src to dst; `deliver` runs when the last flit arrives.
-  // Returns the delivery time.
+  // Returns the delivery time — except for cross-node sends recorded inside
+  // a parallel window, whose delivery time is only computed at the barrier
+  // (returns 0; no caller on the parallel path consumes the return value).
   Cycles Send(NodeId src, NodeId dst, uint32_t bytes, InlineFn deliver);
+
+  // Barrier-side replay of a deferred send at its original send time, in
+  // deterministic merged order. Engine-exclusive context only. `not_before`
+  // is the conservative-lookahead floor: a delivery landing earlier would
+  // target a cycle some shard has already executed past, so it CHECK-fails
+  // loudly instead of corrupting the model.
+  void ApplyDeferredSend(NodeId src, NodeId dst, uint32_t bytes, Cycles now, Cycles not_before,
+                         InlineFn deliver);
 
   // Latency a packet would see on an unloaded network (for calibration).
   Cycles UnloadedLatency(NodeId src, NodeId dst, uint32_t bytes) const;
 
-  const NocStats& stats() const { return stats_; }
+  // The conservative parallel lookahead this config guarantees: no packet
+  // can reach another node in fewer cycles than this.
+  Cycles MinCrossNodeLatency() const {
+    return config_.router_latency + config_.wire_latency + config_.min_packet_cycles;
+  }
+
+  // Aggregated counters (sums the per-context slots in sharded mode; call
+  // from the main thread or an engine-exclusive context).
+  NocStats stats() const;
   const NocConfig& config() const { return config_; }
 
  private:
@@ -77,10 +113,27 @@ class Noc {
   // for its serialization time. Returns the head's departure time.
   Cycles ReserveLink(uint32_t link, Cycles t, Cycles serialization, Cycles* queueing);
 
+  // Walks the XY path at time `now`, reserving links, and returns the
+  // delivery time; accumulates into `stats`.
+  Cycles RouteAndReserve(NodeId src, NodeId dst, uint32_t bytes, Cycles now, NocStats* stats);
+
+  // Queue owning node `n`'s events (sim_ on the legacy path).
+  Simulation* SimFor(NodeId n) {
+    return node_sims_.empty() ? sim_ : node_sims_[n];
+  }
+
+  // Stats slot for the calling context: per-shard inside windows, the
+  // exclusive slot otherwise. Legacy mode uses slot 0.
+  NocStats& StatsSlot();
+
   Simulation* sim_;
   NocConfig config_;
+  ParallelEngine* engine_ = nullptr;
+  std::vector<Simulation*> node_sims_;        // empty on the legacy path
   std::vector<Cycles> link_free_at_;  // per directed link: next free cycle
-  NocStats stats_;
+  // Slot per shard plus one exclusive slot (index = shard count); a single
+  // slot on the legacy path. Counters are sums, so slot order is irrelevant.
+  std::vector<NocStats> stats_slots_;
 };
 
 }  // namespace semperos

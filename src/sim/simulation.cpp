@@ -2,7 +2,60 @@
 
 #include <utility>
 
+#include "sim/engine.h"
+
 namespace semperos {
+
+thread_local Simulation* ShardContext::current = nullptr;
+
+void Simulation::CrossScheduleAt(Cycles when, InlineFn fn) {
+  engine_->RecordCrossSchedule(this, when, std::move(fn));
+}
+
+void Simulation::ParallelPush(Cycles when, uint32_t slot) {
+  Entry entry;
+  entry.when = when;
+  entry.slot = slot;
+  entry.lseq = next_lseq_++;
+  if (ShardContext::current == this) {
+    // In-window insertion into the executing shard's own queue (anything
+    // cross-shard was deferred in ScheduleAt): inherit the executing
+    // event's lineage anchor; count chain depth for same-cycle children.
+    entry.icycle = now_;
+    entry.anchor = current_anchor_;
+    entry.depth = when == now_ ? current_depth_ + 1 : 0;
+    CHECK_LT(entry.depth, UINT32_MAX);
+  } else {
+    // Engine-exclusive context (boot, driver events, barrier-merged
+    // records): mint a fresh anchor from the global counter — these
+    // insertions happen in single-threaded order, so the counter is
+    // exactly their serial insertion order.
+    entry.icycle = engine_->ExclusiveICycle();
+    entry.anchor = engine_->AllocExclusiveVseq();
+    entry.depth = 0;
+  }
+  Push(entry);
+}
+
+uint64_t Simulation::RunWindow(Cycles until) {
+  uint64_t ran = 0;
+  while (!NowFifoEmpty() || (!heap_.empty() && heap_.front().when < until)) {
+    Cycles when;
+    Cycles icycle;
+    uint64_t anchor;
+    uint32_t depth;
+    uint32_t slot = PopSlot(&when, &icycle, &anchor, &depth);
+    CHECK_GE(when, now_) << "event inserted into the shard's past";
+    now_ = when;
+    current_icycle_ = icycle;
+    current_anchor_ = anchor;
+    current_depth_ = depth;
+    RunSlot(slot);
+    ++ran;
+  }
+  events_run_ += ran;
+  return ran;
+}
 
 void Simulation::Push(Entry entry) {
   size_t i = heap_.size();
@@ -54,9 +107,15 @@ uint64_t Simulation::RunUntilIdle(uint64_t max_events) {
   uint64_t ran = 0;
   while (!Idle() && ran < max_events) {
     Cycles when;
-    uint32_t slot = PopSlot(&when);
+    Cycles icycle;
+    uint64_t anchor;
+    uint32_t depth;
+    uint32_t slot = PopSlot(&when, &icycle, &anchor, &depth);
     CHECK_GE(when, now_);
     now_ = when;
+    current_icycle_ = icycle;
+    current_anchor_ = anchor;
+    current_depth_ = depth;
     RunSlot(slot);
     ++ran;
   }
@@ -75,8 +134,14 @@ uint64_t Simulation::RunUntil(Cycles until, uint64_t max_events) {
           (!heap_.empty() && heap_.front().when <= until)) &&
          ran < max_events) {
     Cycles when;
-    uint32_t slot = PopSlot(&when);
+    Cycles icycle;
+    uint64_t anchor;
+    uint32_t depth;
+    uint32_t slot = PopSlot(&when, &icycle, &anchor, &depth);
     now_ = when;
+    current_icycle_ = icycle;
+    current_anchor_ = anchor;
+    current_depth_ = depth;
     RunSlot(slot);
     ++ran;
   }

@@ -29,6 +29,17 @@
 
 namespace semperos {
 
+class ParallelEngine;
+class Simulation;
+
+// Which event queue the calling thread is currently draining. Null on the
+// main thread and in all engine-exclusive phases (boot, barriers, driver
+// events), where direct insertion into any queue is safe. Set by the
+// parallel engine's workers around window execution (sim/engine.h).
+struct ShardContext {
+  static thread_local Simulation* current;
+};
+
 class Simulation {
  public:
   Simulation() = default;
@@ -38,8 +49,19 @@ class Simulation {
   // Current simulated time in cycles.
   Cycles Now() const { return now_; }
 
-  // Schedules fn to run `delay` cycles from now.
-  void Schedule(Cycles delay, InlineFn fn) { ScheduleAt(now_ + delay, std::move(fn)); }
+  // Schedules fn to run `delay` cycles from now. "Now" is the executing
+  // shard's clock when another shard's queue is targeted mid-window — in
+  // that case this queue's own clock must not even be *read* (its owner
+  // thread is advancing it concurrently). The legacy single-queue engine
+  // has engine_ == nullptr and never takes that branch.
+  void Schedule(Cycles delay, InlineFn fn) {
+    if (engine_ != nullptr && ShardContext::current != nullptr &&
+        ShardContext::current != this) {
+      CrossScheduleAt(ShardContext::current->Now() + delay, std::move(fn));
+      return;
+    }
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
 
   // Records that modeled work extends to `when` without scheduling an
   // event. Pure charge-time accounting (Executor::Occupy) uses this instead
@@ -52,8 +74,17 @@ class Simulation {
     horizon_ = when > horizon_ ? when : horizon_;
   }
 
-  // Schedules fn at an absolute time (must not be in the past).
+  // Schedules fn at an absolute time (must not be in the past). When the
+  // simulation is a shard of the parallel engine and the calling thread is
+  // mid-window on a *different* shard, the insertion is deferred to the
+  // shard's outbox and applied in deterministic merged order at the next
+  // window barrier (sim/engine.h); the legacy path pays one null check.
   void ScheduleAt(Cycles when, InlineFn fn) {
+    if (engine_ != nullptr && ShardContext::current != nullptr &&
+        ShardContext::current != this) {
+      CrossScheduleAt(when, std::move(fn));
+      return;
+    }
     NoteTime(when);
     uint32_t slot;
     if (!free_slots_.empty()) {
@@ -64,6 +95,13 @@ class Simulation {
       slot = static_cast<uint32_t>(slots_.size());
       slots_.push_back(std::move(fn));
     }
+    if (engine_ != nullptr) {
+      // Sharded queue: events carry the engine's serial-order key
+      // (insertion cycle, chain depth, lineage anchor — see Entry), which
+      // the FIFO cannot hold, so everything goes through the heap.
+      ParallelPush(when, slot);
+      return;
+    }
     if (when == now_) {
       // Same-cycle fast path (egress drains, credit returns, zero-cost
       // continuations): a plain FIFO preserves (when, seq) order exactly —
@@ -72,7 +110,14 @@ class Simulation {
       now_fifo_.push_back(slot);
       return;
     }
-    Push(Entry{when, next_seq_++, slot});
+    Entry entry;
+    entry.when = when;
+    entry.icycle = now_;
+    entry.anchor = next_seq_++;
+    entry.lseq = entry.anchor;
+    entry.depth = 0;
+    entry.slot = slot;
+    Push(entry);
   }
 
   // Runs events until the queue is empty. Returns the number of events run.
@@ -87,15 +132,99 @@ class Simulation {
   uint64_t EventsRun() const { return events_run_; }
   size_t PendingEvents() const { return heap_.size() + (now_fifo_.size() - now_fifo_head_); }
 
+  // --- Parallel-engine support (sim/engine.h). The legacy single-queue
+  // --- engine never calls these; engine_ stays null and every hot path
+  // --- behaves exactly as before.
+
+  // Marks this queue as shard `index` of `engine`. Cross-shard ScheduleAt
+  // calls are deferred to the engine's outboxes from then on.
+  void BindEngine(ParallelEngine* engine, uint32_t index) {
+    engine_ = engine;
+    shard_index_ = index;
+  }
+  uint32_t shard_index() const { return shard_index_; }
+
+  // Order key of the event currently executing on this queue (stamps
+  // cross-shard records so the barrier merge replays serial send order).
+  Cycles current_event_icycle() const { return current_icycle_; }
+  uint64_t current_event_anchor() const { return current_anchor_; }
+  uint32_t current_event_depth() const { return current_depth_; }
+
+  // Runs every event with when < until (exclusive); Now() is left on the
+  // last executed event, never advanced artificially. Window building block.
+  uint64_t RunWindow(Cycles until);
+
+  // Advances the clock without running anything (no-op if t <= Now()).
+  // Used to quiesce shards at exact-time driver barriers and to land every
+  // queue on the common final cycle.
+  void AdvanceTo(Cycles t) {
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
+  // Earliest pending event time, or UINT64_MAX when idle.
+  Cycles NextEventWhen() const {
+    if (!NowFifoEmpty()) {
+      return now_;
+    }
+    return heap_.empty() ? UINT64_MAX : heap_.front().when;
+  }
+
+  // Latest time any work (event or pure charge) reaches on this queue.
+  Cycles WorkHorizon() const { return horizon_ > now_ ? horizon_ : now_; }
+
  private:
+  // Out-of-line cross-shard deferral and sharded-key insertion (keep
+  // engine.h out of this header).
+  void CrossScheduleAt(Cycles when, InlineFn fn);
+  void ParallelPush(Cycles when, uint32_t slot);
+
   struct Entry {
     Cycles when;
-    uint64_t seq;
+    // Serial order key for same-`when` events: the serial engine breaks
+    // such ties by its global insertion counter, and the sharded engine
+    // reproduces that order with (icycle, depth, anchor, lseq):
+    //  * icycle — the cycle the insertion happened at: serial's counter is
+    //    monotone in time, so an event inserted during an earlier cycle
+    //    always has the smaller seq;
+    //  * depth — same-cycle chains (an event at cycle c scheduling at c):
+    //    the serial FIFO runs competing chains in generation waves, so the
+    //    chain link count orders them;
+    //  * anchor — the lineage id: engine-exclusive insertions (boot,
+    //    driver events, barrier-merged records) mint one from the global
+    //    counter in single-threaded order — exactly their serial insertion
+    //    order — and every in-window insertion inherits the executing
+    //    event's anchor, so competing same-cycle insertions on different
+    //    shards order by their nearest exclusive ancestors, which the
+    //    serial engine executed in exactly that order;
+    //  * lseq — queue-local insertion counter: lineages never span shards
+    //    (cross-shard effects re-anchor at the barrier), so any remaining
+    //    tie is within one shard, where insertion order is serial order.
+    // On the legacy path icycle/anchor/lseq all follow the one insertion
+    // counter and depth is 0: the order is exactly the historical
+    // (when, seq).
+    Cycles icycle;
+    uint64_t anchor;
+    uint64_t lseq;
+    uint32_t depth;
     uint32_t slot;  // index of the callback in slots_
   };
 
   static bool Before(const Entry& a, const Entry& b) {
-    return a.when != b.when ? a.when < b.when : a.seq < b.seq;
+    if (a.when != b.when) {
+      return a.when < b.when;
+    }
+    if (a.icycle != b.icycle) {
+      return a.icycle < b.icycle;
+    }
+    if (a.depth != b.depth) {
+      return a.depth < b.depth;
+    }
+    if (a.anchor != b.anchor) {
+      return a.anchor < b.anchor;
+    }
+    return a.lseq < b.lseq;
   }
 
   // 4-ary heap primitives. Children of node i are 4i+1..4i+4. Insertion and
@@ -112,7 +241,7 @@ class Simulation {
   // callback is invoked IN PLACE by the run loops — the slab is a deque, so
   // reentrant scheduling never moves a closure that is currently executing —
   // and the slot is recycled only after the call returns.
-  uint32_t PopSlot(Cycles* when) {
+  uint32_t PopSlot(Cycles* when, Cycles* icycle, uint64_t* anchor, uint32_t* depth) {
     if (!NowFifoEmpty() && (heap_.empty() || heap_.front().when != now_)) {
       uint32_t slot = now_fifo_[now_fifo_head_++];
       if (NowFifoEmpty()) {
@@ -120,10 +249,16 @@ class Simulation {
         now_fifo_head_ = 0;
       }
       *when = now_;
+      *icycle = 0;  // legacy-only path; nothing consumes the fifo key
+      *anchor = 0;
+      *depth = 0;
       return slot;
     }
     Entry top = PopEntry();
     *when = top.when;
+    *icycle = top.icycle;
+    *anchor = top.anchor;
+    *depth = top.depth;
     return top.slot;
   }
 
@@ -134,6 +269,12 @@ class Simulation {
     free_slots_.push_back(slot);
   }
 
+  ParallelEngine* engine_ = nullptr;  // null on the legacy single-queue path
+  uint32_t shard_index_ = 0;
+  Cycles current_icycle_ = 0;         // order key of the executing event...
+  uint64_t current_anchor_ = 0;       // ...its lineage anchor...
+  uint32_t current_depth_ = 0;        // ...and same-cycle chain depth
+  uint64_t next_lseq_ = 0;            // per-queue insertion counter (tiebreak)
   Cycles now_ = 0;
   Cycles horizon_ = 0;  // latest time any work (event or charge) reaches
   uint64_t next_seq_ = 0;

@@ -43,6 +43,7 @@ AppRunResult RunApp(const AppRunConfig& config) {
   pc.mem_tiles = 1;
   pc.mode = config.mode;
   pc.timing = timing;
+  pc.threads = config.threads;
   Platform platform(pc);
 
   FsImage image;
@@ -84,6 +85,10 @@ AppRunResult RunApp(const AppRunConfig& config) {
   result.cap_ops_per_sec =
       static_cast<double>(result.total_cap_ops) / CyclesToSeconds(result.makespan);
   result.kernel_stats = platform.TotalKernelStats();
+  if (platform.parallel()) {
+    result.engine_parallel = true;
+    result.engine_stats = platform.engine_stats();
+  }
   if (result.makespan > 0) {
     double sum_util = 0;
     for (uint32_t k = 0; k < config.kernels; ++k) {
@@ -125,6 +130,7 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
   pc.loadgens = config.servers; // one "network interface" PE per server
   pc.mem_tiles = 1;
   pc.timing = timing;
+  pc.threads = config.threads;
   Platform platform(pc);
 
   FsImage image;
@@ -169,6 +175,10 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
   result.completed = at_end - at_warm;
   result.requests_per_sec =
       static_cast<double>(result.completed) / CyclesToSeconds(config.window);
+  if (platform.parallel()) {
+    result.engine_parallel = true;
+    result.engine_stats = platform.engine_stats();
+  }
   return result;
 }
 

@@ -29,6 +29,7 @@ struct AppRunConfig {
   uint32_t services = 32;
   uint32_t instances = 512;
   KernelMode mode = KernelMode::kSemperOSMulti;
+  uint32_t threads = 1;  // engine threads (PlatformConfig::threads)
 };
 
 struct AppRunResult {
@@ -47,6 +48,9 @@ struct AppRunResult {
   double max_kernel_utilization = 0;
   double mean_service_utilization = 0;
   // Parallel efficiency relative to `solo_us` (call ParallelEfficiency).
+  // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
+  bool engine_parallel = false;
+  EngineStats engine_stats;
 };
 
 // Runs `instances` copies of the app's trace on a (kernels x services)
@@ -76,12 +80,16 @@ struct NginxRunConfig {
   uint32_t servers = 64;
   Cycles warmup = 600'000;    // boot + cache settle
   Cycles window = 2'000'000;  // measurement window (1 ms at 2 GHz)
+  uint32_t threads = 1;       // engine threads (PlatformConfig::threads)
 };
 
 struct NginxRunResult {
   uint32_t servers = 0;
   uint64_t completed = 0;        // responses inside the window
   double requests_per_sec = 0;   // aggregate across all servers
+  // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
+  bool engine_parallel = false;
+  EngineStats engine_stats;
 };
 
 NginxRunResult RunNginx(const NginxRunConfig& config);

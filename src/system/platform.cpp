@@ -1,6 +1,10 @@
 #include "system/platform.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
 #include <utility>
 
 #include "base/log.h"
@@ -11,6 +15,11 @@ namespace {
 
 const char* kTag = "platform";
 
+// Shard-count ceiling for the parallel engine: eight row-bands saturate the
+// barrier-to-work ratio on the platform sizes we model; beyond that the
+// merged outboxes dominate.
+constexpr uint32_t kMaxShards = 8;
+
 uint32_t CeilSqrt(uint32_t n) {
   uint32_t r = static_cast<uint32_t>(std::sqrt(static_cast<double>(n)));
   while (r * r < n) {
@@ -20,6 +29,39 @@ uint32_t CeilSqrt(uint32_t n) {
 }
 
 }  // namespace
+
+uint32_t ResolveThreads(uint32_t requested) {
+  if (requested == kForceSerialThreads) {
+    return 1;  // pinned serial: strict baselines, sweep row 1, equivalence
+  }
+  // SEMPEROS_THREADS=N|auto switches any platform whose config left
+  // threads at the default: that is the --threads plumbing for the bench
+  // binaries (google-benchmark owns their argv) and lets the whole ctest
+  // suite run against the sharded engine (`SEMPEROS_THREADS=2 ctest`).
+  // An explicit PlatformConfig::threads != 1 always wins.
+  if (requested == 1) {
+    if (const char* env = std::getenv("SEMPEROS_THREADS")) {
+      if (*env != '\0') {
+        if (std::strcmp(env, "auto") == 0) {
+          requested = 0;
+        } else {
+          char* end = nullptr;
+          unsigned long parsed = std::strtoul(env, &end, 10);
+          // A typo must fail loudly, not silently select a different
+          // engine (strtoul's 0 would otherwise mean "auto").
+          CHECK(end != env && *end == '\0')
+              << "SEMPEROS_THREADS must be a number or 'auto', got '" << env << "'";
+          requested = static_cast<uint32_t>(parsed);
+        }
+      }
+    }
+  }
+  if (requested != 0) {
+    return requested;
+  }
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   CHECK_GE(config_.kernels, 1u);
@@ -33,7 +75,38 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   NocConfig noc_config = config_.noc;
   noc_config.width = CeilSqrt(total);
   noc_config.height = (total + noc_config.width - 1) / noc_config.width;
-  noc_ = std::make_unique<Noc>(&sim_, noc_config);
+  noc_ = std::make_unique<Noc>(sim_.legacy(), noc_config);
+
+  // --- Parallel engine (sim/engine.h): shard the mesh into contiguous
+  // --- row-bands. The partition is a function of the platform shape only —
+  // --- never of the thread count — so modeled results are identical at any
+  // --- --threads=N >= 2. threads == 1 keeps the exact legacy path.
+  uint32_t threads = ResolveThreads(config_.threads);
+  uint32_t shard_count = std::min(kMaxShards, noc_config.height);
+  if (threads >= 2 && shard_count >= 2) {
+    std::vector<std::unique_ptr<Simulation>> shards;
+    shards.reserve(shard_count);
+    for (uint32_t s = 0; s < shard_count; ++s) {
+      shards.push_back(std::make_unique<Simulation>());
+    }
+    // The conservative lookahead: the cheapest cross-node NoC delivery, or
+    // the remote endpoint-configuration continuation, whichever is sooner.
+    Cycles lookahead =
+        std::min<Cycles>(noc_->MinCrossNodeLatency(), Dtu::kConfigApplyCycles);
+    sim_.InitParallel(std::move(shards), lookahead, threads);
+
+    shard_of_node_.resize(noc_->NodeCount());
+    std::vector<Simulation*> node_sims(noc_->NodeCount());
+    for (NodeId node = 0; node < noc_->NodeCount(); ++node) {
+      uint32_t row = node / noc_config.width;
+      uint32_t shard = static_cast<uint32_t>(
+          (static_cast<uint64_t>(row) * shard_count) / noc_config.height);
+      shard_of_node_[node] = shard;
+      node_sims[node] = sim_.engine()->shard(shard);
+    }
+    noc_->AttachEngine(sim_.engine(), std::move(node_sims));
+  }
+
   fabric_ = std::make_unique<DtuFabric>(noc_.get());
   membership_ = MembershipTable(noc_->NodeCount());
 
@@ -82,7 +155,7 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   // --- Instantiate PEs and kernels ---
   pes_.reserve(plan.size());
   for (NodeId node = 0; node < plan.size(); ++node) {
-    pes_.push_back(std::make_unique<ProcessingElement>(&sim_, fabric_.get(), node,
+    pes_.push_back(std::make_unique<ProcessingElement>(SimForNode(node), fabric_.get(), node,
                                                        plan[node].type));
     switch (plan[node].type) {
       case PeType::kUser:
@@ -153,6 +226,13 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
 }
 
 Platform::~Platform() = default;
+
+Simulation* Platform::SimForNode(NodeId node) {
+  if (!sim_.parallel()) {
+    return sim_.legacy();
+  }
+  return sim_.engine()->shard(shard_of_node_.at(node));
+}
 
 void Platform::Boot() {
   CHECK(!booted_);

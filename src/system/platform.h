@@ -27,9 +27,22 @@
 #include "dtu/dtu.h"
 #include "noc/noc.h"
 #include "pe/pe.h"
+#include "sim/engine.h"
 #include "sim/simulation.h"
 
 namespace semperos {
+
+// Resolves a --threads=N|auto style request: 0 means "auto" (the host's
+// hardware concurrency), 1 the legacy serial engine, >= 2 the sharded
+// parallel engine (sim/engine.h). A request of 1 — the config default —
+// may be overridden by SEMPEROS_THREADS in the environment (the bench
+// binaries' --threads plumbing); kForceSerialThreads pins the serial
+// engine even then, for code that *compares against* it (strict-mode
+// baselines, the thread-scaling sweep's 1-thread row, the equivalence
+// suite).
+uint32_t ResolveThreads(uint32_t requested);
+
+inline constexpr uint32_t kForceSerialThreads = UINT32_MAX;
 
 struct PlatformConfig {
   uint32_t kernels = 1;
@@ -42,6 +55,14 @@ struct PlatformConfig {
   uint32_t max_inflight = 4;     // M_inflight (paper §5.1)
   bool revoke_batching = false;  // extension: batch REVOKE_REQs per peer
   NocConfig noc;                 // width/height are computed from the PE count
+  // Engine parallelism: 1 = the exact legacy single-queue path (default;
+  // committed modeled baselines are produced this way), 0 = auto (host
+  // cores), >= 2 = sharded parallel engine. The shard partition depends
+  // only on the platform shape, never on the thread count, so modeled
+  // results are identical for every threads >= 2 — and bit-identical to
+  // threads=1 on all supported workloads (asserted by the equivalence
+  // suite and `semperos_sim --strict`).
+  uint32_t threads = 1;
 };
 
 class Platform {
@@ -52,8 +73,17 @@ class Platform {
   Platform(const Platform&) = delete;
   Platform& operator=(const Platform&) = delete;
 
-  Simulation& sim() { return sim_; }
+  SimHost& sim() { return sim_; }
   Noc& noc() { return *noc_; }
+
+  // True when the sharded parallel engine drives this platform.
+  bool parallel() const { return sim_.parallel(); }
+  // Engine observability counters (windows, handoffs, imbalance); CHECKs
+  // on a serial platform.
+  const EngineStats& engine_stats() {
+    CHECK(sim_.parallel()) << "engine_stats() needs --threads >= 2";
+    return sim_.engine()->stats();
+  }
 
   uint32_t kernel_count() const { return config_.kernels; }
   Kernel* kernel(KernelId id) { return kernels_.at(id); }
@@ -117,8 +147,12 @@ class Platform {
   uint64_t TotalDrops() const;
 
  private:
+  // Queue owning node `n`'s events: the legacy queue, or its shard's.
+  Simulation* SimForNode(NodeId node);
+
   PlatformConfig config_;
-  Simulation sim_;
+  SimHost sim_;
+  std::vector<uint32_t> shard_of_node_;  // empty on the legacy path
   std::unique_ptr<Noc> noc_;
   std::unique_ptr<DtuFabric> fabric_;
   std::vector<std::unique_ptr<ProcessingElement>> pes_;

@@ -24,9 +24,8 @@ namespace {
 //          a survivor adopted its PE.
 class FailoverClient : public Program {
  public:
-  FailoverClient(NodeId kernel_node, const TimingModel& timing, const FailoverConfig& config,
-                 std::vector<Cycles>* completions)
-      : kernel_node_(kernel_node), timing_(timing), config_(config), completions_(completions) {}
+  FailoverClient(NodeId kernel_node, const TimingModel& timing, const FailoverConfig& config)
+      : kernel_node_(kernel_node), timing_(timing), config_(config) {}
 
   void SetLoopPeer(VpeId peer, CapSel peer_sel) {
     loop_peer_ = peer;
@@ -66,6 +65,11 @@ class FailoverClient : public Program {
   uint64_t retries() const { return env_->syscall_retries(); }
   const std::vector<CapSel>& seed_sels() const { return seed_sels_; }
   const std::vector<EpId>& seed_eps() const { return seed_eps_; }
+  // Completion timestamps stay client-local: under the sharded engine the
+  // clients run on different worker threads, so a shared vector would race.
+  // The runner merges them after the run (every consumer is
+  // order-insensitive: window counts and a max).
+  const std::vector<Cycles>& completions() const { return own_completions_; }
 
  private:
   void SeedNext() {
@@ -110,7 +114,6 @@ class FailoverClient : public Program {
   void FinishAttempt(bool ok) {
     if (ok) {
       ops_ok_++;
-      completions_->push_back(pe_->sim()->Now());
       own_completions_.push_back(pe_->sim()->Now());
     } else {
       ops_failed_++;
@@ -121,7 +124,6 @@ class FailoverClient : public Program {
   NodeId kernel_node_;
   TimingModel timing_;
   FailoverConfig config_;
-  std::vector<Cycles>* completions_;
   std::unique_ptr<UserEnv> env_;
   VpeId loop_peer_ = kInvalidVpe;
   CapSel loop_peer_sel_ = kInvalidSel;
@@ -162,13 +164,13 @@ FailoverResult RunFailover(const FailoverConfig& config) {
   pc.kernels = config.kernels;
   pc.users = config.kernels * config.users_per_kernel;
   pc.timing = timing;
+  pc.threads = config.threads;
   Platform platform(pc);
 
-  std::vector<Cycles> completions;
   std::vector<FailoverClient*> clients;
   for (NodeId node : platform.user_nodes()) {
     NodeId kernel_node = platform.kernel_node(platform.membership().KernelOf(node));
-    auto client = std::make_unique<FailoverClient>(kernel_node, timing, config, &completions);
+    auto client = std::make_unique<FailoverClient>(kernel_node, timing, config);
     clients.push_back(client.get());
     platform.pe(node)->AttachProgram(std::move(client));
   }
@@ -229,6 +231,15 @@ FailoverResult RunFailover(const FailoverConfig& config) {
     platform.KillKernelAt(config.victim, kill_time);
   }
   platform.RunToCompletion();
+
+  // Merge the per-client completion timestamps (see FailoverClient): all
+  // consumers below are order-insensitive, so a plain concatenation is
+  // equivalent to the old shared, shard-unsafe vector.
+  std::vector<Cycles> completions;
+  for (FailoverClient* client : clients) {
+    completions.insert(completions.end(), client->completions().begin(),
+                       client->completions().end());
+  }
 
   FailoverResult result;
   result.kill_time = kill_time;
@@ -337,6 +348,10 @@ FailoverResult RunFailover(const FailoverConfig& config) {
   result.leaked_caps = caps_now - expected_caps;
 
   result.kernel_stats = platform.TotalKernelStats();
+  if (platform.parallel()) {
+    result.engine_parallel = true;
+    result.engine_stats = platform.engine_stats();
+  }
   result.orphan_roots = result.kernel_stats.ft_orphan_roots;
   result.pes_adopted = result.kernel_stats.ft_pes_adopted;
   result.edges_pruned = result.kernel_stats.ft_edges_pruned;

@@ -20,6 +20,7 @@
 #include <cstdint>
 
 #include "core/kernel.h"
+#include "sim/engine.h"
 
 namespace semperos {
 
@@ -45,9 +46,13 @@ struct FailoverConfig {
   // Client-side crash watchdog (UserEnv::EnableSyscallRetry).
   Cycles retry_timeout = 150'000;
   uint32_t retry_max = 32;
+  uint32_t threads = 1;            // engine threads (PlatformConfig::threads)
 };
 
 struct FailoverResult {
+  // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
+  bool engine_parallel = false;
+  EngineStats engine_stats;
   // Work completed.
   uint64_t total_ops = 0;          // successful obtain+revoke pairs
   uint64_t failed_ops = 0;         // attempts that ended in an error reply

@@ -17,13 +17,8 @@ namespace {
 // back as kVpeMigrating and the UserEnv retries them transparently.
 class RebalanceClient : public Program {
  public:
-  RebalanceClient(NodeId kernel_node, const TimingModel& timing, uint32_t ops, Cycles think,
-                  std::vector<Cycles>* completions)
-      : kernel_node_(kernel_node),
-        timing_(timing),
-        ops_(ops),
-        think_(think),
-        completions_(completions) {}
+  RebalanceClient(NodeId kernel_node, const TimingModel& timing, uint32_t ops, Cycles think)
+      : kernel_node_(kernel_node), timing_(timing), ops_(ops), think_(think) {}
 
   void SetPeer(VpeId peer, CapSel peer_sel) {
     peer_ = peer;
@@ -40,6 +35,10 @@ class RebalanceClient : public Program {
   bool finished() const { return done_ops_ >= ops_; }
   uint64_t done_ops() const { return done_ops_; }
   uint64_t retries() const { return env_->syscall_retries(); }
+  // Client-local completion timestamps: shards run on different worker
+  // threads, so a shared vector would race. Merged by the runner; every
+  // consumer is order-insensitive (window counts and a max).
+  const std::vector<Cycles>& completions() const { return completions_; }
 
  private:
   void NextOp() {
@@ -51,7 +50,7 @@ class RebalanceClient : public Program {
       env_->Revoke(r.sel, [this](const SyscallReply& r2) {
         CHECK(r2.err == ErrCode::kOk) << "rebalance revoke failed: " << ErrName(r2.err);
         done_ops_++;
-        completions_->push_back(pe_->sim()->Now());
+        completions_.push_back(pe_->sim()->Now());
         env_->Compute(think_, [this] { NextOp(); });
       });
     });
@@ -61,7 +60,7 @@ class RebalanceClient : public Program {
   TimingModel timing_;
   uint32_t ops_;
   Cycles think_;
-  std::vector<Cycles>* completions_;
+  std::vector<Cycles> completions_;
   std::unique_ptr<UserEnv> env_;
   VpeId peer_ = kInvalidVpe;
   CapSel peer_sel_ = kInvalidSel;
@@ -117,14 +116,14 @@ RebalanceResult RunRebalance(const RebalanceConfig& config) {
   pc.kernels = config.kernels;
   pc.users = config.kernels * config.users_per_kernel;
   pc.timing = timing;
+  pc.threads = config.threads;
   Platform platform(pc);
 
-  std::vector<Cycles> completions;
   std::vector<RebalanceClient*> clients;
   for (NodeId node : platform.user_nodes()) {
     NodeId kernel_node = platform.kernel_node(platform.membership().KernelOf(node));
     auto client = std::make_unique<RebalanceClient>(kernel_node, timing, config.ops_per_client,
-                                                    config.think_time, &completions);
+                                                    config.think_time);
     clients.push_back(client.get());
     platform.pe(node)->AttachProgram(std::move(client));
   }
@@ -166,6 +165,13 @@ RebalanceResult RunRebalance(const RebalanceConfig& config) {
   }
   platform.RunToCompletion();
 
+  // Merge the per-client completion timestamps (see RebalanceClient).
+  std::vector<Cycles> completions;
+  for (RebalanceClient* client : clients) {
+    completions.insert(completions.end(), client->completions().begin(),
+                       client->completions().end());
+  }
+
   RebalanceResult result;
   result.migrations_requested = config.migrate ? config.migrate_pes : 0;
   for (uint32_t i = 0; i < n; ++i) {
@@ -203,6 +209,10 @@ RebalanceResult RunRebalance(const RebalanceConfig& config) {
   result.events = platform.sim().EventsRun();
 
   result.kernel_stats = platform.TotalKernelStats();
+  if (platform.parallel()) {
+    result.engine_parallel = true;
+    result.engine_stats = platform.engine_stats();
+  }
   result.migrations_completed = result.kernel_stats.migrations;
   result.forwarded_ikcs = result.kernel_stats.ikc_forwarded;
   result.frozen_syscalls = result.kernel_stats.syscalls_frozen;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/kernel.h"
+#include "sim/engine.h"
 
 namespace semperos {
 
@@ -27,9 +28,13 @@ struct RebalanceConfig {
   bool migrate = true;           // false: baseline run without rebalancing
   uint32_t migrate_pes = 2;      // hot PEs drained from kernel 0
   Cycles migrate_at = 300'000;   // when the rebalancer kicks in
+  uint32_t threads = 1;          // engine threads (PlatformConfig::threads)
 };
 
 struct RebalanceResult {
+  // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
+  bool engine_parallel = false;
+  EngineStats engine_stats;
   uint64_t total_ops = 0;  // completed obtain+revoke pairs
   Cycles makespan = 0;     // first op start to last op completion
   double ops_per_sec = 0;

@@ -1,0 +1,222 @@
+// Parallel-vs-serial equivalence suite (sim/engine.h).
+//
+// The sharded engine's contract is strict: modeled results — cycle counts,
+// NoC totals, kernel counters, event counts, capability outcomes — must be
+// BIT-IDENTICAL to the legacy single-queue engine at any thread count. The
+// shard partition is a function of the platform shape (never the thread
+// count), the barrier merges cross-shard records in the serial engine's
+// execution-key order (see Simulation::Entry), and driver-strand
+// orchestration runs at exact-time barriers; this suite is what holds
+// those mechanisms to the contract, across every workload family the repo
+// models: trace-replay apps, the closed-loop Nginx experiment, mid-run PE
+// migration, and kernel-crash failover.
+#include <gtest/gtest.h>
+
+#include "system/experiment.h"
+#include "workloads/failover.h"
+#include "workloads/rebalance.h"
+
+namespace semperos {
+namespace {
+
+const uint32_t kThreadCounts[] = {2, 4, 8};
+
+void ExpectSameStats(const KernelStats& a, const KernelStats& b, const char* what) {
+#define SEMPEROS_EXPECT_FIELD(f) \
+  EXPECT_EQ(a.f, b.f) << what << ": KernelStats::" #f " diverged from serial"
+  SEMPEROS_EXPECT_FIELD(syscalls);
+  SEMPEROS_EXPECT_FIELD(obtains);
+  SEMPEROS_EXPECT_FIELD(delegates);
+  SEMPEROS_EXPECT_FIELD(revokes);
+  SEMPEROS_EXPECT_FIELD(derives);
+  SEMPEROS_EXPECT_FIELD(activates);
+  SEMPEROS_EXPECT_FIELD(sessions_opened);
+  SEMPEROS_EXPECT_FIELD(spanning_obtains);
+  SEMPEROS_EXPECT_FIELD(spanning_delegates);
+  SEMPEROS_EXPECT_FIELD(spanning_revokes);
+  SEMPEROS_EXPECT_FIELD(ikc_sent);
+  SEMPEROS_EXPECT_FIELD(ikc_received);
+  SEMPEROS_EXPECT_FIELD(ikc_flow_queued);
+  SEMPEROS_EXPECT_FIELD(caps_created);
+  SEMPEROS_EXPECT_FIELD(caps_deleted);
+  SEMPEROS_EXPECT_FIELD(orphans_cleaned);
+  SEMPEROS_EXPECT_FIELD(pointless_denials);
+  SEMPEROS_EXPECT_FIELD(invalid_prevented);
+  SEMPEROS_EXPECT_FIELD(revoke_reqs_queued);
+  SEMPEROS_EXPECT_FIELD(migrations);
+  SEMPEROS_EXPECT_FIELD(caps_migrated);
+  SEMPEROS_EXPECT_FIELD(ikc_forwarded);
+  SEMPEROS_EXPECT_FIELD(epoch_updates);
+  SEMPEROS_EXPECT_FIELD(syscalls_frozen);
+  SEMPEROS_EXPECT_FIELD(hb_sent);
+  SEMPEROS_EXPECT_FIELD(hb_acked);
+  SEMPEROS_EXPECT_FIELD(ft_suspicions);
+  SEMPEROS_EXPECT_FIELD(ft_votes);
+  SEMPEROS_EXPECT_FIELD(ft_failovers);
+  SEMPEROS_EXPECT_FIELD(ft_refusals);
+  SEMPEROS_EXPECT_FIELD(ft_pes_adopted);
+  SEMPEROS_EXPECT_FIELD(ft_orphan_roots);
+  SEMPEROS_EXPECT_FIELD(ft_edges_pruned);
+  SEMPEROS_EXPECT_FIELD(ft_ikcs_aborted);
+  SEMPEROS_EXPECT_FIELD(threads_in_use);
+  SEMPEROS_EXPECT_FIELD(threads_in_use_max);
+#undef SEMPEROS_EXPECT_FIELD
+}
+
+// --- Trace-replay apps (the determinism/golden workload family) ---
+
+void ExpectSameAppRun(const AppRunResult& serial, const AppRunResult& parallel,
+                      const char* what) {
+  EXPECT_EQ(serial.makespan, parallel.makespan) << what;
+  EXPECT_EQ(serial.events, parallel.events) << what;
+  EXPECT_EQ(serial.total_cap_ops, parallel.total_cap_ops) << what;
+  EXPECT_DOUBLE_EQ(serial.mean_runtime_us, parallel.mean_runtime_us) << what;
+  EXPECT_DOUBLE_EQ(serial.max_runtime_us, parallel.max_runtime_us) << what;
+  EXPECT_DOUBLE_EQ(serial.cap_ops_per_sec, parallel.cap_ops_per_sec) << what;
+  EXPECT_DOUBLE_EQ(serial.mean_kernel_utilization, parallel.mean_kernel_utilization) << what;
+  EXPECT_DOUBLE_EQ(serial.max_kernel_utilization, parallel.max_kernel_utilization) << what;
+  EXPECT_DOUBLE_EQ(serial.mean_service_utilization, parallel.mean_service_utilization) << what;
+  ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what);
+}
+
+TEST(ParallelEquivalence, PostmarkAppRun) {
+  AppRunConfig config;
+  config.app = "postmark";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 16;
+  config.threads = kForceSerialThreads;  // baseline stays serial under SEMPEROS_THREADS
+  AppRunResult serial = RunApp(config);
+  for (uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    AppRunResult parallel = RunApp(config);
+    ExpectSameAppRun(serial, parallel,
+                     ("postmark --threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(ParallelEquivalence, TarAppRunSpanning) {
+  // tar has the heaviest per-instance capability traffic; 8 kernels spread
+  // the groups over every shard of the partition.
+  AppRunConfig config;
+  config.app = "tar";
+  config.kernels = 8;
+  config.services = 8;
+  config.instances = 24;
+  config.threads = kForceSerialThreads;
+  AppRunResult serial = RunApp(config);
+  for (uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    AppRunResult parallel = RunApp(config);
+    ExpectSameAppRun(serial, parallel,
+                     ("tar --threads=" + std::to_string(threads)).c_str());
+  }
+}
+
+TEST(ParallelEquivalence, NginxClosedLoop) {
+  NginxRunConfig config;
+  config.kernels = 4;
+  config.services = 4;
+  config.servers = 8;
+  config.threads = kForceSerialThreads;
+  NginxRunResult serial = RunNginx(config);
+  for (uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    NginxRunResult parallel = RunNginx(config);
+    EXPECT_EQ(serial.completed, parallel.completed) << "nginx --threads=" << threads;
+    EXPECT_DOUBLE_EQ(serial.requests_per_sec, parallel.requests_per_sec)
+        << "nginx --threads=" << threads;
+  }
+}
+
+// --- Mid-run PE migration (driver-strand orchestration) ---
+
+TEST(ParallelEquivalence, RebalanceMigration) {
+  RebalanceConfig config;
+  config.kernels = 4;
+  config.users_per_kernel = 4;
+  config.ops_per_client = 12;
+  config.migrate_pes = 2;
+  config.threads = kForceSerialThreads;
+  RebalanceResult serial = RunRebalance(config);
+  for (uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    RebalanceResult parallel = RunRebalance(config);
+    std::string what = "rebalance --threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.total_ops, parallel.total_ops) << what;
+    EXPECT_EQ(serial.makespan, parallel.makespan) << what;
+    EXPECT_EQ(serial.migrations_completed, parallel.migrations_completed) << what;
+    EXPECT_EQ(serial.migration_start, parallel.migration_start) << what;
+    EXPECT_EQ(serial.migration_end, parallel.migration_end) << what;
+    EXPECT_EQ(serial.migration_latency_max, parallel.migration_latency_max) << what;
+    EXPECT_EQ(serial.forwarded_ikcs, parallel.forwarded_ikcs) << what;
+    EXPECT_EQ(serial.frozen_syscalls, parallel.frozen_syscalls) << what;
+    EXPECT_EQ(serial.client_retries, parallel.client_retries) << what;
+    EXPECT_EQ(serial.caps_migrated, parallel.caps_migrated) << what;
+    EXPECT_EQ(serial.leaked_caps, parallel.leaked_caps) << what;
+    EXPECT_EQ(serial.noc_packets, parallel.noc_packets) << what;
+    EXPECT_EQ(serial.noc_bytes, parallel.noc_bytes) << what;
+    EXPECT_EQ(serial.noc_latency, parallel.noc_latency) << what;
+    EXPECT_EQ(serial.noc_queueing, parallel.noc_queueing) << what;
+    EXPECT_EQ(serial.events, parallel.events) << what;
+    ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what.c_str());
+  }
+}
+
+// --- Kernel-crash failover (fault injection + heartbeats + quorum) ---
+
+TEST(ParallelEquivalence, FailoverRecovery) {
+  FailoverConfig config;
+  config.kernels = 4;
+  config.users_per_kernel = 3;
+  config.ops_per_client = 15;
+  config.threads = kForceSerialThreads;
+  FailoverResult serial = RunFailover(config);
+  ASSERT_TRUE(serial.recovered);
+  for (uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    FailoverResult parallel = RunFailover(config);
+    std::string what = "failover --threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.total_ops, parallel.total_ops) << what;
+    EXPECT_EQ(serial.failed_ops, parallel.failed_ops) << what;
+    EXPECT_EQ(serial.adopted_ops, parallel.adopted_ops) << what;
+    EXPECT_EQ(serial.adopted_ops_post_kill, parallel.adopted_ops_post_kill) << what;
+    EXPECT_EQ(serial.makespan, parallel.makespan) << what;
+    EXPECT_EQ(serial.kill_time, parallel.kill_time) << what;
+    EXPECT_EQ(serial.recovered, parallel.recovered) << what;
+    EXPECT_EQ(serial.detect_latency, parallel.detect_latency) << what;
+    EXPECT_EQ(serial.recover_latency, parallel.recover_latency) << what;
+    EXPECT_EQ(serial.survivor_epoch, parallel.survivor_epoch) << what;
+    EXPECT_EQ(serial.orphan_roots, parallel.orphan_roots) << what;
+    EXPECT_EQ(serial.seeds_revoked, parallel.seeds_revoked) << what;
+    EXPECT_EQ(serial.eps_invalidated, parallel.eps_invalidated) << what;
+    EXPECT_EQ(serial.pes_adopted, parallel.pes_adopted) << what;
+    EXPECT_EQ(serial.edges_pruned, parallel.edges_pruned) << what;
+    EXPECT_EQ(serial.ikcs_aborted, parallel.ikcs_aborted) << what;
+    EXPECT_EQ(serial.client_retries, parallel.client_retries) << what;
+    EXPECT_EQ(serial.leaked_caps, parallel.leaked_caps) << what;
+    EXPECT_EQ(serial.noc_packets, parallel.noc_packets) << what;
+    EXPECT_EQ(serial.noc_bytes, parallel.noc_bytes) << what;
+    EXPECT_EQ(serial.noc_latency, parallel.noc_latency) << what;
+    EXPECT_EQ(serial.noc_queueing, parallel.noc_queueing) << what;
+    EXPECT_EQ(serial.events, parallel.events) << what;
+    ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what.c_str());
+  }
+}
+
+// --- Parallel self-determinism: repeated sharded runs replay exactly ---
+
+TEST(ParallelEquivalence, ParallelRunsAreBitIdenticalAcrossRepeats) {
+  AppRunConfig config;
+  config.app = "sqlite";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 12;
+  config.threads = 4;
+  AppRunResult a = RunApp(config);
+  AppRunResult b = RunApp(config);
+  ExpectSameAppRun(a, b, "sqlite threads=4 repeat");
+}
+
+}  // namespace
+}  // namespace semperos

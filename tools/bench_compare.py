@@ -26,12 +26,20 @@ fail the gate — commit a refreshed baseline to cover them.
 """
 
 import argparse
+import fnmatch
 import json
 import pathlib
 import sys
 
-# Files whose real_time is host wall-clock, not simulated time.
-WALLCLOCK_FILES = {"BENCH_simcore.json"}
+# Files whose real_time is host wall-clock, not simulated time. PATTERNS,
+# not exact names: any new wall-clock-only output (a threaded simcore file,
+# a future BENCH_simcore_scaling.json, ...) must never leak into the
+# modeled gate, where host timing would make the gate machine-dependent.
+WALLCLOCK_PATTERNS = ("BENCH_simcore*.json",)
+
+
+def is_wallclock(path):
+    return any(fnmatch.fnmatch(path.name, pat) for pat in WALLCLOCK_PATTERNS)
 
 
 # Benchmark-entry fields that are host-dependent or structural, not modeled
@@ -83,7 +91,7 @@ def main():
         threshold = 0.5 if args.wallclock else 0.25
 
     def in_scope(path):
-        return (path.name in WALLCLOCK_FILES) == args.wallclock
+        return is_wallclock(path) == args.wallclock
 
     baseline_files = [p for p in sorted(args.baseline_dir.glob("BENCH_*.json"))
                       if in_scope(p)]

@@ -9,6 +9,9 @@
 //   semperos_sim --app=sqlite ... --batching  # revocation batching on
 //   semperos_sim --failover --kernels=8       # crash-recovery workload
 //   semperos_sim --failover --fail-kernel=2@300   # kill kernel 2 at 300 us
+//   semperos_sim --app=postmark --threads=4   # sharded parallel engine
+//   semperos_sim ... --threads=auto --stats   # + engine counters
+//   semperos_sim ... --threads=4 --strict     # assert parallel == serial
 //   semperos_sim --list                       # enumerate experiments
 //
 // Prints runtime/efficiency metrics and the kernel statistics counters.
@@ -49,6 +52,11 @@ struct Options {
   KernelId fail_kernel = 1;
   double fail_at_us = 0.0;
   KernelMode mode = KernelMode::kSemperOSMulti;
+  // Sharded parallel engine (sim/engine.h): 1 = legacy serial path,
+  // 0 = auto (host cores), >= 2 = worker threads.
+  uint32_t threads = 1;
+  bool stats = false;   // print engine observability counters after the run
+  bool strict = false;  // run serial + parallel, assert identical results
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -66,6 +74,11 @@ int Usage() {
                "                    [--kernels=N] [--services=N] [--instances=N] [--servers=N]\n"
                "                    [--mode=semperos|m3] [--batching]\n"
                "                    [--fail-kernel=<id>@<us>]\n"
+               "                    [--threads=N|auto] [--stats] [--strict]\n"
+               "--threads: sharded parallel engine (1 = serial; results are\n"
+               "           bit-identical at any thread count)\n"
+               "--stats:   print engine windows/handoffs/imbalance after the run\n"
+               "--strict:  run serial AND parallel, abort on any modeled mismatch\n"
                "apps: tar untar find sqlite leveldb postmark\n"
                "trace files: one op per line (open/read/write/seek/close/stat/mkdir/unlink/\n"
                "             readdir/compute), '#' comments; see src/trace/trace_io.h\n"
@@ -93,11 +106,51 @@ int PrintList() {
   return 0;
 }
 
+// --stats: the sharded engine's observability counters (sim/engine.h).
+void PrintEngineStats(bool parallel, const EngineStats& s) {
+  if (!parallel) {
+    std::printf("engine statistics: serial engine (run with --threads>=2 for counters)\n");
+    return;
+  }
+  std::printf("engine statistics (sharded parallel engine):\n");
+  std::printf("  windows executed  %10llu  (fast-forwarded %llu)\n",
+              (unsigned long long)s.windows, (unsigned long long)s.fast_forwards);
+  std::printf("  cross handoffs    %10llu  (sends %llu, schedules %llu)\n",
+              (unsigned long long)s.handoffs, (unsigned long long)s.handoff_sends,
+              (unsigned long long)s.handoff_schedules);
+  std::printf("  driver events     %10llu\n", (unsigned long long)s.driver_events);
+  std::printf("  shard imbalance   %10.2fx  (max/mean events over %zu shards)\n",
+              s.ImbalanceRatio(), s.shard_events.size());
+  for (size_t i = 0; i < s.shard_events.size(); ++i) {
+    std::printf("    shard %zu events %10llu\n", i, (unsigned long long)s.shard_events[i]);
+  }
+}
+
+// --strict: every modeled output of the parallel run must equal the serial
+// run bit for bit; any drift aborts the process with the failing field.
+void StrictCheck(bool ok, const char* field) {
+  CHECK(ok) << "--strict: parallel run diverged from serial on " << field;
+}
+
+void StrictCompare(const KernelStats& a, const KernelStats& b) {
+  StrictCheck(a.syscalls == b.syscalls, "kernel syscalls");
+  StrictCheck(a.obtains == b.obtains, "kernel obtains");
+  StrictCheck(a.revokes == b.revokes, "kernel revokes");
+  StrictCheck(a.spanning_obtains == b.spanning_obtains, "spanning obtains");
+  StrictCheck(a.spanning_revokes == b.spanning_revokes, "spanning revokes");
+  StrictCheck(a.ikc_sent == b.ikc_sent, "IKCs sent");
+  StrictCheck(a.caps_created == b.caps_created, "caps created");
+  StrictCheck(a.caps_deleted == b.caps_deleted, "caps deleted");
+  StrictCheck(a.migrations == b.migrations, "migrations");
+  StrictCheck(a.ft_failovers == b.ft_failovers, "failovers");
+}
+
 int RunFailoverCli(const Options& opt) {
   FailoverConfig config;
   config.kernels = opt.kernels;
   config.users_per_kernel = std::max(1u, opt.instances / std::max(1u, opt.kernels));
   config.victim = opt.fail_kernel;
+  config.threads = opt.threads;
   if (opt.kernels < 2) {
     std::fprintf(stderr, "--failover needs at least 2 kernels (got %u)\n", opt.kernels);
     return 2;
@@ -120,6 +173,21 @@ int RunFailoverCli(const Options& opt) {
     config.kill_at = seed_safe;
   }
   FailoverResult r = RunFailover(config);
+  if (opt.strict && ResolveThreads(opt.threads) != 1) {
+    FailoverConfig serial = config;
+    serial.threads = kForceSerialThreads;
+    FailoverResult sr = RunFailover(serial);
+    StrictCheck(sr.total_ops == r.total_ops, "failover total_ops");
+    StrictCheck(sr.makespan == r.makespan, "failover makespan");
+    StrictCheck(sr.recovered == r.recovered, "failover recovered");
+    StrictCheck(sr.detect_latency == r.detect_latency, "failover detect_latency");
+    StrictCheck(sr.recover_latency == r.recover_latency, "failover recover_latency");
+    StrictCheck(sr.events == r.events, "failover events");
+    StrictCheck(sr.noc_latency == r.noc_latency, "failover noc_latency");
+    StrictCheck(sr.noc_queueing == r.noc_queueing, "failover noc_queueing");
+    StrictCompare(sr.kernel_stats, r.kernel_stats);
+    std::printf("strict: parallel == serial verified (failover)\n");
+  }
   std::printf("failover: %u kernels x %u clients, kernel %u killed at %.0f us\n", opt.kernels,
               config.users_per_kernel, opt.fail_kernel, CyclesToMicros(r.kill_time));
   std::printf("  recovered         : %10s%s\n", r.recovered ? "yes" : "NO",
@@ -144,12 +212,16 @@ int RunFailoverCli(const Options& opt) {
               (unsigned long long)r.pes_adopted, (unsigned long long)r.ikcs_aborted);
   std::printf("  client retries    : %10llu\n", (unsigned long long)r.client_retries);
   PrintKernelStats(r.kernel_stats);
+  if (opt.stats) {
+    PrintEngineStats(r.engine_parallel, r.engine_stats);
+  }
   return 0;
 }
 
 // Replays a user-supplied trace file on a small system and reports the
 // capability-operation footprint.
-int RunTraceFile(const std::string& path, uint32_t kernels, uint32_t services) {
+int RunTraceFile(const std::string& path, uint32_t kernels, uint32_t services,
+                 uint32_t threads) {
   std::ifstream in(path);
   if (!in) {
     std::fprintf(stderr, "cannot read %s\n", path.c_str());
@@ -170,6 +242,7 @@ int RunTraceFile(const std::string& path, uint32_t kernels, uint32_t services) {
   pc.kernels = kernels;
   pc.services = services;
   pc.users = 1;
+  pc.threads = threads;
   Platform platform(pc);
   uint32_t index = 0;
   for (NodeId node : platform.service_nodes()) {
@@ -286,6 +359,12 @@ int main(int argc, char** argv) {
       if (at != std::string::npos) {
         opt.fail_at_us = std::stod(value.substr(at + 1));
       }
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      opt.threads = value == "auto" ? 0 : static_cast<uint32_t>(std::stoul(value));
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      opt.stats = true;
+    } else if (std::strcmp(argv[i], "--strict") == 0) {
+      opt.strict = true;
     } else if (std::strcmp(argv[i], "--nginx") == 0) {
       opt.nginx = true;
     } else if (std::strcmp(argv[i], "--micro") == 0) {
@@ -312,7 +391,7 @@ int main(int argc, char** argv) {
     return RunMicro();
   }
   if (!opt.trace_file.empty()) {
-    return RunTraceFile(opt.trace_file, opt.kernels, opt.services);
+    return RunTraceFile(opt.trace_file, opt.kernels, opt.services, opt.threads);
   }
 
   if (opt.nginx) {
@@ -320,11 +399,22 @@ int main(int argc, char** argv) {
     config.kernels = opt.kernels;
     config.services = opt.services;
     config.servers = opt.servers;
+    config.threads = opt.threads;
     NginxRunResult result = RunNginx(config);
+    if (opt.strict && ResolveThreads(opt.threads) != 1) {
+      NginxRunConfig serial = config;
+      serial.threads = kForceSerialThreads;
+      NginxRunResult sr = RunNginx(serial);
+      StrictCheck(sr.completed == result.completed, "nginx completed");
+      std::printf("strict: parallel == serial verified (nginx)\n");
+    }
     std::printf("nginx: %u servers, %u kernels, %u services\n", opt.servers, opt.kernels,
                 opt.services);
     std::printf("  requests completed: %llu\n", (unsigned long long)result.completed);
     std::printf("  requests/s:         %.0f\n", result.requests_per_sec);
+    if (opt.stats) {
+      PrintEngineStats(result.engine_parallel, result.engine_stats);
+    }
     return 0;
   }
 
@@ -349,7 +439,20 @@ int main(int argc, char** argv) {
   config.services = opt.services;
   config.instances = opt.instances;
   config.mode = opt.mode;
+  config.threads = opt.threads;
   AppRunResult result = RunApp(config);
+  if (opt.strict && ResolveThreads(opt.threads) != 1) {
+    AppRunConfig serial = config;
+    serial.threads = kForceSerialThreads;
+    AppRunResult sr = RunApp(serial);
+    StrictCheck(sr.makespan == result.makespan, "app makespan");
+    StrictCheck(sr.events == result.events, "app events");
+    StrictCheck(sr.total_cap_ops == result.total_cap_ops, "app cap ops");
+    StrictCheck(sr.mean_runtime_us == result.mean_runtime_us, "app mean runtime");
+    StrictCheck(sr.max_runtime_us == result.max_runtime_us, "app max runtime");
+    StrictCompare(sr.kernel_stats, result.kernel_stats);
+    std::printf("strict: parallel == serial verified (%s)\n", opt.app.c_str());
+  }
 
   std::printf("%s: %u instances on %u kernels + %u services (%s%s)\n", opt.app.c_str(),
               opt.instances, opt.kernels, opt.services,
@@ -367,5 +470,8 @@ int main(int argc, char** argv) {
               (unsigned long long)result.total_cap_ops, result.cap_ops_per_sec);
   std::printf("  simulated events  : %10llu\n\n", (unsigned long long)result.events);
   PrintKernelStats(result.kernel_stats);
+  if (opt.stats) {
+    PrintEngineStats(result.engine_parallel, result.engine_stats);
+  }
   return 0;
 }
