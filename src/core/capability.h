@@ -37,7 +37,9 @@ class Capability {
   void set_parent(DdlKey parent) { parent_ = parent; }
 
   const std::vector<DdlKey>& children() const { return children_; }
-  void AddChild(DdlKey child) { children_.push_back(child); }
+  void AddChild(DdlKey child) {
+    children_.push_back(child);
+  }
   bool RemoveChild(DdlKey child) {
     for (auto it = children_.begin(); it != children_.end(); ++it) {
       if (*it == child) {

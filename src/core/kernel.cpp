@@ -323,19 +323,35 @@ void Kernel::UnlinkFromParent(Capability* cap) {
   if (parent.IsNull()) {
     return;
   }
+  UnlinkChildAtParent(parent, cap->key(), /*orphan=*/false);
+}
+
+void Kernel::UnlinkChildAtParent(DdlKey parent, DdlKey child, bool orphan) {
   if (KernelOf(parent) == config_.id) {
+    // The parent's partition may be mid-transfer: its snapshot (including
+    // the children list) was packed when the transfer started, so a local
+    // unlink now would be silently undone when the destination installs
+    // the stale copy. Defer and re-route once the handoff resolves.
+    for (auto& [id, task] : migrate_tasks_) {
+      (void)id;
+      if (task->phase == MigrateTask::Phase::kTransfer && task->pe == parent.pe()) {
+        task->deferred_unlinks.push_back(
+            [this, parent, child, orphan] { UnlinkChildAtParent(parent, child, orphan); });
+        return;
+      }
+    }
     Capability* p = caps_.Find(parent);
     if (p != nullptr) {
-      p->RemoveChild(cap->key());
+      p->RemoveChild(child);
     }
     return;
   }
   // Remote parent: notify its kernel asynchronously. If the parent is being
   // revoked itself, the receiver simply finds the key already gone.
   auto msg = NewMsg<IkcMsg>();
-  msg->op = IkcOp::kChildDrop;
+  msg->op = orphan ? IkcOp::kOrphanNotify : IkcOp::kChildDrop;
   msg->parent = parent;
-  msg->child = cap->key();
+  msg->child = child;
   SendIkc(KernelOf(parent), msg, [](const IkcReply&) {});
 }
 
@@ -534,18 +550,7 @@ void Kernel::FinishObtain(ObtainOp op, ErrCode err, DdlKey parent, const CapPayl
     // Obtainer died while the exchange was in flight: the owner now tracks
     // an orphaned child. Notify its kernel for quick removal (§4.3.2).
     stats_.orphans_cleaned++;
-    if (KernelOf(parent) == config_.id) {
-      Capability* p = caps_.Find(parent);
-      if (p != nullptr) {
-        p->RemoveChild(op.child_key);
-      }
-    } else {
-      auto msg = NewMsg<IkcMsg>();
-      msg->op = IkcOp::kOrphanNotify;
-      msg->parent = parent;
-      msg->child = op.child_key;
-      SendIkc(KernelOf(parent), msg, [](const IkcReply&) {});
-    }
+    UnlinkChildAtParent(parent, op.child_key, /*orphan=*/true);
     ReleaseThread();
     pe_->dtu().Ack(op.sc.recv_ep, op.sc.msg);
     return;
@@ -886,10 +891,54 @@ void Kernel::FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key) {
     Charge(t_.ikc_send);
   }
   ack->payload.session = ok ? 0 : 1;  // non-zero session field = abort
-  SendIkc(KernelOfVpe(op.peer), ack, [](const IkcReply&) {});
+  KernelId peer_kernel = KernelOfVpe(op.peer);
+  if (peer_kernel == config_.id) {
+    // The receiver's partition migrated onto this kernel mid-handshake
+    // (the request reached its old owner, which forwarded it here, so the
+    // parked child sits in our own table): deliver the ACK locally.
+    ApplyDelegateAck(!ok, child_key, nullptr);
+  } else {
+    SendIkc(peer_kernel, ack, [](const IkcReply&) {});
+  }
   Finish(t_.syscall_reply, [this, op, ok] {
     ReplySyscall(op.sc, ok ? ErrCode::kOk : ErrCode::kCapRevoked);
   });
+}
+
+void Kernel::ApplyDelegateAck(bool abort, DdlKey child_key, std::function<void(ErrCode)> reply) {
+  auto it = parked_delegates_.find(child_key.raw());
+  CHECK(it != parked_delegates_.end()) << "delegate ack for unknown parked child";
+  ParkedDelegate parked = it->second;
+  parked_delegates_.erase(it);
+  ErrCode err = ErrCode::kOk;
+  if (!abort) {
+    VpeState* receiver = vpes_.Find(parked.receiver);
+    if (receiver != nullptr && receiver->alive) {
+      CapSel sel = receiver->AllocSel();
+      Capability* cap =
+          caps_.Create(parked.child_key, parked.payload.type, parked.receiver, sel);
+      cap->payload() = parked.payload;
+      cap->set_parent(parked.parent_key);
+      receiver->table.Set(sel, parked.child_key);
+      stats_.caps_created++;
+      Charge(t_.ikc_reply_handle + t_.tree_insert + t_.ddl_decode);
+    } else {
+      // Receiver died while waiting for the ACK: unlink the orphaned child
+      // entry at the parent capability's kernel (§4.3.2). Route by the
+      // parent's key, not the request's source — a forwarded delegate
+      // carries the forwarder as source, and the parent's partition itself
+      // may have migrated since the child was parked.
+      stats_.orphans_cleaned++;
+      UnlinkChildAtParent(parked.parent_key, parked.child_key, /*orphan=*/true);
+      err = ErrCode::kVpeGone;
+      Charge(t_.ikc_reply_handle);
+    }
+  } else {
+    Charge(t_.ikc_reply_handle);
+  }
+  if (reply) {
+    reply(err);
+  }
 }
 
 void Kernel::OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& msg) {
@@ -1100,18 +1149,7 @@ void Kernel::CompleteRevokeTask(RevokeTask* task) {
     (void)root;
   }
   if (!task->parent_unlink.IsNull()) {
-    if (KernelOf(task->parent_unlink) == config_.id) {
-      Capability* p = caps_.Find(task->parent_unlink);
-      if (p != nullptr) {
-        p->RemoveChild(task->root);
-      }
-    } else {
-      auto msg = NewMsg<IkcMsg>();
-      msg->op = IkcOp::kChildDrop;
-      msg->parent = task->parent_unlink;
-      msg->child = task->root;
-      SendIkc(KernelOf(task->parent_unlink), msg, [](const IkcReply&) {});
-    }
+    UnlinkChildAtParent(task->parent_unlink, task->root, /*orphan=*/false);
   }
 
   if (task->initiator) {
@@ -1621,8 +1659,15 @@ void Kernel::FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply) {
   CHECK(it != migrate_tasks_.end());
   MigrateTask* task = it->second.get();
   if (reply.err != ErrCode::kOk) {
-    // The destination refused; unfreeze and report. Nothing moved.
+    // The destination refused; unfreeze and report. Nothing moved, so the
+    // deferred unlinks now apply to the retained local copies.
     vpes_.At(task->pe).migrating = false;
+    task->phase = MigrateTask::Phase::kQuiesce;
+    std::vector<std::function<void()>> unlinks = std::move(task->deferred_unlinks);
+    task->deferred_unlinks.clear();
+    for (auto& fn : unlinks) {
+      fn();
+    }
     for (MigrateTask::ParkedIkc& p : task->parked) {
       DispatchIkcRequest(p.ep, p.msg, p.req);
     }
@@ -1644,6 +1689,14 @@ void Kernel::FinishMigrateTransfer(uint64_t task_id, const IkcReply& reply) {
   // Leave kTransfer before releasing the parked requests — MaybeForwardIkc
   // parks for in-transfer partitions, and these must forward now instead.
   task->phase = MigrateTask::Phase::kSettle;
+
+  // Unlinks deferred during the transfer re-route to the new owner (the
+  // membership update above makes KernelOf resolve to the destination).
+  std::vector<std::function<void()>> unlinks = std::move(task->deferred_unlinks);
+  task->deferred_unlinks.clear();
+  for (auto& fn : unlinks) {
+    fn();
+  }
 
   // Release requests parked during the transfer; the updated membership
   // forwards them to the new owner.
@@ -2025,10 +2078,31 @@ void Kernel::RecoverFromFailure(KernelId dead, uint64_t epoch) {
   // unwind through the existing refused-transfer path.
   AbortPendingIkcsTo(dead);
 
+  // A parked delegate's ACK comes from the kernel owning the parent
+  // capability (the delegator's side of the handshake). If that partition
+  // died, the ACK can never arrive: drop the parked record. The child was
+  // never materialized, and the parent's record died with its kernel.
+  for (auto it = parked_delegates_.begin(); it != parked_delegates_.end();) {
+    NodeId ppe = it->second.parent_key.pe();
+    if (ppe < dead_part.size() && dead_part[ppe] != 0) {
+      stats_.ft_ikcs_aborted++;
+      it = parked_delegates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
   // 4. Recursively revoke the orphaned subtrees (deny-by-default: a
   // capability whose ancestry can no longer vouch for it must go). Remote
   // children at other survivors unwind through the normal REVOKE_REQ path;
   // activated DTU endpoints are invalidated by the sweep.
+  if (ft_.bug_skip_orphan_revoke) {
+    // Injected protocol bug (FtConfig::bug_skip_orphan_revoke): leave the
+    // orphaned subtrees dangling so the auditor has something to catch.
+    ft_pending_recovery_ += 1;
+    FtRecoveryStepDone();
+    return;
+  }
   ft_pending_recovery_ += static_cast<uint32_t>(orphan_roots.size()) + 1;
   std::sort(orphan_roots.begin(), orphan_roots.end(),
             [](DdlKey x, DdlKey y) { return x.raw() < y.raw(); });
@@ -2448,39 +2522,15 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       break;
     }
     case IkcOp::kDelegateAck: {
-      bool abort = req->payload.session != 0;
-      auto it = parked_delegates_.find(req->child.raw());
-      CHECK(it != parked_delegates_.end()) << "delegate ack for unknown parked child";
-      ParkedDelegate parked = it->second;
-      parked_delegates_.erase(it);
-      auto reply = NewMsg<IkcReply>();
-      reply->token = req->token;
-      if (!abort) {
-        VpeState* receiver = vpes_.Find(parked.receiver);
-        if (receiver != nullptr && receiver->alive) {
-          CapSel sel = receiver->AllocSel();
-          Capability* cap =
-              caps_.Create(parked.child_key, parked.payload.type, parked.receiver, sel);
-          cap->payload() = parked.payload;
-          cap->set_parent(parked.parent_key);
-          receiver->table.Set(sel, parked.child_key);
-          stats_.caps_created++;
-          Emit(Charge(t_.ikc_reply_handle + t_.tree_insert + t_.ddl_decode + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
-        } else {
-          // Receiver died while waiting for the ACK: tell the delegator's
-          // kernel to drop the orphaned child entry (§4.3.2).
-          stats_.orphans_cleaned++;
-          auto orphan = NewMsg<IkcMsg>();
-          orphan->op = IkcOp::kOrphanNotify;
-          orphan->parent = parked.parent_key;
-          orphan->child = parked.child_key;
-          SendIkc(parked.from_kernel, orphan, [](const IkcReply&) {});
-          reply->err = ErrCode::kVpeGone;
-          Emit(Charge(t_.ikc_reply_handle + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
-        }
-      } else {
-        Emit(Charge(t_.ikc_reply_handle + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
-      }
+      uint64_t token = req->token;
+      ApplyDelegateAck(req->payload.session != 0, req->child,
+                       [this, ep, msg, token](ErrCode err) {
+                         auto reply = NewMsg<IkcReply>();
+                         reply->token = token;
+                         reply->err = err;
+                         Emit(Charge(t_.ikc_send),
+                              [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+                       });
       break;
     }
     case IkcOp::kRevokeReq:

@@ -163,6 +163,12 @@ struct MigrateTask {
     IkcMsg req;
   };
   std::vector<ParkedIkc> parked;
+  // Locally-originated tree unlinks against the moving partition that
+  // arrived after its snapshot was packed. Applying them to the local copy
+  // would be silently lost when the destination installs the (stale)
+  // snapshot; they re-run once the handoff resolved — routed to the new
+  // owner on success, applied locally on refusal.
+  std::vector<std::function<void()>> deferred_unlinks;
 };
 
 class Kernel : public Program {
@@ -282,10 +288,32 @@ class Kernel : public Program {
   const VpeState* FindVpe(VpeId vpe) const;
   Capability* FindCap(DdlKey key) const { return caps_.Find(key); }
   const CapSpace& caps() const { return caps_; }
+  // Read-only view of every VPE this kernel manages (src/audit walks it).
+  const VpeTable& vpes() const { return vpes_; }
   Capability* CapOf(VpeId vpe, CapSel sel) const;
   size_t PendingOps() const {
     return obtains_.size() + delegates_.size() + revoke_tasks_.size() + parked_delegates_.size() +
            asks_.size() + ikcs_.size() + migrate_tasks_.size();
+  }
+  // Per-class counts of the suspended operations behind PendingOps(), for
+  // diagnostics ("what exactly is wedged"): obtains, delegates, revokes,
+  // parked delegates, asks, in-flight IKCs, migrations.
+  std::string PendingOpsBreakdown() const {
+    std::string s;
+    auto add = [&s](const char* name, size_t n) {
+      if (n != 0) {
+        s += s.empty() ? "" : ", ";
+        s += std::to_string(n) + " " + name;
+      }
+    };
+    add("obtains", obtains_.size());
+    add("delegates", delegates_.size());
+    add("revokes", revoke_tasks_.size());
+    add("parked delegates", parked_delegates_.size());
+    add("asks", asks_.size());
+    add("ikcs", ikcs_.size());
+    add("migrations", migrate_tasks_.size());
+    return s;
   }
   uint32_t ThreadPoolSize() const;  // Eq. 1: V_group + K_max * M_inflight
   uint32_t PeerCount() const { return static_cast<uint32_t>(config_.kernel_nodes.size()) - 1; }
@@ -388,6 +416,17 @@ class Kernel : public Program {
   // ===== Delegate path =====
   void OwnerSideDelegate(const IkcMsg& req, EpId recv_ep, const Message& msg);
   void FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key);
+  // Applies a delegate ACK against the parked child. `reply` (may be null)
+  // runs after the charged cost with the outcome; used both by the IKC
+  // handler and for local delivery when the receiver's partition migrated
+  // onto the delegator's kernel mid-handshake.
+  void ApplyDelegateAck(bool abort, DdlKey child_key, std::function<void(ErrCode)> reply);
+  // Removes `child` from `parent`'s children list, wherever the parent
+  // currently lives: locally when this kernel owns the parent's partition,
+  // via CHILD_DROP / ORPHAN_NOTIFY IKC otherwise. If the parent's partition
+  // is mid-transfer (snapshot already packed), the unlink is deferred until
+  // the handoff resolves so it cannot be lost to the stale snapshot.
+  void UnlinkChildAtParent(DdlKey parent, DdlKey child, bool orphan);
 
   // ===== Revocation (Algorithm 1) =====
   RevokeTask* NewRevokeTask(DdlKey root);

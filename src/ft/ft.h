@@ -52,6 +52,11 @@ struct FtConfig {
   Cycles heartbeat_period = 30'000;   // ping every peer this often
   Cycles heartbeat_timeout = 90'000;  // silence threshold for suspicion
   Cycles monitor_until = 0;           // absolute time the detector disarms
+  // Test-only protocol-bug injection: recovery skips the orphan-subtree
+  // revocation step, leaving dangling cross-kernel parent edges behind.
+  // Exists to prove the invariant auditor (src/audit) catches a real
+  // protocol omission; must stay false outside the chaos harness.
+  bool bug_skip_orphan_revoke = false;
 };
 
 // Per-peer failure-detector verdict, exposed for tests and workloads.

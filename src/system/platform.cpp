@@ -287,7 +287,14 @@ void Platform::MigratePe(NodeId pe, KernelId dst_kernel, std::function<void(ErrC
   CHECK_NE(src, dst_kernel) << "PE " << pe << " already belongs to kernel " << dst_kernel;
   kernels_.at(src)->AdminMigratePe(pe, dst_kernel, [this, pe, dst_kernel, done](ErrCode err) {
     if (err == ErrCode::kOk) {
-      membership_.Reassign(pe, dst_kernel);
+      // Mirror with the epoch the handoff protocol minted (the destination
+      // installed it before completing), NOT a Reassign-minted local one: a
+      // platform-local epoch can run ahead of the kernels' epoch stream,
+      // and the next takeover decree for this PE would then lose against
+      // it in Apply's per-PE epoch guard — leaving the platform routing
+      // the PE to a retired kernel while every survivor moved on.
+      membership_.Apply(pe, dst_kernel,
+                        kernels_.at(dst_kernel)->config().membership.PeEpoch(pe));
     }
     if (done) {
       done(err);

@@ -135,6 +135,19 @@ class Platform {
   // taken over by the survivors).
   bool KernelFailed(KernelId kernel) const { return failed_kernels_.at(kernel) != 0; }
 
+  // --- Audit hooks (src/audit) ---
+
+  // True if `kernel` crashed (whether or not a quorum retired it).
+  bool KernelDead(KernelId kernel) const { return kernels_.at(kernel)->dead(); }
+  // Kernels that have not crashed.
+  uint32_t LiveKernelCount() const {
+    uint32_t live = 0;
+    for (const Kernel* k : kernels_) {
+      live += k->dead() ? 0 : 1;
+    }
+    return live;
+  }
+
   // Runs the simulation until no events remain and checks hardware
   // invariants (no dropped messages anywhere). Returns events executed.
   uint64_t RunToCompletion(uint64_t max_events = 2'000'000'000ull);

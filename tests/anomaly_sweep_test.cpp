@@ -7,6 +7,7 @@
 // for every interleaving.
 #include <gtest/gtest.h>
 
+#include "audit/cap_audit.h"
 #include "tests/test_util.h"
 
 namespace semperos {
@@ -14,32 +15,10 @@ namespace {
 
 class KillSweep : public ::testing::TestWithParam<Cycles> {};
 
-// Verifies global parent/child symmetry across both kernels.
-void VerifyForest(ClientRig& rig, uint32_t kernels) {
-  for (KernelId k = 0; k < kernels; ++k) {
-    Kernel* kernel = rig.p().kernel(k);
-    for (const auto& [key, cap] : kernel->caps().all()) {
-      if (!cap->parent().IsNull()) {
-        Kernel* pk = rig.p().kernel(rig.p().membership().KernelOfKey(cap->parent()));
-        Capability* parent = pk->FindCap(cap->parent());
-        ASSERT_NE(parent, nullptr) << "dangling parent";
-        bool listed = false;
-        for (DdlKey child : parent->children()) {
-          listed |= child == key;
-        }
-        EXPECT_TRUE(listed);
-      }
-      for (DdlKey child_key : cap->children()) {
-        Kernel* ck = rig.p().kernel(rig.p().membership().KernelOfKey(child_key));
-        Capability* child = ck->FindCap(child_key);
-        ASSERT_NE(child, nullptr) << "orphaned child entry";
-        EXPECT_EQ(child->parent(), key);
-      }
-      EXPECT_FALSE(cap->marked());
-    }
-    EXPECT_EQ(kernel->PendingOps(), 0u);
-  }
-  EXPECT_EQ(rig.p().TotalDrops(), 0u);
+// Global forest invariants (I1-I6) via the shared auditor.
+void VerifyForest(ClientRig& rig) {
+  AuditReport report = AuditPlatform(rig.p());
+  EXPECT_TRUE(report.ok()) << report.ToString();
 }
 
 TEST_P(KillSweep, ObtainerDies) {
@@ -50,7 +29,7 @@ TEST_P(KillSweep, ObtainerDies) {
     rig.kernel_of_client(0)->AdminKillVpe(rig.vpe(0), nullptr);
   });
   rig.p().RunToCompletion();
-  VerifyForest(rig, 2);
+  VerifyForest(rig);
   Capability* owner_cap = rig.kernel_of_client(1)->CapOf(rig.vpe(1), owner_sel);
   ASSERT_NE(owner_cap, nullptr);
   EXPECT_TRUE(owner_cap->children().empty());
@@ -64,7 +43,7 @@ TEST_P(KillSweep, DelegatorDies) {
     rig.kernel_of_client(0)->AdminKillVpe(rig.vpe(0), nullptr);
   });
   rig.p().RunToCompletion();
-  VerifyForest(rig, 2);
+  VerifyForest(rig);
   // The delegator's caps are gone; if the receiver got a copy it must have
   // been revoked along with them.
   EXPECT_EQ(rig.kernel_of_client(0)->CapOf(rig.vpe(0), sel), nullptr);
@@ -78,7 +57,7 @@ TEST_P(KillSweep, ReceiverDies) {
     rig.kernel_of_client(1)->AdminKillVpe(rig.vpe(1), nullptr);
   });
   rig.p().RunToCompletion();
-  VerifyForest(rig, 2);
+  VerifyForest(rig);
   // The dead receiver holds nothing; the delegator's capability has no
   // stale child entries (quick orphan removal, §4.3.2).
   const VpeState* receiver = rig.kernel_of_client(1)->FindVpe(rig.vpe(1));
@@ -95,7 +74,7 @@ TEST_P(KillSweep, OwnerDiesDuringObtain) {
     rig.kernel_of_client(1)->AdminKillVpe(rig.vpe(1), nullptr);
   });
   rig.p().RunToCompletion();
-  VerifyForest(rig, 2);
+  VerifyForest(rig);
   // Whatever the interleaving, the obtainer must not end up holding a
   // memory capability whose owner subtree is gone.
   if (replied) {

@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "audit/cap_audit.h"
 #include "ft/ft.h"
 #include "system/experiment.h"
 #include "tests/test_util.h"
@@ -102,22 +103,19 @@ TEST(FailoverTest, HeartbeatsDetectSilentKernelAndSurvivorsRecover) {
   rig.p().RunToCompletion();
 
   EXPECT_TRUE(rig.p().KernelFailed(1));
+  // The auditor's I6 covers the takeover aftermath wholesale: every survivor
+  // agrees on the kFailed verdict with recovery completed, no membership
+  // view (kernel or platform) still routes a partition to kernel 1, and no
+  // user PE is stranded on it. I5 covers zero drops.
+  {
+    AuditReport report = AuditPlatform(rig.p());
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_EQ(report.kernels_dead, 1u);
+    EXPECT_EQ(report.kernels_unrecovered, 0u);
+  }
   for (KernelId k : {0u, 2u}) {
-    Kernel* kernel = rig.p().kernel(k);
-    EXPECT_EQ(kernel->ft_verdict(1), FtVerdict::kFailed) << "survivor " << k;
-    EXPECT_TRUE(kernel->ft_recovery_done()) << "survivor " << k;
-    EXPECT_GE(kernel->config().membership.Epoch(), 1u);
-    // The dead kernel's partitions all moved to survivors.
-    const MembershipTable& m = kernel->config().membership;
-    for (NodeId pe = 0; pe < m.PeCount(); ++pe) {
-      EXPECT_NE(m.KernelOf(pe), 1u) << "partition " << pe << " still routed to the dead kernel";
-    }
+    EXPECT_GE(rig.p().kernel(k)->config().membership.Epoch(), 1u) << "survivor " << k;
   }
-  // The platform's own view followed the decree.
-  for (NodeId pe = 0; pe < rig.p().membership().PeCount(); ++pe) {
-    EXPECT_NE(rig.p().membership().KernelOf(pe), 1u);
-  }
-  EXPECT_EQ(rig.p().TotalDrops(), 0u);
 
   // The adopted client (its group's kernel died) can operate again: its
   // watchdog-resent syscalls land at the adopter.
@@ -166,6 +164,11 @@ TEST(FailoverTest, DoubleFailureIsRefusedWithoutQuorum) {
   EXPECT_GE(refusals, 1u) << "no survivor recorded the no-quorum refusal";
   // The quorum leader's verdict is the clear status the satellite asks for.
   EXPECT_EQ(platform.kernel(0)->ft_verdict(1), FtVerdict::kNoQuorum);
+  // With two unrecovered corpses the auditor runs in relaxed mode: wedged
+  // state is counted, not flagged — refusal is a legal terminal state.
+  AuditReport report = AuditPlatform(platform);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.kernels_unrecovered, 2u);
 }
 
 TEST(FailoverTest, TwoKernelSystemRefusesRecovery) {
@@ -185,6 +188,9 @@ TEST(FailoverTest, TwoKernelSystemRefusesRecovery) {
   EXPECT_EQ(platform.kernel(0)->ft_verdict(1), FtVerdict::kNoQuorum);
   EXPECT_EQ(platform.kernel(0)->stats().ft_failovers, 0u);
   EXPECT_FALSE(platform.KernelFailed(1));
+  AuditReport report = AuditPlatform(platform);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_EQ(report.kernels_unrecovered, 1u);
 }
 
 // --- DDL range takeover edges ---------------------------------------------
@@ -278,14 +284,12 @@ TEST(FailoverTest, TakeoverRacesInFlightStaleEpochForward) {
   EXPECT_TRUE(probe_err == ErrCode::kOk || probe_err == ErrCode::kUnreachable ||
               probe_err == ErrCode::kNoSuchCap || probe_err == ErrCode::kVpeGone)
       << ErrName(probe_err);
-  EXPECT_EQ(rig.p().TotalDrops(), 0u);
-  for (KernelId k : {0u, 2u}) {
-    Kernel* kernel = rig.p().kernel(k);
-    EXPECT_EQ(kernel->ft_verdict(1), FtVerdict::kFailed) << "survivor " << k;
-    const MembershipTable& m = kernel->config().membership;
-    for (NodeId pe = 0; pe < m.PeCount(); ++pe) {
-      EXPECT_NE(m.KernelOf(pe), 1u) << "partition " << pe << " wedged at the dead kernel";
-    }
+  // Auditor I6: survivors converged on the kFailed verdict and no
+  // membership view still routes any partition at the dead kernel.
+  {
+    AuditReport report = AuditPlatform(rig.p());
+    EXPECT_TRUE(report.ok()) << report.ToString();
+    EXPECT_EQ(report.kernels_unrecovered, 0u);
   }
   // Post-recovery the system still serves: the mover — wherever it ended up
   // (migration aborted back to kernel 2, or adopted off the dead kernel) —

@@ -12,6 +12,11 @@
 // migration, and kernel-crash failover.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "chaos/storm.h"
 #include "system/experiment.h"
 #include "workloads/failover.h"
 #include "workloads/rebalance.h"
@@ -201,6 +206,61 @@ TEST(ParallelEquivalence, FailoverRecovery) {
     EXPECT_EQ(serial.noc_queueing, parallel.noc_queueing) << what;
     EXPECT_EQ(serial.events, parallel.events) << what;
     ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what.c_str());
+  }
+}
+
+// --- Chaos storms (src/chaos): the full fault/churn/migration soup ---
+
+// Replays the chaos regression+smoke corpus at threads 2 and 4 and asserts
+// the storm's entire modeled fingerprint — work done, chaos delivered,
+// end time, event count, NoC totals, every kernel counter — is
+// bit-identical to the pinned-serial run. Storms drive kernel kills,
+// recoveries, live migrations and client churn through the driver-strand
+// barriers, so this is the harshest orchestration workload the engine has.
+TEST(ParallelEquivalence, ChaosStormCorpus) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& it : std::filesystem::directory_iterator(SEMPEROS_CHAOS_CORPUS_DIR)) {
+    if (it.path().extension() == ".storms") {
+      files.push_back(it.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  ASSERT_FALSE(files.empty());
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    ASSERT_TRUE(in.is_open()) << path;
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty() || line[0] == '#') {
+        continue;
+      }
+      StormConfig config;
+      std::string error;
+      ASSERT_TRUE(ParseStormSpec(line, &config, &error)) << error;
+      config.threads = kForceSerialThreads;
+      StormResult serial = RunStorm(config);
+      EXPECT_TRUE(serial.ok) << serial.audit.ToString();
+      for (uint32_t threads : {2u, 4u}) {
+        config.threads = threads;
+        StormResult parallel = RunStorm(config);
+        std::string what = line + " --threads=" + std::to_string(threads);
+        EXPECT_EQ(serial.ok, parallel.ok) << what;
+        EXPECT_EQ(serial.rounds_run, parallel.rounds_run) << what;
+        EXPECT_EQ(serial.audits_run, parallel.audits_run) << what;
+        EXPECT_EQ(serial.ops_ok, parallel.ops_ok) << what;
+        EXPECT_EQ(serial.ops_failed, parallel.ops_failed) << what;
+        EXPECT_EQ(serial.kills, parallel.kills) << what;
+        EXPECT_EQ(serial.migrations_started, parallel.migrations_started) << what;
+        EXPECT_EQ(serial.migrations_ok, parallel.migrations_ok) << what;
+        EXPECT_EQ(serial.churn_kills, parallel.churn_kills) << what;
+        EXPECT_EQ(serial.recovery_refused, parallel.recovery_refused) << what;
+        EXPECT_EQ(serial.end_time, parallel.end_time) << what;
+        EXPECT_EQ(serial.events, parallel.events) << what;
+        EXPECT_EQ(serial.noc_packets, parallel.noc_packets) << what;
+        EXPECT_EQ(serial.noc_bytes, parallel.noc_bytes) << what;
+        ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what.c_str());
+      }
+    }
   }
 }
 

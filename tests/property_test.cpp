@@ -1,27 +1,16 @@
 // Property-based testing of the distributed capability protocols.
 //
 // Random interleavings of grants, obtains, delegates, revokes and VPE kills
-// run concurrently across several kernels; after quiescence the global
-// capability forest must satisfy the structural invariants the paper's
-// protocols guarantee:
-//
-//   I1  every capability's holder VPE is alive and its selector-table entry
-//       points back at the capability;
-//   I2  parent edges are symmetric across kernels: the (possibly remote)
-//       parent exists and lists the capability as a child;
-//   I3  child edges are symmetric: every listed child exists and names this
-//       capability as its parent — no orphaned tree entries survive
-//       (anomalies "Orphaned"/"Invalid" of Table 2);
-//   I4  no capability is left marked (every revocation completed — anomaly
-//       "Incomplete");
-//   I5  no suspended kernel operations, no parked delegates, no messages
-//       lost, all kernel threads released.
+// run concurrently across several kernels; after quiescence the platform
+// must satisfy the global structural invariants I1-I6 checked by the shared
+// auditor (src/audit/cap_audit.h documents the catalogue).
 #include <gtest/gtest.h>
 
 #include <map>
 #include <sstream>
 #include <vector>
 
+#include "audit/cap_audit.h"
 #include "base/rng.h"
 #include "tests/test_util.h"
 
@@ -116,58 +105,12 @@ TEST_P(CapabilityFuzz, InvariantsHoldAfterRandomInterleavings) {
   }
   p.RunToCompletion();
 
-  // ---- Invariant checks over the global capability forest ----
-  for (uint32_t k = 0; k < param.kernels; ++k) {
-    Kernel* kernel = p.kernel(k);
-    for (const auto& [key, cap] : kernel->caps().all()) {
-      // I1: holder alive and table-consistent.
-      const VpeState* holder = kernel->FindVpe(cap->holder());
-      ASSERT_NE(holder, nullptr) << "capability with unknown holder";
-      EXPECT_TRUE(holder->alive) << "capability held by dead VPE " << cap->holder();
-      DdlKey table_key = holder->table.Find(cap->sel());
-      ASSERT_FALSE(table_key.IsNull()) << "capability missing from holder table";
-      EXPECT_EQ(table_key, key);
-
-      // I2: parent symmetry.
-      if (!cap->parent().IsNull()) {
-        Kernel* pk = p.kernel(p.membership().KernelOfKey(cap->parent()));
-        Capability* parent = pk->FindCap(cap->parent());
-        ASSERT_NE(parent, nullptr)
-            << "dangling parent edge (child outlived revoked parent): child type="
-            << CapTypeName(cap->type()) << " holder=" << cap->holder() << " kernel=" << k
-            << " key=" << key.raw() << " parent_key=" << cap->parent().raw()
-            << " parent_kernel=" << p.membership().KernelOfKey(cap->parent());
-        bool listed = false;
-        for (DdlKey child : parent->children()) {
-          listed |= child == key;
-        }
-        EXPECT_TRUE(listed) << "parent does not list child";
-      }
-
-      // I3: child symmetry — no orphaned entries.
-      for (DdlKey child_key : cap->children()) {
-        Kernel* ck = p.kernel(p.membership().KernelOfKey(child_key));
-        Capability* child = ck->FindCap(child_key);
-        ASSERT_NE(child, nullptr) << "orphaned child entry survived quiescence";
-        EXPECT_EQ(child->parent(), key);
-      }
-
-      // I4: no capability still marked.
-      EXPECT_FALSE(cap->marked()) << "revocation never completed";
-    }
-    // I5: all operations drained, all threads back in the pool.
-    EXPECT_EQ(kernel->PendingOps(), 0u) << "kernel " << k << " has suspended operations";
-    EXPECT_EQ(kernel->stats().threads_in_use, 0u);
-    // Dead VPEs hold nothing.
-    for (size_t i = 0; i < param.users; ++i) {
-      if (dead[i] && p.membership().KernelOf(rig.vpe(i)) == k) {
-        const VpeState* vpe = kernel->FindVpe(rig.vpe(i));
-        ASSERT_NE(vpe, nullptr);
-        EXPECT_EQ(vpe->table.size(), 0u) << "dead VPE still holds capabilities";
-      }
-    }
-  }
-  EXPECT_EQ(p.TotalDrops(), 0u);
+  // The shared auditor walks the global capability forest and checks I1-I6
+  // (holder/table consistency, parent/child edge symmetry, no marked caps,
+  // full quiescence, membership coherence).
+  AuditReport report = AuditPlatform(p);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_GT(report.caps_checked, 0u);
 }
 
 std::vector<FuzzParam> FuzzGrid() {

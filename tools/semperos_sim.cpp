@@ -22,6 +22,7 @@
 #include <sstream>
 #include <string>
 
+#include "chaos/storm.h"
 #include "fs/service.h"
 #include "system/client.h"
 #include "system/experiment.h"
@@ -57,6 +58,13 @@ struct Options {
   uint32_t threads = 1;
   bool stats = false;   // print engine observability counters after the run
   bool strict = false;  // run serial + parallel, assert identical results
+
+  // --chaos: seeded chaos storm + global invariant audit (src/chaos).
+  bool chaos = false;
+  bool kernels_set = false;  // --kernels given (chaos defaults differ)
+  bool shrink = false;       // shrink a failing storm to a minimal repro
+  uint32_t sweep = 0;        // run this many consecutive seeds
+  StormConfig storm;
 };
 
 bool ParseFlag(const char* arg, const char* name, std::string* value) {
@@ -75,6 +83,11 @@ int Usage() {
                "                    [--mode=semperos|m3] [--batching]\n"
                "                    [--fail-kernel=<id>@<us>]\n"
                "                    [--threads=N|auto] [--stats] [--strict]\n"
+               "       semperos_sim --chaos [--seed=N] [--kernels=N] [--users=N]\n"
+               "                    [--rounds=N] [--settle=N] [--workload=mixed|nginx|postmark]\n"
+               "                    [--kills=N] [--migrations=N] [--churn=N] [--hb-perturb=0|1]\n"
+               "                    [--op-rate=F] [--mig-revoke] [--double-kill] [--inject-bug]\n"
+               "                    [--shrink] [--sweep=N] [--threads=N]\n"
                "--threads: sharded parallel engine (1 = serial; results are\n"
                "           bit-identical at any thread count)\n"
                "--stats:   print engine windows/handoffs/imbalance after the run\n"
@@ -103,6 +116,12 @@ int PrintList() {
   std::printf("               dead DDL range, revoke orphaned subtrees, adopt the PEs;\n");
   std::printf("               tune with --fail-kernel=<id>@<us>\n");
   std::printf("  --trace=FILE replay a custom trace file\n");
+  std::printf("  --chaos      seeded chaos storm (src/chaos): randomized kernel kills,\n");
+  std::printf("               live migrations, client churn and heartbeat perturbation\n");
+  std::printf("               over a running workload; the global invariant auditor\n");
+  std::printf("               (src/audit) checks the platform after every settle round.\n");
+  std::printf("               --shrink reduces a failing storm to a one-command repro;\n");
+  std::printf("               --sweep=N replays N consecutive seeds (docs/testing.md)\n");
   return 0;
 }
 
@@ -295,6 +314,56 @@ void PrintKernelStats(const KernelStats& s) {
   }
 }
 
+// --chaos: run one storm (or a sweep of consecutive seeds), print the
+// audit outcome, and on a failing audit emit the one-command repro —
+// shrunk first when --shrink is given. Exit status 1 signals a violation.
+int RunOneStorm(const StormConfig& config, bool shrink) {
+  StormResult r = RunStorm(config);
+  std::printf("%s\n", r.Summary().c_str());
+  std::printf("%s\n", r.audit.ToString().c_str());
+  if (r.ok) {
+    return 0;
+  }
+  StormConfig repro = config;
+  if (shrink) {
+    uint32_t attempts = 0;
+    repro = ShrinkStorm(config, &attempts);
+    std::printf("shrunk after %u runs to: %s\n", attempts, FormatStormSpec(repro).c_str());
+  }
+  std::printf("repro: %s\n", ReproCommand(repro).c_str());
+  return 1;
+}
+
+int RunChaosSweep(const StormConfig& base, uint32_t seeds, bool shrink) {
+  uint32_t failures = 0;
+  for (uint32_t s = 0; s < seeds; ++s) {
+    StormConfig config = base;
+    config.seed = base.seed + s;
+    StormResult r = RunStorm(config);
+    if (!r.ok) {
+      failures++;
+      std::printf("seed %llu FAILED: %s\n", (unsigned long long)config.seed,
+                  r.Summary().c_str());
+      std::printf("%s\n", r.audit.ToString().c_str());
+      StormConfig repro = config;
+      if (shrink) {
+        uint32_t attempts = 0;
+        repro = ShrinkStorm(config, &attempts);
+        std::printf("shrunk after %u runs to: %s\n", attempts,
+                    FormatStormSpec(repro).c_str());
+      }
+      std::printf("repro: %s\n", ReproCommand(repro).c_str());
+    } else if ((s + 1) % 10 == 0 || s + 1 == seeds) {
+      std::printf("sweep %u/%u seeds clean (last: %s)\n", s + 1 - failures, s + 1,
+                  r.Summary().c_str());
+    }
+  }
+  std::printf("chaos sweep: %u/%u seeds clean (%s, seeds %llu..%llu)\n", seeds - failures,
+              seeds, StormWorkloadName(base.workload), (unsigned long long)base.seed,
+              (unsigned long long)(base.seed + seeds - 1));
+  return failures > 0 ? 1 : 0;
+}
+
 int RunMicro() {
   std::printf("capability operation latencies (cycles @ 2 GHz)\n");
   for (KernelMode mode : {KernelMode::kSemperOSMulti, KernelMode::kM3SingleKernel}) {
@@ -337,6 +406,7 @@ int main(int argc, char** argv) {
       opt.trace_file = value;
     } else if (ParseFlag(argv[i], "--kernels", &value)) {
       opt.kernels = static_cast<uint32_t>(std::stoul(value));
+      opt.kernels_set = true;
     } else if (ParseFlag(argv[i], "--services", &value)) {
       opt.services = static_cast<uint32_t>(std::stoul(value));
     } else if (ParseFlag(argv[i], "--instances", &value)) {
@@ -375,6 +445,46 @@ int main(int argc, char** argv) {
       opt.list = true;
     } else if (std::strcmp(argv[i], "--batching") == 0) {
       opt.batching = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      opt.chaos = true;
+    } else if (ParseFlag(argv[i], "--seed", &value)) {
+      opt.storm.seed = std::stoull(value);
+    } else if (ParseFlag(argv[i], "--users", &value)) {
+      opt.storm.users_per_kernel = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--rounds", &value)) {
+      opt.storm.rounds = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--settle", &value)) {
+      opt.storm.settle_every = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--workload", &value)) {
+      if (value == "mixed") {
+        opt.storm.workload = StormWorkload::kMixed;
+      } else if (value == "nginx") {
+        opt.storm.workload = StormWorkload::kNginx;
+      } else if (value == "postmark") {
+        opt.storm.workload = StormWorkload::kPostmark;
+      } else {
+        return Usage();
+      }
+    } else if (ParseFlag(argv[i], "--kills", &value)) {
+      opt.storm.max_kills = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--migrations", &value)) {
+      opt.storm.max_migrations = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--churn", &value)) {
+      opt.storm.max_churn = static_cast<uint32_t>(std::stoul(value));
+    } else if (ParseFlag(argv[i], "--hb-perturb", &value)) {
+      opt.storm.perturb_heartbeats = value != "0";
+    } else if (ParseFlag(argv[i], "--op-rate", &value)) {
+      opt.storm.op_rate = std::stod(value);
+    } else if (std::strcmp(argv[i], "--mig-revoke") == 0) {
+      opt.storm.force_migration_during_revoke = true;
+    } else if (std::strcmp(argv[i], "--double-kill") == 0) {
+      opt.storm.force_double_kill = true;
+    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
+      opt.storm.bug_skip_orphan_revoke = true;
+    } else if (std::strcmp(argv[i], "--shrink") == 0) {
+      opt.shrink = true;
+    } else if (ParseFlag(argv[i], "--sweep", &value)) {
+      opt.sweep = static_cast<uint32_t>(std::stoul(value));
     } else {
       return Usage();
     }
@@ -382,6 +492,14 @@ int main(int argc, char** argv) {
 
   if (opt.list) {
     return PrintList();
+  }
+  if (opt.chaos) {
+    if (opt.kernels_set) {
+      opt.storm.kernels = opt.kernels;
+    }
+    opt.storm.threads = opt.threads;
+    return opt.sweep > 0 ? RunChaosSweep(opt.storm, opt.sweep, opt.shrink)
+                         : RunOneStorm(opt.storm, opt.shrink);
   }
   if (opt.failover) {
     return RunFailoverCli(opt);
