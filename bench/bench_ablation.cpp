@@ -139,7 +139,7 @@ void AblationContention() {
 void BM_TreeRevokeBatched(benchmark::State& state) {
   bool batched = state.range(0) != 0;
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(TreeRevoke(96, batched)));
+    bench::ReportSpan(state, TreeRevoke(96, batched));
   }
   state.SetLabel(batched ? "batched" : "unbatched");
 }
@@ -149,12 +149,4 @@ BENCHMARK(BM_TreeRevokeBatched)->Arg(0)->Arg(1)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::AblationBatching();
-  semperos::AblationDdl();
-  semperos::AblationInflight();
-  semperos::AblationContention();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::AblationBatching, semperos::AblationDdl, semperos::AblationInflight, semperos::AblationContention)

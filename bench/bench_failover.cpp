@@ -90,9 +90,10 @@ void BM_FailoverRecoveryVsCaps(benchmark::State& state) {
   uint32_t caps = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
     FailoverResult r = MeasureFailover(4, caps);
-    state.SetIterationTime(CyclesToSeconds(r.recover_latency));
-    state.counters["detect_latency_us"] = CyclesToMicros(r.detect_latency);
-    state.counters["orphan_roots"] = static_cast<double>(r.orphan_roots);
+    WorkloadResult out;
+    out.Add("detect_latency_us", CyclesToMicros(r.detect_latency), "us");
+    out.Add("orphan_roots", static_cast<double>(r.orphan_roots));
+    bench::Report(state, r.recover_latency, out);
   }
 }
 BENCHMARK(BM_FailoverRecoveryVsCaps)->Arg(8)->Arg(64)->Arg(256)->UseManualTime()->Iterations(1)
@@ -102,8 +103,9 @@ void BM_FailoverRecoveryVsKernels(benchmark::State& state) {
   uint32_t kernels = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
     FailoverResult r = MeasureFailover(kernels, 32);
-    state.SetIterationTime(CyclesToSeconds(r.recover_latency));
-    state.counters["detect_latency_us"] = CyclesToMicros(r.detect_latency);
+    WorkloadResult out;
+    out.Add("detect_latency_us", CyclesToMicros(r.detect_latency), "us");
+    bench::Report(state, r.recover_latency, out);
   }
 }
 BENCHMARK(BM_FailoverRecoveryVsKernels)->Arg(3)->Arg(8)->Arg(32)->UseManualTime()->Iterations(1)
@@ -117,10 +119,11 @@ void BM_FailoverMakespan(benchmark::State& state) {
     config.users_per_kernel = users;
     config.ops_per_client = 30;
     FailoverResult r = RunFailover(config);
-    state.SetIterationTime(CyclesToSeconds(r.makespan));
-    state.counters["ops_per_sec"] = r.ops_per_sec;
-    state.counters["recover_latency_us"] = CyclesToMicros(r.recover_latency);
-    state.counters["client_retries"] = static_cast<double>(r.client_retries);
+    WorkloadResult out;
+    out.Add("ops_per_sec", r.ops_per_sec);
+    out.Add("recover_latency_us", CyclesToMicros(r.recover_latency), "us");
+    out.Add("client_retries", static_cast<double>(r.client_retries));
+    bench::Report(state, r.makespan, out);
   }
 }
 BENCHMARK(BM_FailoverMakespan)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
@@ -129,9 +132,4 @@ BENCHMARK(BM_FailoverMakespan)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterati
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

@@ -89,8 +89,9 @@ void BM_Nginx(benchmark::State& state) {
     run.services = 32;
     run.servers = static_cast<uint32_t>(state.range(0));
     NginxRunResult result = RunNginx(run);
-    state.SetIterationTime(CyclesToSeconds(run.window));
-    state.counters["requests_per_s"] = result.requests_per_sec;
+    WorkloadResult out;
+    out.Add("requests_per_s", result.requests_per_sec);
+    bench::Report(state, run.window, out);
   }
 }
 BENCHMARK(BM_Nginx)->Arg(32)->Arg(128)->Arg(256)->UseManualTime()->Iterations(1)
@@ -99,9 +100,4 @@ BENCHMARK(BM_Nginx)->Arg(32)->Arg(128)->Arg(256)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

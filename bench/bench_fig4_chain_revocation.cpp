@@ -72,7 +72,7 @@ void PrintFigure() {
 void BM_ChainLocal(benchmark::State& state) {
   uint32_t len = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(RevokeChain(1, KernelMode::kSemperOSMulti, len)));
+    bench::ReportSpan(state, RevokeChain(1, KernelMode::kSemperOSMulti, len));
   }
 }
 BENCHMARK(BM_ChainLocal)->Arg(10)->Arg(50)->Arg(100)->UseManualTime()->Iterations(1)
@@ -81,7 +81,7 @@ BENCHMARK(BM_ChainLocal)->Arg(10)->Arg(50)->Arg(100)->UseManualTime()->Iteration
 void BM_ChainSpanning(benchmark::State& state) {
   uint32_t len = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(RevokeChain(2, KernelMode::kSemperOSMulti, len)));
+    bench::ReportSpan(state, RevokeChain(2, KernelMode::kSemperOSMulti, len));
   }
 }
 BENCHMARK(BM_ChainSpanning)->Arg(10)->Arg(50)->Arg(100)->UseManualTime()->Iterations(1)
@@ -90,9 +90,4 @@ BENCHMARK(BM_ChainSpanning)->Arg(10)->Arg(50)->Arg(100)->UseManualTime()->Iterat
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

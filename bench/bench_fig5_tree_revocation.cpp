@@ -81,7 +81,7 @@ void PrintFigure() {
 void BM_TreeRevokeLocal(benchmark::State& state) {
   uint32_t n = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(RevokeTree(0, n)));
+    bench::ReportSpan(state, RevokeTree(0, n));
   }
 }
 BENCHMARK(BM_TreeRevokeLocal)->Arg(32)->Arg(128)->UseManualTime()->Iterations(1)
@@ -90,7 +90,7 @@ BENCHMARK(BM_TreeRevokeLocal)->Arg(32)->Arg(128)->UseManualTime()->Iterations(1)
 void BM_TreeRevokeTwelveKernels(benchmark::State& state) {
   uint32_t n = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(RevokeTree(12, n)));
+    bench::ReportSpan(state, RevokeTree(12, n));
   }
 }
 BENCHMARK(BM_TreeRevokeTwelveKernels)->Arg(32)->Arg(128)->UseManualTime()->Iterations(1)
@@ -99,9 +99,4 @@ BENCHMARK(BM_TreeRevokeTwelveKernels)->Arg(32)->Arg(128)->UseManualTime()->Itera
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

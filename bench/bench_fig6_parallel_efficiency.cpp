@@ -70,8 +70,9 @@ void BM_ParallelEfficiency(benchmark::State& state) {
     config.services = kServices;
     config.instances = 256;
     AppRunResult result = RunApp(config);
-    state.SetIterationTime(CyclesToSeconds(result.makespan));
-    state.counters["mean_runtime_us"] = result.mean_runtime_us;
+    WorkloadResult out;
+    out.Add("mean_runtime_us", result.mean_runtime_us, "us");
+    bench::Report(state, result.makespan, out);
   }
   state.SetLabel(app);
 }
@@ -81,9 +82,4 @@ BENCHMARK(BM_ParallelEfficiency)->DenseRange(0, 5)->UseManualTime()->Iterations(
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

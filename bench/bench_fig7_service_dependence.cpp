@@ -72,7 +72,7 @@ void BM_ServiceSweepSqlite(benchmark::State& state) {
     config.services = services;
     config.instances = 256;
     AppRunResult result = RunApp(config);
-    state.SetIterationTime(CyclesToSeconds(result.makespan));
+    bench::ReportSpan(state, result.makespan);
   }
 }
 BENCHMARK(BM_ServiceSweepSqlite)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)
@@ -81,9 +81,4 @@ BENCHMARK(BM_ServiceSweepSqlite)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Ite
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

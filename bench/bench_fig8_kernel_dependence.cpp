@@ -74,7 +74,7 @@ void BM_KernelSweepPostmark(benchmark::State& state) {
     config.services = kFixedServices;
     config.instances = 256;
     AppRunResult result = RunApp(config);
-    state.SetIterationTime(CyclesToSeconds(result.makespan));
+    bench::ReportSpan(state, result.makespan);
   }
 }
 BENCHMARK(BM_KernelSweepPostmark)->Arg(4)->Arg(16)->Arg(64)->UseManualTime()->Iterations(1)
@@ -96,11 +96,12 @@ void BM_ScalePointPostmark1024(benchmark::State& state) {
     config.services = kFixedServices;
     config.instances = 1024;
     AppRunResult result = RunApp(config);
-    state.counters["parallel_efficiency"] =
-        100.0 * ParallelEfficiency(SoloRuntimeUs(config.app, config.kernels, config.services),
-                                   result.mean_runtime_us);
-    state.counters["cap_ops_per_s"] = result.cap_ops_per_sec;
-    state.SetIterationTime(CyclesToSeconds(result.makespan));
+    WorkloadResult out;
+    out.Add("parallel_efficiency",
+            100.0 * ParallelEfficiency(SoloRuntimeUs(config.app, config.kernels, config.services),
+                                       result.mean_runtime_us));
+    out.Add("cap_ops_per_s", result.cap_ops_per_sec);
+    bench::Report(state, result.makespan, out);
   }
 }
 BENCHMARK(BM_ScalePointPostmark1024)->UseManualTime()->Iterations(1)
@@ -109,9 +110,4 @@ BENCHMARK(BM_ScalePointPostmark1024)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

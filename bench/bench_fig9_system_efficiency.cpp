@@ -95,7 +95,7 @@ void BM_SystemEfficiency(benchmark::State& state) {
     run.services = config.services;
     run.instances = 256 - config.kernels - config.services;
     AppRunResult result = RunApp(run);
-    state.SetIterationTime(CyclesToSeconds(result.makespan));
+    bench::ReportSpan(state, result.makespan);
   }
 }
 BENCHMARK(BM_SystemEfficiency)->DenseRange(0, 5)->UseManualTime()->Iterations(1)
@@ -104,9 +104,4 @@ BENCHMARK(BM_SystemEfficiency)->DenseRange(0, 5)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

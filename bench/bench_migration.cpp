@@ -93,7 +93,7 @@ void PrintFigure() {
 void BM_MigrationLatencyVsCaps(benchmark::State& state) {
   uint32_t caps = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(MigrateOnce(2, caps)));
+    bench::ReportSpan(state, MigrateOnce(2, caps));
   }
 }
 BENCHMARK(BM_MigrationLatencyVsCaps)->Arg(8)->Arg(64)->Arg(256)->UseManualTime()->Iterations(1)
@@ -102,7 +102,7 @@ BENCHMARK(BM_MigrationLatencyVsCaps)->Arg(8)->Arg(64)->Arg(256)->UseManualTime()
 void BM_MigrationLatencyVsKernels(benchmark::State& state) {
   uint32_t kernels = static_cast<uint32_t>(state.range(0));
   for (auto _ : state) {
-    state.SetIterationTime(CyclesToSeconds(MigrateOnce(kernels, 32)));
+    bench::ReportSpan(state, MigrateOnce(kernels, 32));
   }
 }
 BENCHMARK(BM_MigrationLatencyVsKernels)->Arg(2)->Arg(8)->Arg(32)->UseManualTime()->Iterations(1)
@@ -117,10 +117,11 @@ void BM_RebalanceMakespan(benchmark::State& state) {
     config.ops_per_client = 30;
     config.migrate_pes = users / 2 > 0 ? users / 2 : 1;
     RebalanceResult r = RunRebalance(config);
-    state.SetIterationTime(CyclesToSeconds(r.makespan));
-    state.counters["ops_per_sec"] = r.ops_per_sec;
-    state.counters["migration_latency_us"] = CyclesToMicros(r.migration_latency_max);
-    state.counters["forwarded_ikcs"] = static_cast<double>(r.forwarded_ikcs);
+    WorkloadResult out;
+    out.Add("ops_per_sec", r.ops_per_sec);
+    out.Add("migration_latency_us", CyclesToMicros(r.migration_latency_max), "us");
+    out.Add("forwarded_ikcs", static_cast<double>(r.forwarded_ikcs));
+    bench::Report(state, r.makespan, out);
   }
 }
 BENCHMARK(BM_RebalanceMakespan)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterations(1)
@@ -129,9 +130,4 @@ BENCHMARK(BM_RebalanceMakespan)->Arg(2)->Arg(4)->Arg(8)->UseManualTime()->Iterat
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintFigure();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintFigure)

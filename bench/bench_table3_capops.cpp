@@ -75,7 +75,7 @@ void PrintTable() {
 void BM_ExchangeLocal(benchmark::State& state) {
   for (auto _ : state) {
     OpTimes t = MeasureOnce(1, KernelMode::kSemperOSMulti);
-    state.SetIterationTime(CyclesToSeconds(t.exchange));
+    bench::ReportSpan(state, t.exchange);
   }
 }
 BENCHMARK(BM_ExchangeLocal)->UseManualTime()->Iterations(3)->Unit(benchmark::kMicrosecond);
@@ -83,7 +83,7 @@ BENCHMARK(BM_ExchangeLocal)->UseManualTime()->Iterations(3)->Unit(benchmark::kMi
 void BM_ExchangeSpanning(benchmark::State& state) {
   for (auto _ : state) {
     OpTimes t = MeasureOnce(2, KernelMode::kSemperOSMulti);
-    state.SetIterationTime(CyclesToSeconds(t.exchange));
+    bench::ReportSpan(state, t.exchange);
   }
 }
 BENCHMARK(BM_ExchangeSpanning)->UseManualTime()->Iterations(3)->Unit(benchmark::kMicrosecond);
@@ -91,7 +91,7 @@ BENCHMARK(BM_ExchangeSpanning)->UseManualTime()->Iterations(3)->Unit(benchmark::
 void BM_RevokeLocal(benchmark::State& state) {
   for (auto _ : state) {
     OpTimes t = MeasureOnce(1, KernelMode::kSemperOSMulti);
-    state.SetIterationTime(CyclesToSeconds(t.revoke));
+    bench::ReportSpan(state, t.revoke);
   }
 }
 BENCHMARK(BM_RevokeLocal)->UseManualTime()->Iterations(3)->Unit(benchmark::kMicrosecond);
@@ -99,7 +99,7 @@ BENCHMARK(BM_RevokeLocal)->UseManualTime()->Iterations(3)->Unit(benchmark::kMicr
 void BM_RevokeSpanning(benchmark::State& state) {
   for (auto _ : state) {
     OpTimes t = MeasureOnce(2, KernelMode::kSemperOSMulti);
-    state.SetIterationTime(CyclesToSeconds(t.revoke));
+    bench::ReportSpan(state, t.revoke);
   }
 }
 BENCHMARK(BM_RevokeSpanning)->UseManualTime()->Iterations(3)->Unit(benchmark::kMicrosecond);
@@ -107,9 +107,4 @@ BENCHMARK(BM_RevokeSpanning)->UseManualTime()->Iterations(3)->Unit(benchmark::kM
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintTable)

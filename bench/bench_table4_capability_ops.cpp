@@ -81,8 +81,9 @@ void BM_CapOpsRate(benchmark::State& state) {
     config.services = 8;
     config.instances = 64;
     AppRunResult result = RunApp(config);
-    state.SetIterationTime(CyclesToSeconds(result.makespan));
-    state.counters["cap_ops_per_s"] = result.cap_ops_per_sec;
+    WorkloadResult out;
+    out.Add("cap_ops_per_s", result.cap_ops_per_sec);
+    bench::Report(state, result.makespan, out);
   }
   state.SetLabel(row.name);
 }
@@ -92,9 +93,4 @@ BENCHMARK(BM_CapOpsRate)->DenseRange(0, 5)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace semperos
 
-int main(int argc, char** argv) {
-  semperos::PrintTable();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
-}
+SEMPEROS_BENCH_MAIN(semperos::PrintTable)

@@ -6,10 +6,16 @@
 #ifndef SEMPEROS_BENCH_BENCH_UTIL_H_
 #define SEMPEROS_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
 #include <vector>
+
+#include "base/types.h"
+#include "workloads/registry.h"
 
 namespace semperos {
 namespace bench {
@@ -43,7 +49,43 @@ std::vector<T> Sweep(std::vector<T> full, size_t keep = 2) {
   return out;
 }
 
+// Charges `span` simulated cycles as the iteration's manual time. Every
+// figure/table benchmark reports modeled time this way; wall-clock benches
+// (bench_simcore) measure real time instead and don't use it.
+inline void ReportSpan(benchmark::State& state, Cycles span) {
+  state.SetIterationTime(CyclesToSeconds(span));
+}
+
+// Reports one iteration from a structured WorkloadResult: `span` becomes the
+// manual iteration time and every named metric becomes a benchmark counter
+// (google-benchmark serializes counters sorted by name, so insertion order
+// doesn't affect the emitted JSON).
+inline void Report(benchmark::State& state, Cycles span, const WorkloadResult& result) {
+  ReportSpan(state, span);
+  for (const WorkloadMetric& metric : result.metrics) {
+    state.counters[metric.name] = metric.value;
+  }
+}
+
+// Shared main(): print the human-readable figures/tables, then hand argv to
+// google-benchmark so run_all.sh can request JSON output.
+inline int BenchMain(int argc, char** argv, std::initializer_list<void (*)()> prologues) {
+  for (void (*fn)() : prologues) {
+    fn();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}
+
 }  // namespace bench
 }  // namespace semperos
+
+// Replaces the once copy-pasted per-binary main(); pass the print functions
+// to run before the benchmark pass.
+#define SEMPEROS_BENCH_MAIN(...)                                  \
+  int main(int argc, char** argv) {                               \
+    return semperos::bench::BenchMain(argc, argv, {__VA_ARGS__}); \
+  }
 
 #endif  // SEMPEROS_BENCH_BENCH_UTIL_H_

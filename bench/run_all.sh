@@ -33,6 +33,7 @@ BENCHES=(
   bench_migration
   bench_failover
   bench_ablation
+  bench_traffic
 )
 
 failed=0

@@ -33,7 +33,7 @@ constexpr Cycles MicrosToCycles(double us) {
 }
 
 // Index of a processing element (tile) in the platform. The paper's largest
-// configuration has 640 PEs; we allow up to 4096.
+// configuration has 640 PEs; the traffic harness boots meshes past 10k.
 using NodeId = uint32_t;
 inline constexpr NodeId kInvalidNode = 0xffffffffu;
 

@@ -3,7 +3,7 @@
 // Every kernel object and capability that must be referable by other kernels
 // gets a DDL key — a 64-bit global identifier split into regions:
 //
-//   [ PE id : 12 | VPE id : 12 | type : 8 | object id : 32 ]
+//   [ PE id : 14 | VPE id : 14 | type : 8 | object id : 28 ]
 //
 // The PE-id region partitions the key space; the (replicated) membership
 // table maps partitions to kernels, which defines the PE groups. Given any
@@ -44,10 +44,15 @@ const char* CapTypeName(CapType type);
 
 class DdlKey {
  public:
-  static constexpr int kPeBits = 12;
-  static constexpr int kVpeBits = 12;
+  // The PE and VPE fields cap the platform size (VPE ids are numbered
+  // globally, so both scale with the mesh); 14 bits covers the traffic
+  // harness's 10k+-PE open-loop scale points. Widening them is safe for key
+  // *ordering* — the field order (pe, vpe, type, obj) is what sorts — but
+  // changes raw values, so nothing may depend on absolute keys.
+  static constexpr int kPeBits = 14;
+  static constexpr int kVpeBits = 14;
   static constexpr int kTypeBits = 8;
-  static constexpr int kObjBits = 32;
+  static constexpr int kObjBits = 28;
 
   constexpr DdlKey() : raw_(0) {}
   constexpr explicit DdlKey(uint64_t raw) : raw_(raw) {}

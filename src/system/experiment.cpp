@@ -9,13 +9,6 @@
 
 namespace semperos {
 
-namespace {
-
-// Image-region headroom per instance for files created during the run.
-constexpr uint64_t kGrowthHeadroom = 32ull * 1024 * 1024;
-
-// Installs one m3fs instance per service PE, each with its own image copy
-// (paper §5.3.1: "each having its own copy of the filesystem image").
 void AttachServices(Platform* platform, const FsImage& image, const TimingModel& timing,
                     uint64_t region_bytes) {
   uint32_t index = 0;
@@ -30,8 +23,6 @@ void AttachServices(Platform* platform, const FsImage& image, const TimingModel&
     ++index;
   }
 }
-
-}  // namespace
 
 AppRunResult RunApp(const AppRunConfig& config) {
   TimingModel timing = TimingModel::For(config.mode);

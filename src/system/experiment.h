@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/timing.h"
+#include "fs/fs_image.h"
 #include "system/platform.h"
 #include "trace/replayer.h"
 // Elasticity experiment (RunRebalance): cross-group capability traffic with
@@ -22,6 +23,16 @@
 #include "workloads/failover.h"
 
 namespace semperos {
+
+// Image-region headroom per instance for files created during a run.
+inline constexpr uint64_t kGrowthHeadroom = 32ull * 1024 * 1024;
+
+// Installs one m3fs instance per service PE, each with its own image copy
+// (paper §5.3.1: "each having its own copy of the filesystem image").
+// Shared by the experiment shapes below and the open-loop traffic harness
+// (src/traffic).
+void AttachServices(Platform* platform, const FsImage& image, const TimingModel& timing,
+                    uint64_t region_bytes);
 
 struct AppRunConfig {
   std::string app = "tar";

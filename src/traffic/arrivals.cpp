@@ -1,0 +1,221 @@
+#include "traffic/arrivals.h"
+
+#include "base/log.h"
+
+namespace semperos {
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+bool ParseArrivalProcess(const std::string& text, ArrivalProcess* out) {
+  if (text == "poisson") {
+    *out = ArrivalProcess::kPoisson;
+  } else if (text == "bursty") {
+    *out = ArrivalProcess::kBursty;
+  } else if (text == "diurnal") {
+    *out = ArrivalProcess::kDiurnal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double SampleExp(Rng* rng) {
+  // Von Neumann (1951): draw uniforms u1 >= u2 >= ... >= u_n < u_{n+1}. If
+  // the descending run length n is odd, accept u1 + l; otherwise bump the
+  // integer part l and retry. ~e draws per trial, no transcendentals.
+  double l = 0.0;
+  for (;;) {
+    double u1 = rng->NextDouble();
+    double prev = u1;
+    uint64_t n = 1;
+    for (;;) {
+      double next = rng->NextDouble();
+      if (!(next < prev)) {
+        break;
+      }
+      prev = next;
+      ++n;
+    }
+    if (n % 2 == 1) {
+      return l + u1;
+    }
+    l += 1.0;
+  }
+}
+
+namespace {
+
+// Exponential duration with integer mean, in cycles, >= 1. The single
+// multiply + truncate is one IEEE operation each — nothing for the compiler
+// to contract — so results match bit-for-bit across gcc and clang.
+Cycles SampleExpCycles(Rng* rng, Cycles mean) {
+  double x = SampleExp(rng);
+  Cycles d = static_cast<Cycles>(x * static_cast<double>(mean));
+  return d == 0 ? 1 : d;
+}
+
+// On/off churn gate: replays the generator's session/offline timeline up to
+// `t` and reports whether the client is connected. Times are integers, so
+// the gate is exact.
+class ChurnGate {
+ public:
+  ChurnGate(const ArrivalSpec& spec, uint64_t seed)
+      : enabled_(spec.session_mean != 0 && spec.offline_mean != 0),
+        session_mean_(spec.session_mean),
+        offline_mean_(spec.offline_mean),
+        rng_(seed) {
+    if (enabled_) {
+      phase_end_ = SampleExpCycles(&rng_, session_mean_);
+    }
+  }
+
+  bool ConnectedAt(Cycles t) {
+    if (!enabled_) {
+      return true;
+    }
+    while (t >= phase_end_) {
+      online_ = !online_;
+      phase_end_ += SampleExpCycles(&rng_, online_ ? session_mean_ : offline_mean_);
+    }
+    return online_;
+  }
+
+ private:
+  bool enabled_;
+  bool online_ = true;
+  Cycles session_mean_;
+  Cycles offline_mean_;
+  Rng rng_;
+  Cycles phase_end_ = 0;
+};
+
+// Burst gate for the bursty process: replays the burst/idle timeline and
+// reports whether `t` falls inside a burst.
+class BurstGate {
+ public:
+  BurstGate(const ArrivalSpec& spec, uint64_t seed)
+      : burst_mean_(spec.burst_mean), idle_mean_(spec.idle_mean), rng_(seed) {
+    phase_end_ = SampleExpCycles(&rng_, idle_mean_);  // start idle
+  }
+
+  bool BurstingAt(Cycles t) {
+    while (t >= phase_end_) {
+      bursting_ = !bursting_;
+      phase_end_ += SampleExpCycles(&rng_, bursting_ ? burst_mean_ : idle_mean_);
+    }
+    return bursting_;
+  }
+
+ private:
+  Cycles burst_mean_;
+  Cycles idle_mean_;
+  Rng rng_;
+  bool bursting_ = false;
+  Cycles phase_end_ = 0;
+};
+
+uint64_t MixSeed(uint64_t seed, uint32_t generator, uint32_t stream) {
+  // Golden-ratio stride keeps per-generator streams decorrelated; Rng's
+  // SplitMix64 init scrambles further.
+  return seed + 0x9E3779B97F4A7C15ull * (static_cast<uint64_t>(generator) * 4 + stream + 1);
+}
+
+}  // namespace
+
+std::vector<Cycles> BuildArrivalSchedule(const ArrivalSpec& spec, uint64_t seed,
+                                         uint32_t generator, uint32_t generators,
+                                         uint64_t count) {
+  CHECK(generators > 0) << "BuildArrivalSchedule: zero generators";
+  CHECK(generator < generators) << "BuildArrivalSchedule: generator out of range";
+  CHECK(spec.rate_rps > 0.0) << "BuildArrivalSchedule: rate must be positive";
+
+  std::vector<Cycles> schedule;
+  schedule.reserve(count);
+  if (count == 0) {
+    return schedule;
+  }
+
+  // Candidate stream: homogeneous Poisson at this generator's share of the
+  // peak rate; thinning (acceptance sampling) shapes it into the requested
+  // process. The acceptance test is integer-only so no float comparison can
+  // flip across compilers.
+  double per_gen_rps = spec.rate_rps / static_cast<double>(generators);
+  uint32_t peak_num = 1, peak_den = 1;  // peak rate = base * peak_num / peak_den
+  switch (spec.process) {
+    case ArrivalProcess::kPoisson:
+      break;
+    case ArrivalProcess::kBursty:
+      CHECK(spec.burst_factor >= 1) << "BuildArrivalSchedule: burst_factor >= 1";
+      peak_num = spec.burst_factor;
+      break;
+    case ArrivalProcess::kDiurnal:
+      CHECK(spec.amplitude_pct <= 100) << "BuildArrivalSchedule: amplitude_pct <= 100";
+      CHECK(spec.diurnal_period >= 2) << "BuildArrivalSchedule: diurnal period too short";
+      peak_num = 100 + spec.amplitude_pct;
+      peak_den = 100;
+      break;
+  }
+  double peak_rps = per_gen_rps * static_cast<double>(peak_num) / static_cast<double>(peak_den);
+  // Mean candidate gap in cycles; the division is a single exact-rounded op.
+  double mean_gap = static_cast<double>(kClockHz) / peak_rps;
+  CHECK(mean_gap >= 1.0) << "BuildArrivalSchedule: rate exceeds one request/cycle/generator";
+
+  Rng gaps(MixSeed(seed, generator, 0));
+  Rng thin(MixSeed(seed, generator, 1));
+  BurstGate burst(spec, MixSeed(seed, generator, 2));
+  ChurnGate churn(spec, MixSeed(seed, generator, 3));
+
+  Cycles t = 0;
+  while (schedule.size() < count) {
+    double x = SampleExp(&gaps);
+    Cycles gap = static_cast<Cycles>(x * mean_gap);
+    t += gap == 0 ? 1 : gap;
+
+    bool accept = true;
+    switch (spec.process) {
+      case ArrivalProcess::kPoisson:
+        break;
+      case ArrivalProcess::kBursty:
+        // Inside a burst the candidate rate is the true rate; outside,
+        // accept 1-in-burst_factor to fall back to the base rate.
+        if (!burst.BurstingAt(t)) {
+          accept = thin.NextBelow(spec.burst_factor) == 0;
+        }
+        break;
+      case ArrivalProcess::kDiurnal: {
+        // Triangle wave on integer phase: distance d from the trough, in
+        // [0, half]; rate(t) proportional to 100*half + amp*(2d - half).
+        Cycles half = spec.diurnal_period / 2;
+        Cycles phase = t % spec.diurnal_period;
+        Cycles d = phase < half ? phase : spec.diurnal_period - phase;
+        // accept iff u < rate(t)/peak, as integers scaled by 100*half:
+        // rate(t)   ~ (100 - amp)*half + 2*amp*d
+        // peak rate ~ (100 + amp)*half
+        uint64_t amp = spec.amplitude_pct;
+        uint64_t num = (100 - amp) * half + 2 * amp * d;
+        uint64_t den = (100 + amp) * half;
+        accept = thin.NextBelow(den) < num;
+        break;
+      }
+    }
+    if (accept && !churn.ConnectedAt(t)) {
+      accept = false;
+    }
+    if (accept) {
+      schedule.push_back(t);
+    }
+  }
+  return schedule;
+}
+
+}  // namespace semperos

@@ -1,0 +1,169 @@
+// Streaming latency histogram (HDR-style log-linear buckets).
+//
+// The open-loop traffic harness records one latency sample per measured
+// request — millions per scale point — so percentiles must come from a
+// fixed-size streaming structure, not a sorted sample vector. Buckets are
+// log-linear: values below 2^kSubBits cycles are exact; above that, each
+// power-of-two octave is split into 2^kSubBits linear sub-buckets, bounding
+// the relative quantization error by 2^-kSubBits (~3% at the default 5
+// bits) at any magnitude. Everything is integer arithmetic on integer
+// cycle counts, so histograms are bit-identical across reruns, thread
+// counts and compilers — the equivalence suite compares them directly.
+//
+// Percentile definition (docs/benchmarks.md, "Open-loop methodology"):
+// Percentile(q) is the upper edge of the bucket holding the nearest-rank
+// sample ceil(q * count), clamped to the exact observed maximum. p0 is the
+// exact minimum.
+#ifndef SEMPEROS_TRAFFIC_HISTOGRAM_H_
+#define SEMPEROS_TRAFFIC_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/log.h"
+#include "base/types.h"
+
+namespace semperos {
+
+class LatencyHistogram {
+ public:
+  static constexpr uint32_t kSubBits = 5;  // 32 linear sub-buckets per octave
+  static constexpr uint32_t kSubBuckets = 1u << kSubBits;
+
+  void Record(Cycles value) {
+    uint32_t index = BucketOf(value);
+    if (index >= buckets_.size()) {
+      buckets_.resize(index + 1, 0);
+    }
+    buckets_[index]++;
+    count_++;
+    sum_ += value;
+    min_ = value < min_ ? value : min_;
+    max_ = value > max_ ? value : max_;
+  }
+
+  uint64_t count() const { return count_; }
+  Cycles min() const { return count_ == 0 ? 0 : min_; }
+  Cycles max() const { return max_; }
+  double Mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  // Nearest-rank percentile, in cycles. q in [0, 1].
+  Cycles Percentile(double q) const {
+    if (count_ == 0) {
+      return 0;
+    }
+    if (q <= 0.0) {
+      return min_;
+    }
+    uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (static_cast<double>(rank) < q * static_cast<double>(count_)) {
+      ++rank;  // ceil
+    }
+    if (rank < 1) {
+      rank = 1;
+    }
+    if (rank > count_) {
+      rank = count_;
+    }
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < buckets_.size(); ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) {
+        Cycles upper = BucketUpper(i);
+        return upper > max_ ? max_ : upper;
+      }
+    }
+    return max_;
+  }
+
+  void Merge(const LatencyHistogram& other) {
+    if (other.count_ == 0) {
+      return;
+    }
+    if (other.buckets_.size() > buckets_.size()) {
+      buckets_.resize(other.buckets_.size(), 0);
+    }
+    for (uint32_t i = 0; i < other.buckets_.size(); ++i) {
+      buckets_[i] += other.buckets_[i];
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = other.min_ < min_ ? other.min_ : min_;
+    max_ = other.max_ > max_ ? other.max_ : max_;
+  }
+
+  // Order-independent 64-bit digest of the full bucket contents (plus the
+  // exact extremes), for determinism assertions: two histograms with equal
+  // fingerprints recorded the same multiset of bucketed samples.
+  uint64_t Fingerprint() const {
+    uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over (index, count) pairs
+    auto mix = [&h](uint64_t v) {
+      for (int b = 0; b < 8; ++b) {
+        h ^= (v >> (8 * b)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    };
+    for (uint32_t i = 0; i < buckets_.size(); ++i) {
+      if (buckets_[i] != 0) {
+        mix(i);
+        mix(buckets_[i]);
+      }
+    }
+    mix(count_);
+    mix(sum_);
+    mix(min_ == UINT64_MAX ? 0 : min_);
+    mix(max_);
+    return h;
+  }
+
+  bool operator==(const LatencyHistogram& other) const {
+    if (count_ != other.count_ || sum_ != other.sum_ || max_ != other.max_ ||
+        min() != other.min()) {
+      return false;
+    }
+    size_t n = buckets_.size() > other.buckets_.size() ? buckets_.size() : other.buckets_.size();
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t a = i < buckets_.size() ? buckets_[i] : 0;
+      uint64_t b = i < other.buckets_.size() ? other.buckets_[i] : 0;
+      if (a != b) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // Bucket index of a value: identity below 2^kSubBits, log-linear above.
+  static uint32_t BucketOf(Cycles value) {
+    if (value < kSubBuckets) {
+      return static_cast<uint32_t>(value);
+    }
+    uint32_t msb = 63 - static_cast<uint32_t>(__builtin_clzll(value));
+    uint32_t shift = msb - kSubBits;
+    uint32_t sub = static_cast<uint32_t>(value >> shift) - kSubBuckets;
+    return (msb - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  // Largest value mapping to bucket `index` (inclusive upper edge).
+  static Cycles BucketUpper(uint32_t index) {
+    if (index < kSubBuckets) {
+      return index;
+    }
+    uint32_t octave = index / kSubBuckets;      // >= 1
+    uint32_t sub = index % kSubBuckets;
+    uint32_t shift = octave - 1;                 // msb = octave + kSubBits - 1
+    return ((static_cast<Cycles>(kSubBuckets + sub) + 1) << shift) - 1;
+  }
+
+ private:
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  Cycles min_ = UINT64_MAX;
+  Cycles max_ = 0;
+};
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_TRAFFIC_HISTOGRAM_H_

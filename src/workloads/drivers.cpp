@@ -1,0 +1,632 @@
+// Built-in workload drivers: one WorkloadSpec per experiment the simulator
+// can run, registered with the global WorkloadRegistry. This file is the
+// only place that knows how to map CLI parameters onto the experiment
+// configs (AppRunConfig, NginxRunConfig, FailoverConfig, RebalanceConfig,
+// StormConfig, TrafficConfig) and how to fold the experiment results into
+// the structured WorkloadResult the CLI and bench binaries consume.
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "chaos/storm.h"
+#include "fs/service.h"
+#include "system/client.h"
+#include "system/experiment.h"
+#include "trace/replayer.h"
+#include "trace/trace_io.h"
+#include "traffic/traffic.h"
+#include "workloads/registry.h"
+#include "workloads/workloads.h"
+
+namespace semperos {
+
+namespace {
+
+std::string Fmt(const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+// Parameter specs shared by the platform-shaped workloads.
+ParamSpec Kernels(const char* def) {
+  return {"kernels", ParamType::kU32, def, "kernel PEs", {}};
+}
+ParamSpec Services(const char* def) {
+  return {"services", ParamType::kU32, def, "m3fs service PEs", {}};
+}
+
+// ---- trace-replay apps (Figures 6-9, Table 4) ----
+
+WorkloadResult RunAppDriver(const std::string& app, const WorkloadParams& p) {
+  AppRunConfig config;
+  config.app = app;
+  config.kernels = p.U32("kernels");
+  config.services = p.U32("services");
+  config.instances = p.U32("instances");
+  config.mode = p.Str("mode") == "m3" ? KernelMode::kM3SingleKernel : KernelMode::kSemperOSMulti;
+  if (config.mode == KernelMode::kM3SingleKernel) {
+    config.kernels = 1;  // the M3 baseline is a single-kernel system
+  }
+  config.threads = p.Threads();
+  double solo = SoloRuntimeUs(app, config.kernels, config.services, config.mode);
+  AppRunResult r = RunApp(config);
+
+  WorkloadResult out;
+  out.Note(Fmt("%s: %u instances on %u kernels + %u services (%s%s)", app.c_str(),
+               config.instances, config.kernels, config.services,
+               config.mode == KernelMode::kM3SingleKernel ? "M3 baseline" : "SemperOS",
+               p.Bool("batching") ? ", batching" : ""));
+  double parallel_eff = ParallelEfficiency(solo, r.mean_runtime_us);
+  out.Add("solo_runtime", solo, "us");
+  out.Add("mean_runtime", r.mean_runtime_us, "us");
+  out.Add("max_runtime", r.max_runtime_us, "us");
+  out.Add("parallel_eff", 100.0 * parallel_eff, "%");
+  out.Add("system_eff",
+          100.0 * SystemEfficiency(parallel_eff, config.instances, config.kernels,
+                                   config.services),
+          "%");
+  out.Add("cap_ops", static_cast<double>(r.total_cap_ops));
+  out.Add("cap_ops_per_sec", r.cap_ops_per_sec, "/s");
+  out.Add("makespan", static_cast<double>(r.makespan), "cycles");
+  out.Add("events", static_cast<double>(r.events));
+  out.has_kernel_stats = true;
+  out.kernel_stats = r.kernel_stats;
+  out.engine_parallel = r.engine_parallel;
+  out.engine_stats = r.engine_stats;
+  return out;
+}
+
+void RegisterApps() {
+  for (const std::string& app : WorkloadNames()) {
+    WorkloadSpec spec;
+    spec.name = app;
+    spec.summary = Fmt("trace-replay app, %u cap ops per instance (Figures 6-9, Table 4)",
+                       ExpectedCapOps(app));
+    spec.supports_strict = true;
+    spec.params = {Kernels("8"), Services("8"),
+                   {"instances", ParamType::kU32, "64", "parallel app instances", {}},
+                   {"mode", ParamType::kString, "semperos", "kernel mode", {"semperos", "m3"}},
+                   {"batching", ParamType::kBool, "0", "revocation batching (annotation)", {}}};
+    spec.run = [app](const WorkloadParams& p) { return RunAppDriver(app, p); };
+    WorkloadRegistry::Global().Register(std::move(spec));
+  }
+}
+
+// ---- nginx: closed-loop webserver benchmark (Figure 10) ----
+
+void RegisterNginx() {
+  WorkloadSpec spec;
+  spec.name = "nginx";
+  spec.summary = "closed-loop webserver benchmark (Figure 10)";
+  spec.supports_strict = true;
+  spec.params = {Kernels("8"), Services("8"),
+                 {"servers", ParamType::kU32, "32", "webserver PEs (one loadgen each)", {}}};
+  spec.run = [](const WorkloadParams& p) {
+    NginxRunConfig config;
+    config.kernels = p.U32("kernels");
+    config.services = p.U32("services");
+    config.servers = p.U32("servers");
+    config.threads = p.Threads();
+    NginxRunResult r = RunNginx(config);
+    WorkloadResult out;
+    out.Note(Fmt("nginx: %u servers, %u kernels, %u services", config.servers, config.kernels,
+                 config.services));
+    out.Add("completed", static_cast<double>(r.completed));
+    out.Add("requests_per_sec", r.requests_per_sec, "/s");
+    out.engine_parallel = r.engine_parallel;
+    out.engine_stats = r.engine_stats;
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+// ---- micro: single-operation latencies (Table 3) ----
+
+void RegisterMicro() {
+  WorkloadSpec spec;
+  spec.name = "micro";
+  spec.summary = "single-operation latencies (Table 3)";
+  spec.run = [](const WorkloadParams&) {
+    WorkloadResult out;
+    out.Note("capability operation latencies (cycles @ 2 GHz)");
+    for (KernelMode mode : {KernelMode::kSemperOSMulti, KernelMode::kM3SingleKernel}) {
+      for (uint32_t kernels : {1u, 2u}) {
+        if (mode == KernelMode::kM3SingleKernel && kernels == 2) {
+          continue;
+        }
+        DriverRig rig = MakeDriverRig(kernels, 2, mode);
+        CapSel sel = rig.Grant(0);
+        Cycles exch = rig.TimedOp([&](std::function<void()> done) {
+          rig.client(1).env().Obtain(rig.vpe(0), sel, [done](const SyscallReply& r) {
+            CHECK(r.err == ErrCode::kOk);
+            done();
+          });
+        });
+        Cycles rev = rig.TimedOp([&](std::function<void()> done) {
+          rig.client(0).env().Revoke(sel, [done](const SyscallReply& r) {
+            CHECK(r.err == ErrCode::kOk);
+            done();
+          });
+        });
+        const char* sys = mode == KernelMode::kM3SingleKernel ? "M3" : "SemperOS";
+        const char* scope = kernels == 1 ? "local" : "spanning";
+        out.Note(Fmt("  %-9s %-9s exchange=%llu revoke=%llu", sys, scope,
+                     (unsigned long long)exch, (unsigned long long)rev));
+      }
+    }
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+// ---- failover: crash-recovery workload (src/ft) ----
+
+void RegisterFailover() {
+  WorkloadSpec spec;
+  spec.name = "failover";
+  spec.summary = "crash-recovery workload (src/ft): kill a kernel mid-run";
+  spec.detail = {"survivors detect (heartbeats + quorum), re-partition the dead DDL",
+                 "range, revoke orphaned subtrees and adopt the PEs;",
+                 "tune with --fail-kernel=<id>@<us>"};
+  spec.supports_strict = true;
+  spec.params = {Kernels("8"),
+                 {"instances", ParamType::kU32, "64", "clients (split across kernels)", {}},
+                 {"fail-kernel", ParamType::kString, "1", "victim kernel: <id>[@<us>]", {}}};
+  spec.validate = [](const WorkloadParams& p) -> std::string {
+    uint32_t kernels = p.U32("kernels");
+    if (kernels < 2) {
+      return Fmt("--failover needs at least 2 kernels (got %u)", kernels);
+    }
+    const std::string& fk = p.Str("fail-kernel");
+    size_t at = fk.find('@');
+    char* end = nullptr;
+    unsigned long id = std::strtoul(fk.c_str(), &end, 10);
+    size_t id_len = end - fk.c_str();
+    if (id_len == 0 || id_len != (at == std::string::npos ? fk.size() : at)) {
+      return Fmt("--fail-kernel=%s: expected <id> or <id>@<us>", fk.c_str());
+    }
+    if (at != std::string::npos && std::strtod(fk.c_str() + at + 1, &end) < 0) {
+      return Fmt("--fail-kernel=%s: bad kill time", fk.c_str());
+    }
+    if (id >= kernels) {
+      return Fmt("--fail-kernel=%lu out of range (%u kernels)", id, kernels);
+    }
+    return "";
+  };
+  spec.run = [](const WorkloadParams& p) {
+    FailoverConfig config;
+    config.kernels = p.U32("kernels");
+    config.users_per_kernel = std::max(1u, p.U32("instances") / std::max(1u, config.kernels));
+    config.threads = p.Threads();
+    const std::string& fk = p.Str("fail-kernel");
+    size_t at = fk.find('@');
+    config.victim = static_cast<KernelId>(std::stoul(fk.substr(0, at)));
+    double fail_at_us = at == std::string::npos ? 0.0 : std::stod(fk.substr(at + 1));
+    // Pick the kill time: seeding serializes roughly 30k cycles per orphan
+    // capability at the victim kernel, for every seeder in the neighbouring
+    // group, and must finish before the kill. A user-pinned time below that
+    // floor is raised (with a note) instead of CHECK-aborting mid-seed.
+    Cycles seed_safe =
+        400'000 + static_cast<Cycles>(config.users_per_kernel) * config.orphan_caps * 30'000;
+    config.kill_at = fail_at_us > 0 ? MicrosToCycles(fail_at_us) : seed_safe;
+    if (config.kill_at < seed_safe) {
+      std::fprintf(stderr,
+                   "note: raising kill time to %.0f us so the orphan-seeding phase fits\n",
+                   CyclesToMicros(seed_safe));
+      config.kill_at = seed_safe;
+    }
+    FailoverResult r = RunFailover(config);
+    WorkloadResult out;
+    out.Note(Fmt("failover: %u kernels x %u clients, kernel %u killed at %.0f us",
+                 config.kernels, config.users_per_kernel, config.victim,
+                 CyclesToMicros(r.kill_time)));
+    out.Note(Fmt("  recovered         : %10s%s", r.recovered ? "yes" : "NO",
+                 r.refused ? " (refused: no quorum)" : ""));
+    if (r.recovered) {
+      out.Add("detect_latency", CyclesToMicros(r.detect_latency), "us");
+      out.Add("recover_latency", CyclesToMicros(r.recover_latency), "us");
+      out.Add("membership_epoch", static_cast<double>(r.survivor_epoch));
+      out.Add("throughput_dip",
+              r.ops_per_sec_before > 0
+                  ? 100.0 * (1.0 - r.ops_per_sec_during / r.ops_per_sec_before)
+                  : 0.0,
+              "%");
+    }
+    out.Add("recovered", r.recovered ? 1 : 0);
+    out.Add("total_ops", static_cast<double>(r.total_ops));
+    out.Add("failed_ops", static_cast<double>(r.failed_ops));
+    out.Add("adopted_ops", static_cast<double>(r.adopted_ops));
+    out.Add("orphans_revoked", static_cast<double>(r.orphan_roots));
+    out.Add("eps_invalidated", static_cast<double>(r.eps_invalidated));
+    out.Add("edges_pruned", static_cast<double>(r.edges_pruned));
+    out.Add("pes_adopted", static_cast<double>(r.pes_adopted));
+    out.Add("ikcs_aborted", static_cast<double>(r.ikcs_aborted));
+    out.Add("client_retries", static_cast<double>(r.client_retries));
+    out.Add("makespan", static_cast<double>(r.makespan), "cycles");
+    out.Add("events", static_cast<double>(r.events));
+    out.Add("noc_latency", static_cast<double>(r.noc_latency), "cycles");
+    out.Add("noc_queueing", static_cast<double>(r.noc_queueing), "cycles");
+    out.has_kernel_stats = true;
+    out.kernel_stats = r.kernel_stats;
+    out.engine_parallel = r.engine_parallel;
+    out.engine_stats = r.engine_stats;
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+// ---- rebalance: elasticity workload (previously library-only) ----
+
+void RegisterRebalance() {
+  WorkloadSpec spec;
+  spec.name = "rebalance";
+  spec.summary = "elasticity workload: drain hot PEs to another kernel mid-run";
+  spec.supports_strict = true;
+  spec.params = {Kernels("4"),
+                 {"users", ParamType::kU32, "4", "clients per kernel", {}},
+                 {"ops", ParamType::kU32, "30", "obtain+revoke pairs per client", {}},
+                 {"migrate-pes", ParamType::kU32, "2", "hot PEs drained from kernel 0", {}},
+                 {"migrate-at", ParamType::kU64, "300000", "migration start, cycles", {}},
+                 {"migrate", ParamType::kBool, "1", "0: baseline run, no migration", {}}};
+  spec.run = [](const WorkloadParams& p) {
+    RebalanceConfig config;
+    config.kernels = p.U32("kernels");
+    config.users_per_kernel = p.U32("users");
+    config.ops_per_client = p.U32("ops");
+    config.migrate = p.Bool("migrate");
+    config.migrate_pes = p.U32("migrate-pes");
+    config.migrate_at = p.U64("migrate-at");
+    config.threads = p.Threads();
+    RebalanceResult r = RunRebalance(config);
+    WorkloadResult out;
+    out.Note(Fmt("rebalance: %u kernels x %u clients, %u PEs migrated at %llu cycles",
+                 config.kernels, config.users_per_kernel,
+                 config.migrate ? config.migrate_pes : 0,
+                 (unsigned long long)config.migrate_at));
+    out.Add("total_ops", static_cast<double>(r.total_ops));
+    out.Add("ops_per_sec", r.ops_per_sec, "/s");
+    out.Add("migrations_done", static_cast<double>(r.migrations_completed));
+    out.Add("migration_latency", static_cast<double>(r.migration_latency_max), "cycles");
+    out.Add("forwarded_ikcs", static_cast<double>(r.forwarded_ikcs));
+    out.Add("frozen_syscalls", static_cast<double>(r.frozen_syscalls));
+    out.Add("client_retries", static_cast<double>(r.client_retries));
+    out.Add("caps_migrated", static_cast<double>(r.caps_migrated));
+    out.Add("leaked_caps", static_cast<double>(r.leaked_caps));
+    out.Add("makespan", static_cast<double>(r.makespan), "cycles");
+    out.Add("events", static_cast<double>(r.events));
+    out.has_kernel_stats = true;
+    out.kernel_stats = r.kernel_stats;
+    out.engine_parallel = r.engine_parallel;
+    out.engine_stats = r.engine_stats;
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+// ---- trace: replay a user-supplied trace file ----
+
+void RegisterTrace() {
+  WorkloadSpec spec;
+  spec.name = "trace";
+  spec.summary = "replay a custom trace file (--file=PATH)";
+  spec.detail = {"one op per line (open/read/write/seek/close/stat/mkdir/unlink/",
+                 "readdir/compute), '#' comments; see src/trace/trace_io.h"};
+  spec.params = {Kernels("8"), Services("8"),
+                 {"file", ParamType::kString, "", "trace file path", {}}};
+  spec.validate = [](const WorkloadParams& p) -> std::string {
+    return p.Str("file").empty() ? "trace: --file=PATH (or --trace=PATH) is required" : "";
+  };
+  spec.run = [](const WorkloadParams& p) {
+    WorkloadResult out;
+    const std::string& path = p.Str("file");
+    std::ifstream in(path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read %s\n", path.c_str());
+      out.exit_code = 1;
+      return out;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    Trace trace;
+    size_t error_line = 0;
+    if (!ParseTrace(buffer.str(), &trace, &error_line).ok()) {
+      std::fprintf(stderr, "%s:%zu: malformed trace line\n", path.c_str(), error_line);
+      out.exit_code = 1;
+      return out;
+    }
+    trace.app = path;
+    FsImage image = InferImage(trace);
+
+    PlatformConfig pc;
+    pc.kernels = p.U32("kernels");
+    pc.services = p.U32("services");
+    pc.users = 1;
+    pc.threads = p.Threads();
+    Platform platform(pc);
+    uint32_t index = 0;
+    for (NodeId node : platform.service_nodes()) {
+      Kernel* kernel = platform.kernel_of(node);
+      CapSel mem =
+          kernel->AdminGrantMem(node, platform.mem_nodes()[0],
+                                static_cast<uint64_t>(index++) << 40, 1ull << 36, kPermRW);
+      platform.pe(node)->AttachProgram(std::make_unique<FsService>(
+          "m3fs", image, platform.kernel_node(kernel->id()), pc.timing, mem));
+    }
+    NodeId user = platform.user_nodes()[0];
+    auto replayer = std::make_unique<TraceReplayer>(
+        trace, platform.kernel_node(platform.membership().KernelOf(user)), pc.timing);
+    TraceReplayer* app = replayer.get();
+    platform.pe(user)->AttachProgram(std::move(replayer));
+    platform.Boot();
+    platform.RunToCompletion();
+
+    out.Note(Fmt("trace %s: %zu operations", path.c_str(), trace.ops.size()));
+    out.Add("runtime", CyclesToMicros(app->result().runtime()), "us");
+    out.Add("cap_ops", app->result().cap_ops);
+    out.Add("syscalls", static_cast<double>(app->result().syscalls));
+    out.has_kernel_stats = true;
+    out.kernel_stats = platform.TotalKernelStats();
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+// ---- chaos: seeded storm + global invariant audit (src/chaos) ----
+
+// Runs one storm, prints the audit outcome, and on a failing audit emits
+// the one-command repro — shrunk first when --shrink is given.
+int RunOneStorm(const StormConfig& config, bool shrink) {
+  StormResult r = RunStorm(config);
+  std::printf("%s\n", r.Summary().c_str());
+  std::printf("%s\n", r.audit.ToString().c_str());
+  if (r.ok) {
+    return 0;
+  }
+  StormConfig repro = config;
+  if (shrink) {
+    uint32_t attempts = 0;
+    repro = ShrinkStorm(config, &attempts);
+    std::printf("shrunk after %u runs to: %s\n", attempts, FormatStormSpec(repro).c_str());
+  }
+  std::printf("repro: %s\n", ReproCommand(repro).c_str());
+  return 1;
+}
+
+int RunChaosSweep(const StormConfig& base, uint32_t seeds, bool shrink) {
+  uint32_t failures = 0;
+  for (uint32_t s = 0; s < seeds; ++s) {
+    StormConfig config = base;
+    config.seed = base.seed + s;
+    StormResult r = RunStorm(config);
+    if (!r.ok) {
+      failures++;
+      std::printf("seed %llu FAILED: %s\n", (unsigned long long)config.seed,
+                  r.Summary().c_str());
+      std::printf("%s\n", r.audit.ToString().c_str());
+      StormConfig repro = config;
+      if (shrink) {
+        uint32_t attempts = 0;
+        repro = ShrinkStorm(config, &attempts);
+        std::printf("shrunk after %u runs to: %s\n", attempts, FormatStormSpec(repro).c_str());
+      }
+      std::printf("repro: %s\n", ReproCommand(repro).c_str());
+    } else if ((s + 1) % 10 == 0 || s + 1 == seeds) {
+      std::printf("sweep %u/%u seeds clean (last: %s)\n", s + 1 - failures, s + 1,
+                  r.Summary().c_str());
+    }
+  }
+  std::printf("chaos sweep: %u/%u seeds clean (%s, seeds %llu..%llu)\n", seeds - failures,
+              seeds, StormWorkloadName(base.workload), (unsigned long long)base.seed,
+              (unsigned long long)(base.seed + seeds - 1));
+  return failures > 0 ? 1 : 0;
+}
+
+void RegisterChaos() {
+  WorkloadSpec spec;
+  spec.name = "chaos";
+  spec.summary = "seeded chaos storm + global invariant audit (src/chaos)";
+  spec.detail = {"randomized kernel kills, live migrations, client churn and heartbeat",
+                 "perturbation over a running workload; the global invariant auditor",
+                 "(src/audit) checks the platform after every settle round.",
+                 "--shrink reduces a failing storm to a one-command repro;",
+                 "--sweep=N replays N consecutive seeds (docs/testing.md)"};
+  StormConfig defaults;
+  spec.params = {
+      {"seed", ParamType::kU64, std::to_string(defaults.seed), "storm RNG seed", {}},
+      Kernels(std::to_string(defaults.kernels).c_str()),
+      {"users", ParamType::kU32, std::to_string(defaults.users_per_kernel),
+       "clients per kernel", {}},
+      {"rounds", ParamType::kU32, std::to_string(defaults.rounds), "storm rounds", {}},
+      {"settle", ParamType::kU32, std::to_string(defaults.settle_every),
+       "settle + audit cadence, rounds", {}},
+      {"workload", ParamType::kString, "mixed", "workload under the storm",
+       {"mixed", "nginx", "postmark"}},
+      {"kills", ParamType::kU32, std::to_string(defaults.max_kills), "max kernel kills", {}},
+      {"migrations", ParamType::kU32, std::to_string(defaults.max_migrations),
+       "max live migrations", {}},
+      {"churn", ParamType::kU32, std::to_string(defaults.max_churn), "max client kills", {}},
+      {"hb-perturb", ParamType::kBool, "1", "draw detector timing per burst", {}},
+      {"op-rate", ParamType::kF64, "0.7", "per-client chance to act each round", {}},
+      {"mig-revoke", ParamType::kBool, "0", "force migration during a revoke", {}},
+      {"double-kill", ParamType::kBool, "0", "break quorum: recovery must refuse", {}},
+      {"inject-bug", ParamType::kBool, "0", "skip orphan revoke (auditor must catch)", {}},
+      {"shrink", ParamType::kBool, "0", "shrink a failing storm to a minimal repro", {}},
+      {"sweep", ParamType::kU32, "0", "run this many consecutive seeds", {}}};
+  spec.run = [](const WorkloadParams& p) {
+    StormConfig config;
+    config.seed = p.U64("seed");
+    config.kernels = p.U32("kernels");
+    config.users_per_kernel = p.U32("users");
+    config.rounds = p.U32("rounds");
+    config.settle_every = p.U32("settle");
+    const std::string& w = p.Str("workload");
+    config.workload = w == "nginx"      ? StormWorkload::kNginx
+                      : w == "postmark" ? StormWorkload::kPostmark
+                                        : StormWorkload::kMixed;
+    config.max_kills = p.U32("kills");
+    config.max_migrations = p.U32("migrations");
+    config.max_churn = p.U32("churn");
+    config.perturb_heartbeats = p.Bool("hb-perturb");
+    config.op_rate = p.F64("op-rate");
+    config.force_migration_during_revoke = p.Bool("mig-revoke");
+    config.force_double_kill = p.Bool("double-kill");
+    config.bug_skip_orphan_revoke = p.Bool("inject-bug");
+    config.threads = p.Threads();
+    uint32_t sweep = p.U32("sweep");
+    bool shrink = p.Bool("shrink");
+    // The storm drivers print progress as they go (a sweep can run for
+    // minutes); the registry result only carries the exit status.
+    WorkloadResult out;
+    out.exit_code = sweep > 0 ? RunChaosSweep(config, sweep, shrink)
+                              : RunOneStorm(config, shrink);
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+// ---- traffic: open-loop million-user harness (src/traffic) ----
+
+TrafficConfig TrafficConfigFrom(const WorkloadParams& p) {
+  TrafficConfig config;
+  config.request = p.Str("request");
+  config.kernels = p.U32("kernels");
+  config.services = p.U32("services");
+  config.servers = p.U32("servers");
+  ParseArrivalProcess(p.Str("process"), &config.arrivals.process);
+  config.arrivals.rate_rps = p.F64("rate");
+  config.arrivals.burst_factor = p.U32("burst-factor");
+  config.arrivals.burst_mean = p.U64("burst-mean");
+  config.arrivals.idle_mean = p.U64("idle-mean");
+  config.arrivals.diurnal_period = p.U64("diurnal-period");
+  config.arrivals.amplitude_pct = p.U32("amplitude");
+  config.arrivals.session_mean = p.U64("session-mean");
+  config.arrivals.offline_mean = p.U64("offline-mean");
+  config.warmup = p.U64("warmup");
+  config.requests = p.U64("requests");
+  config.cooldown = p.U64("cooldown");
+  config.seed = p.U64("seed");
+  config.pipeline = p.U32("pipeline");
+  config.threads = p.Threads();
+  return config;
+}
+
+void RegisterTraffic() {
+  WorkloadSpec spec;
+  spec.name = "traffic";
+  spec.summary = "open-loop traffic harness: seeded arrivals, latency percentiles";
+  spec.detail = {"injects requests on the simulated clock independent of completions",
+                 "(no coordinated omission); --saturate searches for the highest",
+                 "offered rate the system sustains within the p99 SLA"};
+  spec.open_loop = true;
+  spec.supports_strict = true;
+  spec.params = {
+      {"request", ParamType::kString, "nginx", "per-request server work",
+       {"nginx", "postmark"}},
+      Kernels("8"), Services("8"),
+      {"servers", ParamType::kU32, "16", "server PEs (one generator each)", {}},
+      {"process", ParamType::kString, "poisson", "arrival process",
+       {"poisson", "bursty", "diurnal"}},
+      {"rate", ParamType::kF64, "100000", "aggregate offered load, req/s", {}},
+      {"burst-factor", ParamType::kU32, "4", "bursty: rate multiplier inside bursts", {}},
+      {"burst-mean", ParamType::kU64, "2000000", "bursty: mean burst length, cycles", {}},
+      {"idle-mean", ParamType::kU64, "6000000", "bursty: mean idle gap, cycles", {}},
+      {"diurnal-period", ParamType::kU64, "8000000", "diurnal: wave period, cycles", {}},
+      {"amplitude", ParamType::kU32, "80", "diurnal: rate swing, percent (0..100)", {}},
+      {"session-mean", ParamType::kU64, "0", "churn: mean connected session, cycles", {}},
+      {"offline-mean", ParamType::kU64, "0", "churn: mean offline gap, cycles", {}},
+      {"warmup", ParamType::kU64, "2000", "arrivals injected before the window", {}},
+      {"requests", ParamType::kU64, "20000", "measured arrivals", {}},
+      {"cooldown", ParamType::kU64, "0", "arrivals injected after the window", {}},
+      {"seed", ParamType::kU64, "1", "arrival-schedule seed", {}},
+      {"pipeline", ParamType::kU32, "8", "per-generator transport credits", {}},
+      {"saturate", ParamType::kBool, "0", "search for the saturation throughput", {}},
+      {"sla-p99-us", ParamType::kF64, "500", "saturation: p99 SLA, microseconds", {}}};
+  spec.validate = [](const WorkloadParams& p) -> std::string {
+    if (p.F64("rate") <= 0) {
+      return "--rate must be positive";
+    }
+    if (p.U32("amplitude") > 100) {
+      return "--amplitude must be within 0..100";
+    }
+    if (p.U32("burst-factor") < 1) {
+      return "--burst-factor must be >= 1";
+    }
+    if (p.U64("requests") == 0 || p.U32("servers") == 0 || p.U32("pipeline") == 0) {
+      return "--requests, --servers and --pipeline must be >= 1";
+    }
+    return "";
+  };
+  spec.run = [](const WorkloadParams& p) {
+    WorkloadResult out;
+    if (p.Bool("saturate")) {
+      SaturationConfig config;
+      config.traffic = TrafficConfigFrom(p);
+      config.sla_p99_us = p.F64("sla-p99-us");
+      SaturationResult r = FindSaturation(config);
+      out.Note(Fmt("traffic saturation search: %s/%s, SLA p99 <= %.0f us",
+                   config.traffic.request.c_str(),
+                   ArrivalProcessName(config.traffic.arrivals.process), config.sla_p99_us));
+      for (const SaturationProbe& probe : r.probes) {
+        out.Note(Fmt("  offered %12.0f req/s -> %12.0f req/s, p99 %8.1f us  %s",
+                     probe.offered_rps, probe.throughput_rps, probe.p99_us,
+                     probe.sustained ? "sustained" : "SATURATED"));
+      }
+      out.Add("saturation_rps", r.saturation_rps, "/s");
+      out.Add("probes", static_cast<double>(r.probes.size()));
+      return out;
+    }
+    TrafficConfig config = TrafficConfigFrom(p);
+    TrafficResult r = RunTraffic(config);
+    out.Note(Fmt("traffic: %s over %s arrivals, %u servers on %u kernels + %u services",
+                 config.request.c_str(), ArrivalProcessName(config.arrivals.process),
+                 config.servers, config.kernels, config.services));
+    out.Note(Fmt("  latency fingerprint: %016llx",
+                 (unsigned long long)r.latency.Fingerprint()));
+    out.Add("injected", static_cast<double>(r.injected));
+    out.Add("completed", static_cast<double>(r.completed));
+    out.Add("measured", static_cast<double>(r.measured));
+    out.Add("offered_rps", r.offered_rps, "/s");
+    out.Add("throughput_rps", r.throughput_rps, "/s");
+    out.Add("p50", r.p50_us, "us");
+    out.Add("p99", r.p99_us, "us");
+    out.Add("p999", r.p999_us, "us");
+    out.Add("mean", r.mean_us, "us");
+    out.Add("max", r.max_us, "us");
+    out.Add("makespan", static_cast<double>(r.makespan), "cycles");
+    out.Add("events", static_cast<double>(r.events));
+    out.has_kernel_stats = true;
+    out.kernel_stats = r.kernel_stats;
+    out.engine_parallel = r.engine_parallel;
+    out.engine_stats = r.engine_stats;
+    return out;
+  };
+  WorkloadRegistry::Global().Register(std::move(spec));
+}
+
+}  // namespace
+
+void RegisterBuiltinWorkloads() {
+  static bool registered = false;
+  if (registered) {
+    return;
+  }
+  registered = true;
+  RegisterApps();
+  RegisterNginx();
+  RegisterMicro();
+  RegisterFailover();
+  RegisterRebalance();
+  RegisterTrace();
+  RegisterChaos();
+  RegisterTraffic();
+}
+
+}  // namespace semperos

@@ -82,6 +82,20 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
       env_->ReadMem(user_ep::kMem0, 0, bytes, next);
       return;
     }
+    case TraceOpKind::kWrite: {
+      // Request traces keep I/O inside extent 0 (the service grows a fresh
+      // file to a full write extent at open), so no next-extent exchange.
+      uint64_t bytes = std::min(op.bytes, open_.extent_len);
+      env_->WriteMem(user_ep::kMem0, 0, bytes, next);
+      return;
+    }
+    case TraceOpKind::kUnlink: {
+      auto req = NewMsg<FsRequest>();
+      req->op = FsOp::kUnlink;
+      req->path = op.path;
+      env_->Request(req, [next](const Message&) { next(); });
+      return;
+    }
     case TraceOpKind::kClose: {
       auto req = NewMsg<FsRequest>();
       req->op = FsOp::kClose;

@@ -9,6 +9,10 @@
 // request, replays the request-handling trace (stat + open + read + close +
 // compute) and then responds. LoadGen runs on a load-generator PE and keeps
 // a small pipeline of outstanding requests to one server (closed loop).
+//
+// The open-loop traffic harness (src/traffic) reuses NginxServer and the
+// request/response wire format with other per-request traces (the postmark
+// mail transaction), so the server also replays write and unlink ops.
 #ifndef SEMPEROS_WORKLOADS_NGINX_H_
 #define SEMPEROS_WORKLOADS_NGINX_H_
 

@@ -1,0 +1,482 @@
+#include "workloads/registry.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "base/log.h"
+#include "system/platform.h"
+
+namespace semperos {
+
+namespace {
+
+std::string Fmt(const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  return buffer;
+}
+
+const char* ParamTypeName(ParamType type) {
+  switch (type) {
+    case ParamType::kU32:
+    case ParamType::kU64:
+      return "N";
+    case ParamType::kF64:
+      return "F";
+    case ParamType::kBool:
+      return "0|1";
+    case ParamType::kString:
+      return "S";
+  }
+  return "?";
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseF64(const std::string& text, double* out) {
+  if (text.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end == nullptr || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "1" || text == "true" || text == "yes" || text.empty()) {
+    *out = true;  // bare "--flag" means on
+    return true;
+  }
+  if (text == "0" || text == "false" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+// Checks `value` against a ParamSpec; returns "" or an error message.
+std::string CheckValue(const ParamSpec& spec, const std::string& value) {
+  if (!spec.choices.empty()) {
+    for (const std::string& choice : spec.choices) {
+      if (value == choice) {
+        return "";
+      }
+    }
+    std::string all;
+    for (const std::string& choice : spec.choices) {
+      all += all.empty() ? choice : "|" + choice;
+    }
+    return Fmt("--%s=%s: must be one of %s", spec.name.c_str(), value.c_str(), all.c_str());
+  }
+  uint64_t u = 0;
+  double f = 0;
+  bool b = false;
+  switch (spec.type) {
+    case ParamType::kU32:
+      if (!ParseU64(value, &u) || u > UINT32_MAX) {
+        return Fmt("--%s=%s: expected an unsigned integer", spec.name.c_str(), value.c_str());
+      }
+      return "";
+    case ParamType::kU64:
+      if (!ParseU64(value, &u)) {
+        return Fmt("--%s=%s: expected an unsigned integer", spec.name.c_str(), value.c_str());
+      }
+      return "";
+    case ParamType::kF64:
+      if (!ParseF64(value, &f)) {
+        return Fmt("--%s=%s: expected a number", spec.name.c_str(), value.c_str());
+      }
+      return "";
+    case ParamType::kBool:
+      if (!ParseBool(value, &b)) {
+        return Fmt("--%s=%s: expected 0 or 1", spec.name.c_str(), value.c_str());
+      }
+      return "";
+    case ParamType::kString:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+const std::string& WorkloadParams::Str(const std::string& name) const {
+  auto it = values_.find(name);
+  CHECK(it != values_.end()) << "workload param '" << name << "' missing (schema bug)";
+  return it->second;
+}
+
+uint32_t WorkloadParams::U32(const std::string& name) const {
+  uint64_t v = U64(name);
+  CHECK_LE(v, UINT32_MAX);
+  return static_cast<uint32_t>(v);
+}
+
+uint64_t WorkloadParams::U64(const std::string& name) const {
+  uint64_t v = 0;
+  CHECK(ParseU64(Str(name), &v)) << "workload param '" << name << "' is not an integer";
+  return v;
+}
+
+double WorkloadParams::F64(const std::string& name) const {
+  double v = 0;
+  CHECK(ParseF64(Str(name), &v)) << "workload param '" << name << "' is not a number";
+  return v;
+}
+
+bool WorkloadParams::Bool(const std::string& name) const {
+  bool v = false;
+  CHECK(ParseBool(Str(name), &v)) << "workload param '" << name << "' is not a bool";
+  return v;
+}
+
+uint32_t WorkloadParams::Threads() const {
+  const std::string& text = Str("threads");
+  if (text == "auto") {
+    return 0;
+  }
+  uint64_t v = 0;
+  CHECK(ParseU64(text, &v)) << "--threads=" << text << ": expected a count or 'auto'";
+  return static_cast<uint32_t>(v);
+}
+
+double WorkloadResult::Value(const std::string& name) const {
+  for (const WorkloadMetric& metric : metrics) {
+    if (metric.name == name) {
+      return metric.value;
+    }
+  }
+  CHECK(false) << "workload metric '" << name << "' missing";
+  return 0;
+}
+
+WorkloadRegistry& WorkloadRegistry::Global() {
+  static WorkloadRegistry* registry = new WorkloadRegistry();
+  return *registry;
+}
+
+void WorkloadRegistry::Register(WorkloadSpec spec) {
+  CHECK(!spec.name.empty()) << "workload spec needs a name";
+  CHECK(spec.run != nullptr) << "workload '" << spec.name << "' has no driver";
+  CHECK(Find(spec.name) == nullptr) << "duplicate workload '" << spec.name << "'";
+  specs_.push_back(std::move(spec));
+}
+
+const WorkloadSpec* WorkloadRegistry::Find(const std::string& name) const {
+  for (const WorkloadSpec& spec : specs_) {
+    if (spec.name == name) {
+      return &spec;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+struct Selection {
+  std::string name;   // workload name selected
+  std::string token;  // the CLI token that selected it (for error messages)
+};
+
+WorkloadInvocation Fail(std::string error, bool show_catalogue = false) {
+  WorkloadInvocation invocation;
+  invocation.ok = false;
+  invocation.error = std::move(error);
+  invocation.show_catalogue = show_catalogue;
+  return invocation;
+}
+
+}  // namespace
+
+WorkloadInvocation ParseWorkloadCli(const std::vector<std::string>& args) {
+  const WorkloadRegistry& registry = WorkloadRegistry::Global();
+
+  // Pass 1: resolve the workload selection. Positional names are the
+  // registry interface; --app=NAME and the mode flags are deprecated
+  // aliases. Two tokens naming different workloads is a hard error (the old
+  // flag chain silently ran whichever branch came first).
+  std::vector<Selection> selections;
+  std::vector<std::string> rest;
+  bool list = false;
+  for (const std::string& arg : args) {
+    if (arg == "--list") {
+      list = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      selections.push_back({arg, arg});
+    } else if (arg.rfind("--app=", 0) == 0) {
+      selections.push_back({arg.substr(6), arg});
+    } else if (arg == "--nginx" || arg == "--micro" || arg == "--failover" || arg == "--chaos") {
+      selections.push_back({arg.substr(2), arg});
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      selections.push_back({"trace", arg});
+      rest.push_back("--file=" + arg.substr(8));
+    } else if (arg.rfind("--fail-kernel=", 0) == 0) {
+      // <id>@<us> selected the failover workload implicitly.
+      selections.push_back({"failover", arg});
+      rest.push_back(arg);
+    } else {
+      rest.push_back(arg);
+    }
+  }
+
+  for (size_t i = 1; i < selections.size(); ++i) {
+    if (selections[i].name != selections[0].name) {
+      return Fail(Fmt("conflicting workload selections: '%s' and '%s' — pick one",
+                      selections[0].token.c_str(), selections[i].token.c_str()));
+    }
+  }
+
+  WorkloadInvocation invocation;
+  invocation.list = list;
+  std::string name = selections.empty() ? "tar" : selections[0].name;
+  invocation.spec = registry.Find(name);
+  if (invocation.spec == nullptr) {
+    return Fail(Fmt("unknown workload '%s'; available workloads:", name.c_str()),
+                /*show_catalogue=*/true);
+  }
+  const WorkloadSpec& spec = *invocation.spec;
+
+  // Merge schema defaults, then the global defaults every driver can read.
+  for (const ParamSpec& param : spec.params) {
+    invocation.params.Set(param.name, param.default_value);
+  }
+  invocation.params.Set("threads", "1");
+
+  // Pass 2: globals, then schema-validated workload flags.
+  for (const std::string& arg : rest) {
+    if (arg == "--stats") {
+      invocation.stats = true;
+      continue;
+    }
+    if (arg == "--strict") {
+      invocation.strict = true;
+      continue;
+    }
+    if (arg.rfind("--threads=", 0) == 0) {
+      std::string value = arg.substr(10);
+      uint64_t n = 0;
+      if (value != "auto" && !ParseU64(value, &n)) {
+        return Fail(Fmt("--threads=%s: expected a count or 'auto'", value.c_str()));
+      }
+      invocation.params.Set("threads", value == "auto" ? "0" : value);
+      continue;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Fail(Fmt("unexpected argument '%s'", arg.c_str()));
+    }
+    std::string body = arg.substr(2);
+    size_t eq = body.find('=');
+    std::string key = body.substr(0, eq == std::string::npos ? body.size() : eq);
+    std::string value = eq == std::string::npos ? "" : body.substr(eq + 1);
+    const ParamSpec* param = nullptr;
+    for (const ParamSpec& candidate : spec.params) {
+      if (candidate.name == key) {
+        param = &candidate;
+        break;
+      }
+    }
+    if (param == nullptr) {
+      return Fail(Fmt("workload '%s' does not take --%s (see --list)", spec.name.c_str(),
+                      key.c_str()));
+    }
+    if (eq == std::string::npos) {
+      if (param->type != ParamType::kBool) {
+        return Fail(Fmt("--%s needs a value (--%s=%s)", key.c_str(), key.c_str(),
+                        ParamTypeName(param->type)));
+      }
+      value = "1";
+    }
+    std::string error = CheckValue(*param, value);
+    if (!error.empty()) {
+      return Fail(std::move(error));
+    }
+    invocation.params.Set(key, value);
+  }
+
+  if (!list && spec.validate) {
+    std::string error = spec.validate(invocation.params);
+    if (!error.empty()) {
+      return Fail(std::move(error));
+    }
+  }
+  invocation.ok = true;
+  return invocation;
+}
+
+std::string FormatWorkloadList() {
+  std::ostringstream os;
+  os << "workloads (select by name: semperos_sim <name> [--param=value ...]):\n";
+  for (const WorkloadSpec& spec : WorkloadRegistry::Global().specs()) {
+    os << Fmt("  %-10s %s%s\n", spec.name.c_str(), spec.open_loop ? "[open-loop] " : "",
+              spec.summary.c_str());
+    for (const std::string& line : spec.detail) {
+      os << "             " << line << "\n";
+    }
+    if (!spec.params.empty()) {
+      os << "            ";
+      for (const ParamSpec& param : spec.params) {
+        if (!param.choices.empty()) {
+          std::string all;
+          for (const std::string& choice : param.choices) {
+            all += all.empty() ? choice : "|" + choice;
+          }
+          os << " --" << param.name << "=" << all;
+        } else {
+          os << " --" << param.name << "=" << ParamTypeName(param.type);
+        }
+      }
+      os << "\n";
+    }
+  }
+  os << "global flags:\n";
+  os << "  --threads=N|auto  sharded parallel engine (1 = serial; results are\n";
+  os << "                    bit-identical at any thread count)\n";
+  os << "  --stats           print engine windows/handoffs/imbalance after the run\n";
+  os << "  --strict          run serial AND parallel, abort on any modeled mismatch\n";
+  os << "deprecated aliases: --app=NAME --nginx --micro --failover --chaos --trace=FILE\n";
+  return os.str();
+}
+
+std::string FormatKernelStats(const KernelStats& s) {
+  std::ostringstream os;
+  os << "kernel statistics (summed over kernels):\n";
+  os << Fmt("  syscalls        %10llu\n", (unsigned long long)s.syscalls);
+  os << Fmt("  obtains         %10llu  (spanning %llu)\n", (unsigned long long)s.obtains,
+            (unsigned long long)s.spanning_obtains);
+  os << Fmt("  delegates       %10llu  (spanning %llu)\n", (unsigned long long)s.delegates,
+            (unsigned long long)s.spanning_delegates);
+  os << Fmt("  revokes         %10llu  (spanning %llu)\n", (unsigned long long)s.revokes,
+            (unsigned long long)s.spanning_revokes);
+  os << Fmt("  derives         %10llu\n", (unsigned long long)s.derives);
+  os << Fmt("  activations     %10llu\n", (unsigned long long)s.activates);
+  os << Fmt("  sessions        %10llu\n", (unsigned long long)s.sessions_opened);
+  os << Fmt("  IKC messages    %10llu  (flow-queued %llu)\n", (unsigned long long)s.ikc_sent,
+            (unsigned long long)s.ikc_flow_queued);
+  os << Fmt("  caps created    %10llu, deleted %llu\n", (unsigned long long)s.caps_created,
+            (unsigned long long)s.caps_deleted);
+  os << Fmt("  anomaly paths   %10s  orphans=%llu pointless=%llu invalid=%llu\n", "",
+            (unsigned long long)s.orphans_cleaned, (unsigned long long)s.pointless_denials,
+            (unsigned long long)s.invalid_prevented);
+  if (s.hb_sent > 0 || s.ft_failovers > 0 || s.ft_refusals > 0) {
+    os << Fmt("  fault tolerance %10s  heartbeats=%llu suspicions=%llu failovers=%llu "
+              "refusals=%llu\n",
+              "", (unsigned long long)s.hb_sent, (unsigned long long)s.ft_suspicions,
+              (unsigned long long)s.ft_failovers, (unsigned long long)s.ft_refusals);
+  }
+  return os.str();
+}
+
+std::string FormatEngineStats(bool parallel, const EngineStats& s) {
+  std::ostringstream os;
+  if (!parallel) {
+    os << "engine statistics: serial engine (run with --threads>=2 for counters)\n";
+    return os.str();
+  }
+  os << "engine statistics (sharded parallel engine):\n";
+  os << Fmt("  windows executed  %10llu  (fast-forwarded %llu)\n", (unsigned long long)s.windows,
+            (unsigned long long)s.fast_forwards);
+  os << Fmt("  cross handoffs    %10llu  (sends %llu, schedules %llu)\n",
+            (unsigned long long)s.handoffs, (unsigned long long)s.handoff_sends,
+            (unsigned long long)s.handoff_schedules);
+  os << Fmt("  driver events     %10llu\n", (unsigned long long)s.driver_events);
+  os << Fmt("  shard imbalance   %10.2fx  (max/mean events over %zu shards)\n",
+            s.ImbalanceRatio(), s.shard_events.size());
+  for (size_t i = 0; i < s.shard_events.size(); ++i) {
+    os << Fmt("    shard %zu events %10llu\n", i, (unsigned long long)s.shard_events[i]);
+  }
+  return os.str();
+}
+
+namespace {
+
+// --strict: every modeled output of the parallel run must equal the serial
+// run bit for bit; any drift aborts the process with the failing field.
+void StrictCheck(bool ok, const std::string& field) {
+  CHECK(ok) << "--strict: parallel run diverged from serial on " << field;
+}
+
+void StrictCompareKernelStats(const KernelStats& a, const KernelStats& b) {
+  StrictCheck(a.syscalls == b.syscalls, "kernel syscalls");
+  StrictCheck(a.obtains == b.obtains, "kernel obtains");
+  StrictCheck(a.revokes == b.revokes, "kernel revokes");
+  StrictCheck(a.spanning_obtains == b.spanning_obtains, "spanning obtains");
+  StrictCheck(a.spanning_revokes == b.spanning_revokes, "spanning revokes");
+  StrictCheck(a.ikc_sent == b.ikc_sent, "IKCs sent");
+  StrictCheck(a.caps_created == b.caps_created, "caps created");
+  StrictCheck(a.caps_deleted == b.caps_deleted, "caps deleted");
+  StrictCheck(a.migrations == b.migrations, "migrations");
+  StrictCheck(a.ft_failovers == b.ft_failovers, "failovers");
+}
+
+}  // namespace
+
+int RunWorkloadCli(const WorkloadInvocation& invocation) {
+  CHECK(invocation.ok && invocation.spec != nullptr);
+  const WorkloadSpec& spec = *invocation.spec;
+
+  WorkloadResult result = spec.run(invocation.params);
+
+  if (invocation.strict && spec.supports_strict &&
+      ResolveThreads(invocation.params.Threads()) != 1) {
+    WorkloadParams serial = invocation.params;
+    serial.Set("threads", std::to_string(kForceSerialThreads));
+    WorkloadResult expected = spec.run(serial);
+    StrictCheck(expected.metrics.size() == result.metrics.size(), "metric count");
+    for (size_t i = 0; i < result.metrics.size(); ++i) {
+      StrictCheck(expected.metrics[i].name == result.metrics[i].name, "metric order");
+      StrictCheck(expected.metrics[i].value == result.metrics[i].value,
+                  result.metrics[i].name);
+    }
+    if (result.has_kernel_stats && expected.has_kernel_stats) {
+      StrictCompareKernelStats(expected.kernel_stats, result.kernel_stats);
+    }
+    std::printf("strict: parallel == serial verified (%s)\n", spec.name.c_str());
+  }
+
+  for (const std::string& note : result.notes) {
+    std::printf("%s\n", note.c_str());
+  }
+  for (const WorkloadMetric& metric : result.metrics) {
+    if (metric.value == std::floor(metric.value) && std::fabs(metric.value) < 9e15) {
+      std::printf("  %-18s: %14lld%s%s\n", metric.name.c_str(),
+                  static_cast<long long>(metric.value), metric.unit.empty() ? "" : " ",
+                  metric.unit.c_str());
+    } else {
+      std::printf("  %-18s: %14.3f%s%s\n", metric.name.c_str(), metric.value,
+                  metric.unit.empty() ? "" : " ", metric.unit.c_str());
+    }
+  }
+  if (result.has_kernel_stats) {
+    std::printf("%s", FormatKernelStats(result.kernel_stats).c_str());
+  }
+  if (invocation.stats) {
+    std::printf("%s", FormatEngineStats(result.engine_parallel, result.engine_stats).c_str());
+  }
+  return result.exit_code;
+}
+
+}  // namespace semperos

@@ -1,0 +1,157 @@
+// Workload registry: one front door for every experiment the simulator can
+// run.
+//
+// Before this interface existed, tools/semperos_sim.cpp hand-rolled a
+// ~20-branch flag chain and each experiment family (RunApp / RunNginx /
+// RunFailover / RunStorm / ...) grew its own ad-hoc CLI wiring; adding a
+// workload meant touching the parser, the usage text, the --list catalogue
+// and the strict-mode comparison by hand, and nothing stopped contradictory
+// selections like `--failover --chaos` from silently running only one.
+//
+// A WorkloadSpec describes one workload: its name, a one-line summary for
+// the catalogue, a typed parameter schema (defaults, help, enum choices),
+// optional semantic validation, and a driver returning a structured
+// WorkloadResult (human-readable notes + named numeric metrics + kernel and
+// engine counters). The CLI (ParseWorkloadCli/RunWorkloadCli), the --list
+// catalogue (FormatWorkloadList) and the bench binaries all consume the same
+// registry, and strict serial-vs-parallel verification is implemented once,
+// generically, over the metric list instead of per workload.
+//
+// Workloads are selected by positional name (`semperos_sim traffic
+// --rate=...`); the pre-registry selector flags (--app=NAME, --nginx,
+// --micro, --failover, --chaos, --trace=FILE, --fail-kernel=...) are kept as
+// deprecated aliases so existing scripts, docs and repro commands keep
+// working. Selecting two different workloads in one invocation is an error.
+#ifndef SEMPEROS_WORKLOADS_REGISTRY_H_
+#define SEMPEROS_WORKLOADS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/kernel.h"
+#include "sim/engine.h"
+
+namespace semperos {
+
+enum class ParamType : uint8_t { kU32, kU64, kF64, kBool, kString };
+
+struct ParamSpec {
+  std::string name;           // CLI flag name, without the leading "--"
+  ParamType type = ParamType::kString;
+  std::string default_value;  // textual; merged into WorkloadParams
+  std::string help;
+  std::vector<std::string> choices;  // non-empty: value must be one of these
+};
+
+// Validated key/value parameters handed to a workload driver. The parser
+// merges schema defaults first, so typed getters always find their key.
+class WorkloadParams {
+ public:
+  void Set(const std::string& name, const std::string& value) { values_[name] = value; }
+  bool Has(const std::string& name) const { return values_.count(name) != 0; }
+  const std::string& Str(const std::string& name) const;
+  uint32_t U32(const std::string& name) const;
+  uint64_t U64(const std::string& name) const;
+  double F64(const std::string& name) const;
+  bool Bool(const std::string& name) const;
+  // Engine-thread count: "auto" parses as 0 (ResolveThreads picks cores).
+  uint32_t Threads() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+struct WorkloadMetric {
+  std::string name;
+  double value = 0;
+  std::string unit;  // "" for counts/ratios
+};
+
+// Structured outcome of one workload run: what the CLI prints, what the
+// bench binaries turn into benchmark counters, and what strict mode
+// compares between the serial and parallel engines.
+struct WorkloadResult {
+  int exit_code = 0;
+  std::vector<std::string> notes;       // human-readable summary lines
+  std::vector<WorkloadMetric> metrics;  // named numeric results, in order
+  bool has_kernel_stats = false;
+  KernelStats kernel_stats;
+  bool engine_parallel = false;
+  EngineStats engine_stats;
+
+  void Note(std::string line) { notes.push_back(std::move(line)); }
+  void Add(std::string name, double value, std::string unit = "") {
+    metrics.push_back({std::move(name), value, std::move(unit)});
+  }
+  // Named metric value; CHECK-fails when absent (drivers own their schema).
+  double Value(const std::string& name) const;
+};
+
+struct WorkloadSpec {
+  std::string name;     // positional selector, e.g. "traffic", "tar"
+  std::string summary;  // one-liner for the --list catalogue
+  std::vector<std::string> detail;  // extra catalogue lines (optional)
+  bool open_loop = false;           // driver discipline, shown in --list
+  // Whether --strict (serial re-run + bit-exact metric comparison) applies.
+  // Workloads that are serial-only or have their own equivalence coverage
+  // (micro, chaos) opt out.
+  bool supports_strict = false;
+  std::vector<ParamSpec> params;
+  // Optional semantic validation (ranges, cross-field constraints); returns
+  // "" to accept or an error message to reject with exit code 2.
+  std::function<std::string(const WorkloadParams&)> validate;
+  std::function<WorkloadResult(const WorkloadParams&)> run;
+};
+
+class WorkloadRegistry {
+ public:
+  static WorkloadRegistry& Global();
+
+  void Register(WorkloadSpec spec);  // CHECK-fails on duplicate names
+  const WorkloadSpec* Find(const std::string& name) const;
+  const std::vector<WorkloadSpec>& specs() const { return specs_; }
+
+ private:
+  std::vector<WorkloadSpec> specs_;
+};
+
+// Registers every built-in workload with the global registry (idempotent).
+// Call before parsing or looking anything up.
+void RegisterBuiltinWorkloads();
+
+// ---- CLI front end ----
+
+struct WorkloadInvocation {
+  bool ok = false;
+  std::string error;          // set when !ok
+  bool show_catalogue = false;  // error should be followed by the catalogue
+  bool list = false;            // --list given: print the catalogue, exit 0
+  const WorkloadSpec* spec = nullptr;
+  WorkloadParams params;        // defaults merged, flag overrides applied
+  bool stats = false;           // --stats: print engine counters
+  bool strict = false;          // --strict: serial re-run must match exactly
+};
+
+// Parses argv[1..]: resolves the selected workload (positional name or a
+// deprecated selector alias), rejects conflicting selections, merges schema
+// defaults and validates every remaining flag against the schema.
+WorkloadInvocation ParseWorkloadCli(const std::vector<std::string>& args);
+
+// The --list catalogue, generated from the registry.
+std::string FormatWorkloadList();
+
+// Shared result formatting (CLI + tools).
+std::string FormatKernelStats(const KernelStats& s);
+std::string FormatEngineStats(bool parallel, const EngineStats& s);
+
+// Runs a parsed invocation end to end — including the generic strict-mode
+// serial re-run and comparison — printing notes, metrics and statistics.
+// Returns the process exit code.
+int RunWorkloadCli(const WorkloadInvocation& invocation);
+
+}  // namespace semperos
+
+#endif  // SEMPEROS_WORKLOADS_REGISTRY_H_

@@ -394,4 +394,36 @@ Trace MakeNginxRequestTrace() {
   return trace;
 }
 
+Trace MakePostmarkRequestTrace(uint32_t instance) {
+  // One mail transaction per request: deliver (create + write + close), read
+  // an existing message, expunge the delivery. The same trace replays for
+  // every request, so the delivery file must be unlinked before the next
+  // request re-creates it — which also exercises the create/revoke path the
+  // read-only nginx shape never touches. Compute is the mail-server parse/
+  // route work, calibrated well below the nginx handler so the two shapes
+  // saturate at different rates.
+  Trace trace;
+  trace.app = "postmark";
+  trace.expected_cap_ops = 4;  // 2 extent obtains + 2 close revokes
+  std::string dir = "/mbox/s" + std::to_string(instance);
+  trace.ops.push_back(TraceOp::Open(dir + "/tmp", kOpenWrite | kOpenCreate));
+  trace.ops.push_back(TraceOp::Write(dir + "/tmp", 4 * KiB));
+  trace.ops.push_back(TraceOp::Close(dir + "/tmp"));
+  trace.ops.push_back(TraceOp::Open(dir + "/cur", kOpenRead));
+  trace.ops.push_back(TraceOp::Read(dir + "/cur", 8 * KiB));
+  trace.ops.push_back(TraceOp::Close(dir + "/cur"));
+  trace.ops.push_back(TraceOp::Unlink(dir + "/tmp"));
+  trace.ops.push_back(TraceOp::Compute(60'000));
+  return trace;
+}
+
+void PopulatePostmarkRequestImage(FsImage* image, uint32_t servers) {
+  image->AddDir("/mbox");
+  for (uint32_t i = 0; i < servers; ++i) {
+    std::string dir = "/mbox/s" + std::to_string(i);
+    image->AddDir(dir);
+    image->AddFile(dir + "/cur", 8 * KiB);
+  }
+}
+
 }  // namespace semperos

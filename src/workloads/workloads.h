@@ -60,6 +60,17 @@ void PopulateNginxImage(FsImage* image);
 // Per-request handler operations (stat + open + read + close + compute).
 Trace MakeNginxRequestTrace();
 
+// --- Open-loop traffic request shapes (src/traffic) ---
+
+// One mail transaction for the open-loop PostMark traffic shape: deliver a
+// message (create + write + close), read one back, expunge the delivery.
+// Unlike MakeNginxRequestTrace this mutates the image, so every server
+// instance works in its own /mbox/s<N> directory.
+Trace MakePostmarkRequestTrace(uint32_t instance);
+
+// Adds the per-server mailbox directories the postmark request trace needs.
+void PopulatePostmarkRequestImage(FsImage* image, uint32_t servers);
+
 }  // namespace semperos
 
 #endif  // SEMPEROS_WORKLOADS_WORKLOADS_H_

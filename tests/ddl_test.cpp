@@ -10,11 +10,11 @@ namespace semperos {
 namespace {
 
 TEST(DdlKey, RoundTripsAllFields) {
-  DdlKey key = DdlKey::Make(637, 1023, CapType::kSession, 0xFFFFFFFFull);
-  EXPECT_EQ(key.pe(), 637u);
-  EXPECT_EQ(key.vpe(), 1023u);
+  DdlKey key = DdlKey::Make(9637, 12023, CapType::kSession, 0xFFFFFFFull);
+  EXPECT_EQ(key.pe(), 9637u);
+  EXPECT_EQ(key.vpe(), 12023u);
   EXPECT_EQ(key.type(), CapType::kSession);
-  EXPECT_EQ(key.obj(), 0xFFFFFFFFull);
+  EXPECT_EQ(key.obj(), 0xFFFFFFFull);
 }
 
 TEST(DdlKey, NullIsDistinguished) {
@@ -49,7 +49,8 @@ TEST(DdlKey, PartitionFieldSelectsKernel) {
 }
 
 TEST(DdlKey, MaxFieldValuesRoundTrip) {
-  // The largest encodable ids: 12-bit PE/VPE, 32-bit object id.
+  // The largest encodable ids: 14-bit PE/VPE, 28-bit object id (the
+  // widened layout that admits 10k+-PE open-loop traffic platforms).
   constexpr NodeId kMaxPe = (1u << DdlKey::kPeBits) - 1;
   constexpr VpeId kMaxVpe = (1u << DdlKey::kVpeBits) - 1;
   constexpr uint64_t kMaxObj = (1ull << DdlKey::kObjBits) - 1;

@@ -18,6 +18,7 @@
 
 #include "chaos/storm.h"
 #include "system/experiment.h"
+#include "traffic/traffic.h"
 #include "workloads/failover.h"
 #include "workloads/rebalance.h"
 
@@ -205,6 +206,46 @@ TEST(ParallelEquivalence, FailoverRecovery) {
     EXPECT_EQ(serial.noc_latency, parallel.noc_latency) << what;
     EXPECT_EQ(serial.noc_queueing, parallel.noc_queueing) << what;
     EXPECT_EQ(serial.events, parallel.events) << what;
+    ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what.c_str());
+  }
+}
+
+// --- Open-loop traffic harness (src/traffic) ---
+
+// The traffic benchmark gate assumes BENCH_traffic.json is bit-identical at
+// any SEMPEROS_THREADS; this pins that at the API level, including the full
+// latency-histogram contents (not just the derived percentiles).
+TEST(ParallelEquivalence, OpenLoopTraffic) {
+  TrafficConfig config;
+  config.kernels = 4;
+  config.services = 4;
+  config.servers = 8;
+  config.arrivals.process = ArrivalProcess::kBursty;
+  config.arrivals.rate_rps = 300'000.0;
+  config.warmup = 500;
+  config.requests = 5'000;
+  config.cooldown = 200;
+  config.threads = kForceSerialThreads;
+  TrafficResult serial = RunTraffic(config);
+  for (uint32_t threads : kThreadCounts) {
+    config.threads = threads;
+    TrafficResult parallel = RunTraffic(config);
+    std::string what = "traffic --threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.injected, parallel.injected) << what;
+    EXPECT_EQ(serial.completed, parallel.completed) << what;
+    EXPECT_EQ(serial.measured, parallel.measured) << what;
+    EXPECT_EQ(serial.events, parallel.events) << what;
+    EXPECT_EQ(serial.makespan, parallel.makespan) << what;
+    EXPECT_EQ(serial.window_open, parallel.window_open) << what;
+    EXPECT_EQ(serial.window_close, parallel.window_close) << what;
+    EXPECT_EQ(serial.window_drain, parallel.window_drain) << what;
+    EXPECT_TRUE(serial.latency == parallel.latency) << what;
+    EXPECT_EQ(serial.latency.Fingerprint(), parallel.latency.Fingerprint()) << what;
+    EXPECT_DOUBLE_EQ(serial.p50_us, parallel.p50_us) << what;
+    EXPECT_DOUBLE_EQ(serial.p99_us, parallel.p99_us) << what;
+    EXPECT_DOUBLE_EQ(serial.p999_us, parallel.p999_us) << what;
+    EXPECT_DOUBLE_EQ(serial.offered_rps, parallel.offered_rps) << what;
+    EXPECT_DOUBLE_EQ(serial.throughput_rps, parallel.throughput_rps) << what;
     ExpectSameStats(serial.kernel_stats, parallel.kernel_stats, what.c_str());
   }
 }

@@ -1,0 +1,141 @@
+// Workload registry suite (src/workloads/registry.h).
+//
+// The registry is the single front door for every experiment: specs carry
+// the name, param schema and driver; ParseWorkloadCli resolves positional
+// selection plus the deprecated alias flags, merges schema defaults, and
+// validates every flag against the schema. This suite pins the behaviours
+// the CLI compatibility contract depends on — in particular that
+// contradictory workload selections are rejected loudly (the old flag chain
+// silently ran whichever branch came first).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "workloads/registry.h"
+
+namespace semperos {
+namespace {
+
+WorkloadInvocation Parse(std::vector<std::string> args) {
+  RegisterBuiltinWorkloads();
+  return ParseWorkloadCli(args);
+}
+
+// --- Selection ---
+
+TEST(Registry, PositionalNameSelectsWorkload) {
+  WorkloadInvocation inv = Parse({"traffic", "--rate=250000"});
+  ASSERT_TRUE(inv.ok) << inv.error;
+  ASSERT_NE(inv.spec, nullptr);
+  EXPECT_EQ(inv.spec->name, "traffic");
+  EXPECT_TRUE(inv.spec->open_loop);
+  EXPECT_DOUBLE_EQ(inv.params.F64("rate"), 250000.0);
+}
+
+TEST(Registry, DefaultSelectionIsTar) {
+  WorkloadInvocation inv = Parse({"--kernels=4"});
+  ASSERT_TRUE(inv.ok) << inv.error;
+  EXPECT_EQ(inv.spec->name, "tar");
+  EXPECT_EQ(inv.params.U32("kernels"), 4u);
+}
+
+TEST(Registry, DeprecatedAliasesStillSelect) {
+  EXPECT_EQ(Parse({"--app=postmark"}).spec->name, "postmark");
+  EXPECT_EQ(Parse({"--nginx"}).spec->name, "nginx");
+  EXPECT_EQ(Parse({"--micro"}).spec->name, "micro");
+  EXPECT_EQ(Parse({"--failover"}).spec->name, "failover");
+  EXPECT_EQ(Parse({"--chaos"}).spec->name, "chaos");
+  // --fail-kernel=<id>@<us> implies failover and is kept as a param.
+  WorkloadInvocation inv = Parse({"--fail-kernel=2@1500"});
+  ASSERT_TRUE(inv.ok) << inv.error;
+  EXPECT_EQ(inv.spec->name, "failover");
+  EXPECT_EQ(inv.params.Str("fail-kernel"), "2@1500");
+}
+
+TEST(Registry, ConflictingSelectionsAreRejected) {
+  // The satellite fix: the old parser silently accepted e.g.
+  // `--failover --chaos` and ran only one of them.
+  WorkloadInvocation inv = Parse({"--failover", "--chaos"});
+  EXPECT_FALSE(inv.ok);
+  EXPECT_NE(inv.error.find("conflicting workload selections"), std::string::npos) << inv.error;
+  EXPECT_NE(inv.error.find("--failover"), std::string::npos) << inv.error;
+  EXPECT_NE(inv.error.find("--chaos"), std::string::npos) << inv.error;
+
+  EXPECT_FALSE(Parse({"--app=tar", "nginx"}).ok);
+  EXPECT_FALSE(Parse({"traffic", "--micro"}).ok);
+  // Naming the same workload twice is harmless, not a conflict.
+  EXPECT_TRUE(Parse({"--failover", "--fail-kernel=1@0"}).ok);
+}
+
+TEST(Registry, UnknownWorkloadShowsCatalogue) {
+  WorkloadInvocation inv = Parse({"frobnicate"});
+  EXPECT_FALSE(inv.ok);
+  EXPECT_TRUE(inv.show_catalogue);
+  EXPECT_NE(inv.error.find("unknown workload 'frobnicate'"), std::string::npos) << inv.error;
+}
+
+// --- Schema validation ---
+
+TEST(Registry, DefaultsAreMergedBeforeOverrides) {
+  WorkloadInvocation inv = Parse({"traffic"});
+  ASSERT_TRUE(inv.ok) << inv.error;
+  EXPECT_EQ(inv.params.Str("request"), "nginx");
+  EXPECT_EQ(inv.params.U32("servers"), 16u);
+  EXPECT_EQ(inv.params.U64("requests"), 20000u);
+  EXPECT_EQ(inv.params.Threads(), 1u);
+}
+
+TEST(Registry, UnknownFlagForWorkloadIsRejected) {
+  WorkloadInvocation inv = Parse({"micro", "--servers=4"});
+  EXPECT_FALSE(inv.ok);
+  EXPECT_NE(inv.error.find("does not take --servers"), std::string::npos) << inv.error;
+}
+
+TEST(Registry, ChoiceParamsAreEnforced) {
+  EXPECT_TRUE(Parse({"traffic", "--process=bursty"}).ok);
+  WorkloadInvocation inv = Parse({"traffic", "--process=lunar"});
+  EXPECT_FALSE(inv.ok);
+}
+
+TEST(Registry, TypedValuesAreCheckedAtParseTime) {
+  EXPECT_FALSE(Parse({"traffic", "--servers=many"}).ok);
+  EXPECT_FALSE(Parse({"traffic", "--rate=fast"}).ok);
+  EXPECT_FALSE(Parse({"traffic", "--rate=0"}).ok);  // spec.validate: rate > 0
+}
+
+TEST(Registry, GlobalFlagsParse) {
+  WorkloadInvocation inv = Parse({"nginx", "--threads=auto", "--stats", "--strict"});
+  ASSERT_TRUE(inv.ok) << inv.error;
+  EXPECT_TRUE(inv.stats);
+  EXPECT_TRUE(inv.strict);
+  EXPECT_EQ(inv.params.Threads(), 0u);  // "auto" -> ResolveThreads picks
+  EXPECT_FALSE(Parse({"nginx", "--threads=some"}).ok);
+  EXPECT_TRUE(Parse({"--list"}).list);
+}
+
+// --- Registry surface ---
+
+TEST(Registry, CatalogueListsEveryRegisteredWorkload) {
+  RegisterBuiltinWorkloads();
+  std::string catalogue = FormatWorkloadList();
+  for (const WorkloadSpec& spec : WorkloadRegistry::Global().specs()) {
+    EXPECT_NE(catalogue.find(spec.name), std::string::npos) << spec.name;
+    EXPECT_NE(spec.run, nullptr) << spec.name << " has no driver";
+  }
+  // The harness registers through the same interface as everything else.
+  EXPECT_NE(WorkloadRegistry::Global().Find("traffic"), nullptr);
+  EXPECT_NE(catalogue.find("[open-loop]"), std::string::npos);
+}
+
+TEST(Registry, ResultMetricLookup) {
+  WorkloadResult result;
+  result.Add("p99", 42.5, "us");
+  result.Add("throughput", 1e6, "/s");
+  EXPECT_DOUBLE_EQ(result.Value("p99"), 42.5);
+  EXPECT_DOUBLE_EQ(result.Value("throughput"), 1e6);
+  EXPECT_DEATH(result.Value("absent"), "");
+}
+
+}  // namespace
+}  // namespace semperos

@@ -1,0 +1,260 @@
+// Open-loop traffic harness suite (src/traffic).
+//
+// Pins the properties the ISSUE's benchmark contract rests on:
+//   - arrival schedules are a pure function of (spec, seed, generator):
+//     same seed, same schedule — bit-for-bit, for every arrival process;
+//   - the latency histogram is exact below an octave, ~3%-bounded above,
+//     with nearest-rank percentile semantics, and merges losslessly;
+//   - RunTraffic is deterministic per seed (identical histograms across
+//     reruns) and bit-identical at any SEMPEROS_THREADS setting;
+//   - the warm-up/measurement-window discipline measures exactly the
+//     configured requests and drains every injected arrival;
+//   - the saturation search is a pure function of its config.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "system/platform.h"
+#include "traffic/arrivals.h"
+#include "traffic/histogram.h"
+#include "traffic/traffic.h"
+
+namespace semperos {
+namespace {
+
+// --- Arrival-process determinism ---
+
+std::vector<Cycles> Schedule(const ArrivalSpec& spec, uint64_t seed, uint32_t generator,
+                             uint32_t generators, uint64_t count) {
+  return BuildArrivalSchedule(spec, seed, generator, generators, count);
+}
+
+TEST(Arrivals, SameSeedSameSchedule) {
+  for (ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.process = process;
+    spec.rate_rps = 250'000.0;
+    std::vector<Cycles> a = Schedule(spec, 42, 3, 8, 5'000);
+    std::vector<Cycles> b = Schedule(spec, 42, 3, 8, 5'000);
+    EXPECT_EQ(a, b) << "process " << ArrivalProcessName(process);
+  }
+}
+
+TEST(Arrivals, SeedAndGeneratorGiveIndependentStreams) {
+  ArrivalSpec spec;
+  std::vector<Cycles> base = Schedule(spec, 1, 0, 4, 2'000);
+  EXPECT_NE(base, Schedule(spec, 2, 0, 4, 2'000)) << "seed must matter";
+  EXPECT_NE(base, Schedule(spec, 1, 1, 4, 2'000)) << "generator index must matter";
+}
+
+TEST(Arrivals, SchedulesAreStrictlyIncreasing) {
+  for (ArrivalProcess process :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kDiurnal}) {
+    ArrivalSpec spec;
+    spec.process = process;
+    spec.session_mean = 4'000'000;  // exercise churn gating too
+    spec.offline_mean = 1'000'000;
+    std::vector<Cycles> schedule = Schedule(spec, 7, 0, 2, 10'000);
+    ASSERT_EQ(schedule.size(), 10'000u);
+    for (size_t i = 1; i < schedule.size(); ++i) {
+      ASSERT_LT(schedule[i - 1], schedule[i]) << "at index " << i;
+    }
+  }
+}
+
+TEST(Arrivals, PoissonMeanGapTracksRate) {
+  // Aggregate 1M req/s over 4 generators -> per-generator mean gap of
+  // 4 * kClockHz / 1e6 = 8000 cycles. The von Neumann sampler is exact in
+  // distribution; 50k samples puts the sample mean within a few percent.
+  ArrivalSpec spec;
+  spec.rate_rps = 1'000'000.0;
+  const uint64_t kCount = 50'000;
+  std::vector<Cycles> schedule = Schedule(spec, 3, 1, 4, kCount);
+  double mean_gap = static_cast<double>(schedule.back() - schedule.front()) /
+                    static_cast<double>(kCount - 1);
+  EXPECT_NEAR(mean_gap, 8'000.0, 8'000.0 * 0.05);
+}
+
+TEST(Arrivals, SampleExpIsDeterministicAndUnitMean) {
+  Rng a(99), b(99);
+  double sum = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    double x = SampleExp(&a);
+    ASSERT_EQ(x, SampleExp(&b)) << "draw " << i;
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20'000.0, 1.0, 0.05);
+}
+
+// --- Latency histogram ---
+
+TEST(Histogram, ExactBelowFirstOctave) {
+  LatencyHistogram h;
+  for (Cycles v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    EXPECT_EQ(LatencyHistogram::BucketUpper(LatencyHistogram::BucketOf(v)), v);
+  }
+  h.Record(7);
+  EXPECT_EQ(h.Percentile(0.5), 7u);
+  EXPECT_EQ(h.min(), 7u);
+  EXPECT_EQ(h.max(), 7u);
+}
+
+TEST(Histogram, RelativeErrorBounded) {
+  // The upper bucket edge overestimates by at most 2^-kSubBits.
+  for (Cycles v : {100ull, 1'000ull, 123'456ull, 10'000'000ull, 987'654'321ull}) {
+    Cycles upper = LatencyHistogram::BucketUpper(LatencyHistogram::BucketOf(v));
+    ASSERT_GE(upper, v);
+    EXPECT_LE(static_cast<double>(upper - v),
+              static_cast<double>(v) / LatencyHistogram::kSubBuckets);
+  }
+}
+
+TEST(Histogram, NearestRankPercentiles) {
+  LatencyHistogram h;
+  for (Cycles v = 1; v <= 10; ++v) {
+    h.Record(v);  // values 1..10, all exact buckets
+  }
+  EXPECT_EQ(h.count(), 10u);
+  EXPECT_EQ(h.Percentile(0.0), 1u);    // p0 = min
+  EXPECT_EQ(h.Percentile(0.10), 1u);   // rank ceil(1.0) = 1
+  EXPECT_EQ(h.Percentile(0.50), 5u);   // rank 5
+  EXPECT_EQ(h.Percentile(0.91), 10u);  // rank ceil(9.1) = 10
+  EXPECT_EQ(h.Percentile(1.0), 10u);   // clamped to max
+}
+
+TEST(Histogram, PercentileClampsToObservedMax) {
+  LatencyHistogram h;
+  h.Record(1'000'000);  // bucket upper edge is above the sample
+  EXPECT_EQ(h.Percentile(0.999), 1'000'000u);
+}
+
+TEST(Histogram, MergeMatchesUnionAndFingerprint) {
+  LatencyHistogram all, left, right;
+  for (uint64_t i = 0; i < 4'000; ++i) {
+    Cycles v = (i * 2'654'435'761u) % 500'000 + 1;
+    all.Record(v);
+    (i % 2 == 0 ? left : right).Record(v);
+  }
+  left.Merge(right);
+  EXPECT_TRUE(left == all);
+  EXPECT_EQ(left.Fingerprint(), all.Fingerprint());
+  EXPECT_EQ(left.Percentile(0.99), all.Percentile(0.99));
+  LatencyHistogram other;
+  other.Record(1);
+  EXPECT_NE(other.Fingerprint(), all.Fingerprint());
+}
+
+// --- End-to-end harness determinism ---
+
+TrafficConfig SmallConfig() {
+  TrafficConfig config;
+  config.kernels = 2;
+  config.services = 2;
+  config.servers = 4;
+  config.arrivals.rate_rps = 200'000.0;
+  config.warmup = 200;
+  config.requests = 2'000;
+  config.cooldown = 100;
+  return config;
+}
+
+TEST(Traffic, RerunsAreBitIdentical) {
+  TrafficResult a = RunTraffic(SmallConfig());
+  TrafficResult b = RunTraffic(SmallConfig());
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_TRUE(a.latency == b.latency);
+  EXPECT_EQ(a.latency.Fingerprint(), b.latency.Fingerprint());
+  EXPECT_EQ(a.window_open, b.window_open);
+  EXPECT_EQ(a.window_drain, b.window_drain);
+}
+
+TEST(Traffic, SeedChangesTheRun) {
+  TrafficConfig config = SmallConfig();
+  TrafficResult a = RunTraffic(config);
+  config.seed = 2;
+  TrafficResult b = RunTraffic(config);
+  EXPECT_NE(a.latency.Fingerprint(), b.latency.Fingerprint());
+}
+
+TEST(Traffic, WindowDisciplineMeasuresExactlyTheConfiguredRequests) {
+  TrafficConfig config = SmallConfig();
+  TrafficResult r = RunTraffic(config);
+  // Open-loop contract: every scheduled arrival is injected and completes
+  // (the run drains), and only the measurement window lands in the
+  // histogram — warm-up and cool-down requests are injected but unmeasured.
+  EXPECT_EQ(r.injected, config.warmup + config.requests + config.cooldown);
+  EXPECT_EQ(r.completed, r.injected);
+  EXPECT_EQ(r.measured, config.requests);
+  EXPECT_EQ(r.latency.count(), config.requests);
+  EXPECT_GT(r.window_close, r.window_open);
+  EXPECT_GE(r.window_drain, r.window_close);
+  EXPECT_GT(r.p99_us, 0.0);
+  EXPECT_GE(r.p999_us, r.p99_us);
+  EXPECT_GE(r.p99_us, r.p50_us);
+}
+
+TEST(Traffic, PostmarkRequestMixRuns) {
+  TrafficConfig config = SmallConfig();
+  config.request = "postmark";
+  config.requests = 1'000;
+  TrafficResult r = RunTraffic(config);
+  EXPECT_EQ(r.measured, config.requests);
+  EXPECT_GT(r.p50_us, 0.0);
+}
+
+TEST(Traffic, SaturationSearchIsDeterministic) {
+  SaturationConfig config;
+  config.traffic = SmallConfig();
+  config.traffic.warmup = 100;
+  config.traffic.requests = 1'000;
+  config.traffic.cooldown = 0;
+  config.max_bracket_steps = 3;
+  config.refine_steps = 2;
+  SaturationResult a = FindSaturation(config);
+  SaturationResult b = FindSaturation(config);
+  EXPECT_EQ(a.saturation_rps, b.saturation_rps);
+  ASSERT_EQ(a.probes.size(), b.probes.size());
+  ASSERT_FALSE(a.probes.empty());
+  for (size_t i = 0; i < a.probes.size(); ++i) {
+    EXPECT_EQ(a.probes[i].offered_rps, b.probes[i].offered_rps) << i;
+    EXPECT_EQ(a.probes[i].throughput_rps, b.probes[i].throughput_rps) << i;
+    EXPECT_EQ(a.probes[i].p99_us, b.probes[i].p99_us) << i;
+    EXPECT_EQ(a.probes[i].makespan, b.probes[i].makespan) << i;
+    EXPECT_EQ(a.probes[i].sustained, b.probes[i].sustained) << i;
+  }
+}
+
+// --- Thread-count equivalence (the bench gate's core assumption) ---
+
+TEST(Traffic, BitIdenticalAcrossThreadCounts) {
+  TrafficConfig config = SmallConfig();
+  config.threads = kForceSerialThreads;
+  TrafficResult serial = RunTraffic(config);
+  for (uint32_t threads : {2u, 4u}) {
+    config.threads = threads;
+    TrafficResult parallel = RunTraffic(config);
+    std::string what = "traffic --threads=" + std::to_string(threads);
+    EXPECT_EQ(serial.injected, parallel.injected) << what;
+    EXPECT_EQ(serial.completed, parallel.completed) << what;
+    EXPECT_EQ(serial.measured, parallel.measured) << what;
+    EXPECT_EQ(serial.events, parallel.events) << what;
+    EXPECT_EQ(serial.makespan, parallel.makespan) << what;
+    EXPECT_EQ(serial.window_open, parallel.window_open) << what;
+    EXPECT_EQ(serial.window_close, parallel.window_close) << what;
+    EXPECT_EQ(serial.window_drain, parallel.window_drain) << what;
+    EXPECT_TRUE(serial.latency == parallel.latency) << what;
+    EXPECT_EQ(serial.latency.Fingerprint(), parallel.latency.Fingerprint()) << what;
+    EXPECT_DOUBLE_EQ(serial.p50_us, parallel.p50_us) << what;
+    EXPECT_DOUBLE_EQ(serial.p99_us, parallel.p99_us) << what;
+    EXPECT_DOUBLE_EQ(serial.p999_us, parallel.p999_us) << what;
+    EXPECT_DOUBLE_EQ(serial.offered_rps, parallel.offered_rps) << what;
+    EXPECT_DOUBLE_EQ(serial.throughput_rps, parallel.throughput_rps) << what;
+  }
+}
+
+}  // namespace
+}  // namespace semperos

@@ -1,595 +1,43 @@
 // semperos_sim — command-line front end for the SemperOS simulator.
 //
-// Run any system configuration without writing code:
+// Workloads are selected by name from the workload registry
+// (src/workloads/registry.h); parameters, validation, --list and strict
+// serial-vs-parallel verification all come from the WorkloadSpec schemas:
 //
-//   semperos_sim --app=postmark --kernels=32 --services=32 --instances=512
-//   semperos_sim --app=tar --kernels=1 --services=1 --instances=1 --mode=m3
-//   semperos_sim --nginx --kernels=32 --services=32 --servers=128
-//   semperos_sim --micro                      # Table-3 style op latencies
-//   semperos_sim --app=sqlite ... --batching  # revocation batching on
-//   semperos_sim --failover --kernels=8       # crash-recovery workload
-//   semperos_sim --failover --fail-kernel=2@300   # kill kernel 2 at 300 us
-//   semperos_sim --app=postmark --threads=4   # sharded parallel engine
-//   semperos_sim ... --threads=auto --stats   # + engine counters
+//   semperos_sim postmark --kernels=32 --services=32 --instances=512
+//   semperos_sim tar --kernels=1 --services=1 --instances=1 --mode=m3
+//   semperos_sim nginx --kernels=32 --services=32 --servers=128
+//   semperos_sim micro                        # Table-3 style op latencies
+//   semperos_sim failover --kernels=8         # crash-recovery workload
+//   semperos_sim traffic --rate=200000 --process=bursty   # open-loop harness
+//   semperos_sim traffic --saturate           # saturation-throughput search
+//   semperos_sim chaos --seed=7 --sweep=100   # seeded chaos storms
+//   semperos_sim ... --threads=auto --stats   # parallel engine + counters
 //   semperos_sim ... --threads=4 --strict     # assert parallel == serial
-//   semperos_sim --list                       # enumerate experiments
+//   semperos_sim --list                       # the full workload catalogue
 //
-// Prints runtime/efficiency metrics and the kernel statistics counters.
-#include <algorithm>
+// The pre-registry selector flags (--app=NAME, --nginx, --micro,
+// --failover, --chaos, --trace=FILE) keep working as deprecated aliases.
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
+#include <vector>
 
-#include "chaos/storm.h"
-#include "fs/service.h"
-#include "system/client.h"
-#include "system/experiment.h"
-#include "trace/replayer.h"
-#include "trace/trace_io.h"
-#include "workloads/workloads.h"
-
-using namespace semperos;
-
-namespace {
-
-struct Options {
-  std::string app = "tar";
-  std::string trace_file;
-  uint32_t kernels = 8;
-  uint32_t services = 8;
-  uint32_t instances = 64;
-  uint32_t servers = 32;
-  bool nginx = false;
-  bool micro = false;
-  bool batching = false;
-  bool failover = false;
-  bool list = false;
-  // --fail-kernel=<id>@<us>: kill kernel <id> at <us> microseconds.
-  // fail_at_us == 0 (the default): pick a kill time that lands after the
-  // workload's orphan-seeding phase, whose length scales with the client
-  // count per group.
-  KernelId fail_kernel = 1;
-  double fail_at_us = 0.0;
-  KernelMode mode = KernelMode::kSemperOSMulti;
-  // Sharded parallel engine (sim/engine.h): 1 = legacy serial path,
-  // 0 = auto (host cores), >= 2 = worker threads.
-  uint32_t threads = 1;
-  bool stats = false;   // print engine observability counters after the run
-  bool strict = false;  // run serial + parallel, assert identical results
-
-  // --chaos: seeded chaos storm + global invariant audit (src/chaos).
-  bool chaos = false;
-  bool kernels_set = false;  // --kernels given (chaos defaults differ)
-  bool shrink = false;       // shrink a failing storm to a minimal repro
-  uint32_t sweep = 0;        // run this many consecutive seeds
-  StormConfig storm;
-};
-
-bool ParseFlag(const char* arg, const char* name, std::string* value) {
-  size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
-    *value = arg + len + 1;
-    return true;
-  }
-  return false;
-}
-
-int Usage() {
-  std::fprintf(stderr,
-               "usage: semperos_sim [--app=NAME|--nginx|--micro|--failover|--trace=FILE|--list]\n"
-               "                    [--kernels=N] [--services=N] [--instances=N] [--servers=N]\n"
-               "                    [--mode=semperos|m3] [--batching]\n"
-               "                    [--fail-kernel=<id>@<us>]\n"
-               "                    [--threads=N|auto] [--stats] [--strict]\n"
-               "       semperos_sim --chaos [--seed=N] [--kernels=N] [--users=N]\n"
-               "                    [--rounds=N] [--settle=N] [--workload=mixed|nginx|postmark]\n"
-               "                    [--kills=N] [--migrations=N] [--churn=N] [--hb-perturb=0|1]\n"
-               "                    [--op-rate=F] [--mig-revoke] [--double-kill] [--inject-bug]\n"
-               "                    [--shrink] [--sweep=N] [--threads=N]\n"
-               "--threads: sharded parallel engine (1 = serial; results are\n"
-               "           bit-identical at any thread count)\n"
-               "--stats:   print engine windows/handoffs/imbalance after the run\n"
-               "--strict:  run serial AND parallel, abort on any modeled mismatch\n"
-               "apps: tar untar find sqlite leveldb postmark\n"
-               "trace files: one op per line (open/read/write/seek/close/stat/mkdir/unlink/\n"
-               "             readdir/compute), '#' comments; see src/trace/trace_io.h\n"
-               "run --list for the full experiment/workload catalogue\n");
-  return 2;
-}
-
-void PrintKernelStats(const KernelStats& s);
-
-// --list: the experiment/workload catalogue, also shown instead of a bare
-// usage error when an unknown --app name is given.
-int PrintList() {
-  std::printf("trace-replay apps (--app=NAME; Figures 6-9, Table 4):\n");
-  for (const auto& name : WorkloadNames()) {
-    std::printf("  %s\n", name.c_str());
-  }
-  std::printf("experiments:\n");
-  std::printf("  --nginx      closed-loop webserver benchmark (Figure 10)\n");
-  std::printf("  --micro      single-operation latencies (Table 3)\n");
-  std::printf("  --failover   crash-recovery workload (src/ft): kill a kernel mid-run,\n");
-  std::printf("               survivors detect (heartbeats + quorum), re-partition the\n");
-  std::printf("               dead DDL range, revoke orphaned subtrees, adopt the PEs;\n");
-  std::printf("               tune with --fail-kernel=<id>@<us>\n");
-  std::printf("  --trace=FILE replay a custom trace file\n");
-  std::printf("  --chaos      seeded chaos storm (src/chaos): randomized kernel kills,\n");
-  std::printf("               live migrations, client churn and heartbeat perturbation\n");
-  std::printf("               over a running workload; the global invariant auditor\n");
-  std::printf("               (src/audit) checks the platform after every settle round.\n");
-  std::printf("               --shrink reduces a failing storm to a one-command repro;\n");
-  std::printf("               --sweep=N replays N consecutive seeds (docs/testing.md)\n");
-  return 0;
-}
-
-// --stats: the sharded engine's observability counters (sim/engine.h).
-void PrintEngineStats(bool parallel, const EngineStats& s) {
-  if (!parallel) {
-    std::printf("engine statistics: serial engine (run with --threads>=2 for counters)\n");
-    return;
-  }
-  std::printf("engine statistics (sharded parallel engine):\n");
-  std::printf("  windows executed  %10llu  (fast-forwarded %llu)\n",
-              (unsigned long long)s.windows, (unsigned long long)s.fast_forwards);
-  std::printf("  cross handoffs    %10llu  (sends %llu, schedules %llu)\n",
-              (unsigned long long)s.handoffs, (unsigned long long)s.handoff_sends,
-              (unsigned long long)s.handoff_schedules);
-  std::printf("  driver events     %10llu\n", (unsigned long long)s.driver_events);
-  std::printf("  shard imbalance   %10.2fx  (max/mean events over %zu shards)\n",
-              s.ImbalanceRatio(), s.shard_events.size());
-  for (size_t i = 0; i < s.shard_events.size(); ++i) {
-    std::printf("    shard %zu events %10llu\n", i, (unsigned long long)s.shard_events[i]);
-  }
-}
-
-// --strict: every modeled output of the parallel run must equal the serial
-// run bit for bit; any drift aborts the process with the failing field.
-void StrictCheck(bool ok, const char* field) {
-  CHECK(ok) << "--strict: parallel run diverged from serial on " << field;
-}
-
-void StrictCompare(const KernelStats& a, const KernelStats& b) {
-  StrictCheck(a.syscalls == b.syscalls, "kernel syscalls");
-  StrictCheck(a.obtains == b.obtains, "kernel obtains");
-  StrictCheck(a.revokes == b.revokes, "kernel revokes");
-  StrictCheck(a.spanning_obtains == b.spanning_obtains, "spanning obtains");
-  StrictCheck(a.spanning_revokes == b.spanning_revokes, "spanning revokes");
-  StrictCheck(a.ikc_sent == b.ikc_sent, "IKCs sent");
-  StrictCheck(a.caps_created == b.caps_created, "caps created");
-  StrictCheck(a.caps_deleted == b.caps_deleted, "caps deleted");
-  StrictCheck(a.migrations == b.migrations, "migrations");
-  StrictCheck(a.ft_failovers == b.ft_failovers, "failovers");
-}
-
-int RunFailoverCli(const Options& opt) {
-  FailoverConfig config;
-  config.kernels = opt.kernels;
-  config.users_per_kernel = std::max(1u, opt.instances / std::max(1u, opt.kernels));
-  config.victim = opt.fail_kernel;
-  config.threads = opt.threads;
-  if (opt.kernels < 2) {
-    std::fprintf(stderr, "--failover needs at least 2 kernels (got %u)\n", opt.kernels);
-    return 2;
-  }
-  if (opt.fail_kernel >= opt.kernels) {
-    std::fprintf(stderr, "--fail-kernel=%u out of range (%u kernels)\n", opt.fail_kernel,
-                 opt.kernels);
-    return 2;
-  }
-  // Pick the kill time: seeding serializes roughly 30k cycles per orphan
-  // capability at the victim kernel, for every seeder in the neighbouring
-  // group, and must finish before the kill. A user-pinned time below that
-  // floor is raised (with a note) instead of CHECK-aborting mid-seed.
-  Cycles seed_safe =
-      400'000 + static_cast<Cycles>(config.users_per_kernel) * config.orphan_caps * 30'000;
-  config.kill_at = opt.fail_at_us > 0 ? MicrosToCycles(opt.fail_at_us) : seed_safe;
-  if (config.kill_at < seed_safe) {
-    std::fprintf(stderr, "note: raising kill time to %.0f us so the orphan-seeding phase fits\n",
-                 CyclesToMicros(seed_safe));
-    config.kill_at = seed_safe;
-  }
-  FailoverResult r = RunFailover(config);
-  if (opt.strict && ResolveThreads(opt.threads) != 1) {
-    FailoverConfig serial = config;
-    serial.threads = kForceSerialThreads;
-    FailoverResult sr = RunFailover(serial);
-    StrictCheck(sr.total_ops == r.total_ops, "failover total_ops");
-    StrictCheck(sr.makespan == r.makespan, "failover makespan");
-    StrictCheck(sr.recovered == r.recovered, "failover recovered");
-    StrictCheck(sr.detect_latency == r.detect_latency, "failover detect_latency");
-    StrictCheck(sr.recover_latency == r.recover_latency, "failover recover_latency");
-    StrictCheck(sr.events == r.events, "failover events");
-    StrictCheck(sr.noc_latency == r.noc_latency, "failover noc_latency");
-    StrictCheck(sr.noc_queueing == r.noc_queueing, "failover noc_queueing");
-    StrictCompare(sr.kernel_stats, r.kernel_stats);
-    std::printf("strict: parallel == serial verified (failover)\n");
-  }
-  std::printf("failover: %u kernels x %u clients, kernel %u killed at %.0f us\n", opt.kernels,
-              config.users_per_kernel, opt.fail_kernel, CyclesToMicros(r.kill_time));
-  std::printf("  recovered         : %10s%s\n", r.recovered ? "yes" : "NO",
-              r.refused ? " (refused: no quorum)" : "");
-  if (r.recovered) {
-    std::printf("  detect latency    : %10.1f us\n", CyclesToMicros(r.detect_latency));
-    std::printf("  recover latency   : %10.1f us\n", CyclesToMicros(r.recover_latency));
-    std::printf("  membership epoch  : %10llu\n", (unsigned long long)r.survivor_epoch);
-    std::printf("  throughput dip    : %10.1f %%  (%.0f -> %.0f ops/s)\n",
-                r.ops_per_sec_before > 0
-                    ? 100.0 * (1.0 - r.ops_per_sec_during / r.ops_per_sec_before)
-                    : 0.0,
-                r.ops_per_sec_before, r.ops_per_sec_during);
-  }
-  std::printf("  ops completed     : %10llu  (failed %llu, by adopted PEs %llu)\n",
-              (unsigned long long)r.total_ops, (unsigned long long)r.failed_ops,
-              (unsigned long long)r.adopted_ops);
-  std::printf("  orphans revoked   : %10llu  (EPs invalidated %llu, edges pruned %llu)\n",
-              (unsigned long long)r.orphan_roots, (unsigned long long)r.eps_invalidated,
-              (unsigned long long)r.edges_pruned);
-  std::printf("  PEs adopted       : %10llu  (in-flight IKCs unwedged %llu)\n",
-              (unsigned long long)r.pes_adopted, (unsigned long long)r.ikcs_aborted);
-  std::printf("  client retries    : %10llu\n", (unsigned long long)r.client_retries);
-  PrintKernelStats(r.kernel_stats);
-  if (opt.stats) {
-    PrintEngineStats(r.engine_parallel, r.engine_stats);
-  }
-  return 0;
-}
-
-// Replays a user-supplied trace file on a small system and reports the
-// capability-operation footprint.
-int RunTraceFile(const std::string& path, uint32_t kernels, uint32_t services,
-                 uint32_t threads) {
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot read %s\n", path.c_str());
-    return 1;
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  Trace trace;
-  size_t error_line = 0;
-  if (!ParseTrace(buffer.str(), &trace, &error_line).ok()) {
-    std::fprintf(stderr, "%s:%zu: malformed trace line\n", path.c_str(), error_line);
-    return 1;
-  }
-  trace.app = path;
-  FsImage image = InferImage(trace);
-
-  PlatformConfig pc;
-  pc.kernels = kernels;
-  pc.services = services;
-  pc.users = 1;
-  pc.threads = threads;
-  Platform platform(pc);
-  uint32_t index = 0;
-  for (NodeId node : platform.service_nodes()) {
-    Kernel* kernel = platform.kernel_of(node);
-    CapSel mem = kernel->AdminGrantMem(node, platform.mem_nodes()[0],
-                                       static_cast<uint64_t>(index++) << 40, 1ull << 36, kPermRW);
-    platform.pe(node)->AttachProgram(std::make_unique<FsService>(
-        "m3fs", image, platform.kernel_node(kernel->id()), pc.timing, mem));
-  }
-  NodeId user = platform.user_nodes()[0];
-  auto replayer = std::make_unique<TraceReplayer>(
-      trace, platform.kernel_node(platform.membership().KernelOf(user)), pc.timing);
-  TraceReplayer* app = replayer.get();
-  platform.pe(user)->AttachProgram(std::move(replayer));
-  platform.Boot();
-  platform.RunToCompletion();
-
-  std::printf("trace %s: %zu operations\n", path.c_str(), trace.ops.size());
-  std::printf("  runtime            : %10.1f us\n", CyclesToMicros(app->result().runtime()));
-  std::printf("  capability ops     : %10u\n", app->result().cap_ops);
-  std::printf("  syscalls issued    : %10llu\n", (unsigned long long)app->result().syscalls);
-  PrintKernelStats(platform.TotalKernelStats());
-  return 0;
-}
-
-void PrintKernelStats(const KernelStats& s) {
-  std::printf("kernel statistics (summed over kernels):\n");
-  std::printf("  syscalls        %10llu\n", (unsigned long long)s.syscalls);
-  std::printf("  obtains         %10llu  (spanning %llu)\n", (unsigned long long)s.obtains,
-              (unsigned long long)s.spanning_obtains);
-  std::printf("  delegates       %10llu  (spanning %llu)\n", (unsigned long long)s.delegates,
-              (unsigned long long)s.spanning_delegates);
-  std::printf("  revokes         %10llu  (spanning %llu)\n", (unsigned long long)s.revokes,
-              (unsigned long long)s.spanning_revokes);
-  std::printf("  derives         %10llu\n", (unsigned long long)s.derives);
-  std::printf("  activations     %10llu\n", (unsigned long long)s.activates);
-  std::printf("  sessions        %10llu\n", (unsigned long long)s.sessions_opened);
-  std::printf("  IKC messages    %10llu  (flow-queued %llu)\n", (unsigned long long)s.ikc_sent,
-              (unsigned long long)s.ikc_flow_queued);
-  std::printf("  caps created    %10llu, deleted %llu\n", (unsigned long long)s.caps_created,
-              (unsigned long long)s.caps_deleted);
-  std::printf("  anomaly paths   %10s  orphans=%llu pointless=%llu invalid=%llu\n", "",
-              (unsigned long long)s.orphans_cleaned, (unsigned long long)s.pointless_denials,
-              (unsigned long long)s.invalid_prevented);
-  if (s.hb_sent > 0 || s.ft_failovers > 0 || s.ft_refusals > 0) {
-    std::printf("  fault tolerance %10s  heartbeats=%llu suspicions=%llu failovers=%llu "
-                "refusals=%llu\n",
-                "", (unsigned long long)s.hb_sent, (unsigned long long)s.ft_suspicions,
-                (unsigned long long)s.ft_failovers, (unsigned long long)s.ft_refusals);
-  }
-}
-
-// --chaos: run one storm (or a sweep of consecutive seeds), print the
-// audit outcome, and on a failing audit emit the one-command repro —
-// shrunk first when --shrink is given. Exit status 1 signals a violation.
-int RunOneStorm(const StormConfig& config, bool shrink) {
-  StormResult r = RunStorm(config);
-  std::printf("%s\n", r.Summary().c_str());
-  std::printf("%s\n", r.audit.ToString().c_str());
-  if (r.ok) {
-    return 0;
-  }
-  StormConfig repro = config;
-  if (shrink) {
-    uint32_t attempts = 0;
-    repro = ShrinkStorm(config, &attempts);
-    std::printf("shrunk after %u runs to: %s\n", attempts, FormatStormSpec(repro).c_str());
-  }
-  std::printf("repro: %s\n", ReproCommand(repro).c_str());
-  return 1;
-}
-
-int RunChaosSweep(const StormConfig& base, uint32_t seeds, bool shrink) {
-  uint32_t failures = 0;
-  for (uint32_t s = 0; s < seeds; ++s) {
-    StormConfig config = base;
-    config.seed = base.seed + s;
-    StormResult r = RunStorm(config);
-    if (!r.ok) {
-      failures++;
-      std::printf("seed %llu FAILED: %s\n", (unsigned long long)config.seed,
-                  r.Summary().c_str());
-      std::printf("%s\n", r.audit.ToString().c_str());
-      StormConfig repro = config;
-      if (shrink) {
-        uint32_t attempts = 0;
-        repro = ShrinkStorm(config, &attempts);
-        std::printf("shrunk after %u runs to: %s\n", attempts,
-                    FormatStormSpec(repro).c_str());
-      }
-      std::printf("repro: %s\n", ReproCommand(repro).c_str());
-    } else if ((s + 1) % 10 == 0 || s + 1 == seeds) {
-      std::printf("sweep %u/%u seeds clean (last: %s)\n", s + 1 - failures, s + 1,
-                  r.Summary().c_str());
-    }
-  }
-  std::printf("chaos sweep: %u/%u seeds clean (%s, seeds %llu..%llu)\n", seeds - failures,
-              seeds, StormWorkloadName(base.workload), (unsigned long long)base.seed,
-              (unsigned long long)(base.seed + seeds - 1));
-  return failures > 0 ? 1 : 0;
-}
-
-int RunMicro() {
-  std::printf("capability operation latencies (cycles @ 2 GHz)\n");
-  for (KernelMode mode : {KernelMode::kSemperOSMulti, KernelMode::kM3SingleKernel}) {
-    for (uint32_t kernels : {1u, 2u}) {
-      if (mode == KernelMode::kM3SingleKernel && kernels == 2) {
-        continue;
-      }
-      DriverRig rig = MakeDriverRig(kernels, 2, mode);
-      CapSel sel = rig.Grant(0);
-      Cycles exch = rig.TimedOp([&](std::function<void()> done) {
-        rig.client(1).env().Obtain(rig.vpe(0), sel, [done](const SyscallReply& r) {
-          CHECK(r.err == ErrCode::kOk);
-          done();
-        });
-      });
-      Cycles rev = rig.TimedOp([&](std::function<void()> done) {
-        rig.client(0).env().Revoke(sel, [done](const SyscallReply& r) {
-          CHECK(r.err == ErrCode::kOk);
-          done();
-        });
-      });
-      std::printf("  %-9s %-9s exchange=%llu revoke=%llu\n",
-                  mode == KernelMode::kM3SingleKernel ? "M3" : "SemperOS",
-                  kernels == 1 ? "local" : "spanning", (unsigned long long)exch,
-                  (unsigned long long)rev);
-    }
-  }
-  return 0;
-}
-
-}  // namespace
+#include "workloads/registry.h"
 
 int main(int argc, char** argv) {
-  Options opt;
-  for (int i = 1; i < argc; ++i) {
-    std::string value;
-    if (ParseFlag(argv[i], "--app", &value)) {
-      opt.app = value;
-    } else if (ParseFlag(argv[i], "--trace", &value)) {
-      opt.trace_file = value;
-    } else if (ParseFlag(argv[i], "--kernels", &value)) {
-      opt.kernels = static_cast<uint32_t>(std::stoul(value));
-      opt.kernels_set = true;
-    } else if (ParseFlag(argv[i], "--services", &value)) {
-      opt.services = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--instances", &value)) {
-      opt.instances = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--servers", &value)) {
-      opt.servers = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--mode", &value)) {
-      if (value == "m3") {
-        opt.mode = KernelMode::kM3SingleKernel;
-      } else if (value == "semperos") {
-        opt.mode = KernelMode::kSemperOSMulti;
-      } else {
-        return Usage();
-      }
-    } else if (ParseFlag(argv[i], "--fail-kernel", &value)) {
-      // <id>@<us>: which kernel to kill, and when (microseconds).
-      size_t at = value.find('@');
-      opt.failover = true;
-      opt.fail_kernel = static_cast<KernelId>(std::stoul(value.substr(0, at)));
-      if (at != std::string::npos) {
-        opt.fail_at_us = std::stod(value.substr(at + 1));
-      }
-    } else if (ParseFlag(argv[i], "--threads", &value)) {
-      opt.threads = value == "auto" ? 0 : static_cast<uint32_t>(std::stoul(value));
-    } else if (std::strcmp(argv[i], "--stats") == 0) {
-      opt.stats = true;
-    } else if (std::strcmp(argv[i], "--strict") == 0) {
-      opt.strict = true;
-    } else if (std::strcmp(argv[i], "--nginx") == 0) {
-      opt.nginx = true;
-    } else if (std::strcmp(argv[i], "--micro") == 0) {
-      opt.micro = true;
-    } else if (std::strcmp(argv[i], "--failover") == 0) {
-      opt.failover = true;
-    } else if (std::strcmp(argv[i], "--list") == 0) {
-      opt.list = true;
-    } else if (std::strcmp(argv[i], "--batching") == 0) {
-      opt.batching = true;
-    } else if (std::strcmp(argv[i], "--chaos") == 0) {
-      opt.chaos = true;
-    } else if (ParseFlag(argv[i], "--seed", &value)) {
-      opt.storm.seed = std::stoull(value);
-    } else if (ParseFlag(argv[i], "--users", &value)) {
-      opt.storm.users_per_kernel = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--rounds", &value)) {
-      opt.storm.rounds = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--settle", &value)) {
-      opt.storm.settle_every = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--workload", &value)) {
-      if (value == "mixed") {
-        opt.storm.workload = StormWorkload::kMixed;
-      } else if (value == "nginx") {
-        opt.storm.workload = StormWorkload::kNginx;
-      } else if (value == "postmark") {
-        opt.storm.workload = StormWorkload::kPostmark;
-      } else {
-        return Usage();
-      }
-    } else if (ParseFlag(argv[i], "--kills", &value)) {
-      opt.storm.max_kills = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--migrations", &value)) {
-      opt.storm.max_migrations = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--churn", &value)) {
-      opt.storm.max_churn = static_cast<uint32_t>(std::stoul(value));
-    } else if (ParseFlag(argv[i], "--hb-perturb", &value)) {
-      opt.storm.perturb_heartbeats = value != "0";
-    } else if (ParseFlag(argv[i], "--op-rate", &value)) {
-      opt.storm.op_rate = std::stod(value);
-    } else if (std::strcmp(argv[i], "--mig-revoke") == 0) {
-      opt.storm.force_migration_during_revoke = true;
-    } else if (std::strcmp(argv[i], "--double-kill") == 0) {
-      opt.storm.force_double_kill = true;
-    } else if (std::strcmp(argv[i], "--inject-bug") == 0) {
-      opt.storm.bug_skip_orphan_revoke = true;
-    } else if (std::strcmp(argv[i], "--shrink") == 0) {
-      opt.shrink = true;
-    } else if (ParseFlag(argv[i], "--sweep", &value)) {
-      opt.sweep = static_cast<uint32_t>(std::stoul(value));
-    } else {
-      return Usage();
+  semperos::RegisterBuiltinWorkloads();
+  std::vector<std::string> args(argv + 1, argv + argc);
+  semperos::WorkloadInvocation invocation = semperos::ParseWorkloadCli(args);
+  if (!invocation.ok) {
+    std::fprintf(stderr, "%s\n", invocation.error.c_str());
+    if (invocation.show_catalogue) {
+      std::fprintf(stderr, "%s", semperos::FormatWorkloadList().c_str());
     }
-  }
-
-  if (opt.list) {
-    return PrintList();
-  }
-  if (opt.chaos) {
-    if (opt.kernels_set) {
-      opt.storm.kernels = opt.kernels;
-    }
-    opt.storm.threads = opt.threads;
-    return opt.sweep > 0 ? RunChaosSweep(opt.storm, opt.sweep, opt.shrink)
-                         : RunOneStorm(opt.storm, opt.shrink);
-  }
-  if (opt.failover) {
-    return RunFailoverCli(opt);
-  }
-
-  if (opt.micro) {
-    return RunMicro();
-  }
-  if (!opt.trace_file.empty()) {
-    return RunTraceFile(opt.trace_file, opt.kernels, opt.services, opt.threads);
-  }
-
-  if (opt.nginx) {
-    NginxRunConfig config;
-    config.kernels = opt.kernels;
-    config.services = opt.services;
-    config.servers = opt.servers;
-    config.threads = opt.threads;
-    NginxRunResult result = RunNginx(config);
-    if (opt.strict && ResolveThreads(opt.threads) != 1) {
-      NginxRunConfig serial = config;
-      serial.threads = kForceSerialThreads;
-      NginxRunResult sr = RunNginx(serial);
-      StrictCheck(sr.completed == result.completed, "nginx completed");
-      std::printf("strict: parallel == serial verified (nginx)\n");
-    }
-    std::printf("nginx: %u servers, %u kernels, %u services\n", opt.servers, opt.kernels,
-                opt.services);
-    std::printf("  requests completed: %llu\n", (unsigned long long)result.completed);
-    std::printf("  requests/s:         %.0f\n", result.requests_per_sec);
-    if (opt.stats) {
-      PrintEngineStats(result.engine_parallel, result.engine_stats);
-    }
-    return 0;
-  }
-
-  bool known = false;
-  for (const auto& name : WorkloadNames()) {
-    known |= name == opt.app;
-  }
-  if (!known) {
-    // Unknown workload: show the catalogue instead of a bare usage error.
-    std::fprintf(stderr, "unknown app '%s'; available experiments:\n", opt.app.c_str());
-    PrintList();
     return 2;
   }
-  if (opt.mode == KernelMode::kM3SingleKernel) {
-    opt.kernels = 1;
+  if (invocation.list) {
+    std::printf("%s", semperos::FormatWorkloadList().c_str());
+    return 0;
   }
-
-  double solo = SoloRuntimeUs(opt.app, opt.kernels, opt.services, opt.mode);
-  AppRunConfig config;
-  config.app = opt.app;
-  config.kernels = opt.kernels;
-  config.services = opt.services;
-  config.instances = opt.instances;
-  config.mode = opt.mode;
-  config.threads = opt.threads;
-  AppRunResult result = RunApp(config);
-  if (opt.strict && ResolveThreads(opt.threads) != 1) {
-    AppRunConfig serial = config;
-    serial.threads = kForceSerialThreads;
-    AppRunResult sr = RunApp(serial);
-    StrictCheck(sr.makespan == result.makespan, "app makespan");
-    StrictCheck(sr.events == result.events, "app events");
-    StrictCheck(sr.total_cap_ops == result.total_cap_ops, "app cap ops");
-    StrictCheck(sr.mean_runtime_us == result.mean_runtime_us, "app mean runtime");
-    StrictCheck(sr.max_runtime_us == result.max_runtime_us, "app max runtime");
-    StrictCompare(sr.kernel_stats, result.kernel_stats);
-    std::printf("strict: parallel == serial verified (%s)\n", opt.app.c_str());
-  }
-
-  std::printf("%s: %u instances on %u kernels + %u services (%s%s)\n", opt.app.c_str(),
-              opt.instances, opt.kernels, opt.services,
-              opt.mode == KernelMode::kM3SingleKernel ? "M3 baseline" : "SemperOS",
-              opt.batching ? ", batching" : "");
-  std::printf("  solo runtime      : %10.1f us\n", solo);
-  std::printf("  mean runtime      : %10.1f us\n", result.mean_runtime_us);
-  std::printf("  max runtime       : %10.1f us\n", result.max_runtime_us);
-  std::printf("  parallel eff.     : %10.1f %%\n",
-              100.0 * ParallelEfficiency(solo, result.mean_runtime_us));
-  std::printf("  system eff.       : %10.1f %%\n",
-              100.0 * SystemEfficiency(ParallelEfficiency(solo, result.mean_runtime_us),
-                                       opt.instances, opt.kernels, opt.services));
-  std::printf("  capability ops    : %10llu (%.0f/s over the makespan)\n",
-              (unsigned long long)result.total_cap_ops, result.cap_ops_per_sec);
-  std::printf("  simulated events  : %10llu\n\n", (unsigned long long)result.events);
-  PrintKernelStats(result.kernel_stats);
-  if (opt.stats) {
-    PrintEngineStats(result.engine_parallel, result.engine_stats);
-  }
-  return 0;
+  return semperos::RunWorkloadCli(invocation);
 }
