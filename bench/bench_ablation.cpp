@@ -7,7 +7,10 @@
 //  (b) the DDL-decode cost that separates SemperOS from the M3 baseline
 //      (Table 3's +10.7% / +40.3% columns);
 //  (c) the per-peer in-flight window M_inflight of §4.1;
-//  (d) NoC link contention modelling.
+//  (d) NoC link contention modelling;
+//  (e) capability-IKC batching + pipelined walks + the remote-DDL cache
+//      (--cap-batching) against the Figure 8 observation that kernels are
+//      "mostly handling capability operations".
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
@@ -136,6 +139,87 @@ void AblationContention() {
   }
 }
 
+// The cross-kernel hot-owner storm: every remote client obtains the same
+// capability from client 0 concurrently, so each remote kernel has several
+// OBTAIN_REQs (and the owner several acks per peer) eligible for one
+// container. This is the traffic Figure 8 blames for kernel dependence —
+// the app traces keep sessions group-local, so the chatter optimisation is
+// invisible there and the storm isolates it instead.
+struct ChatterRun {
+  Cycles span = 0;
+  KernelStats stats;
+};
+
+ChatterRun ObtainStorm(uint32_t kernels, int cap_batching) {
+  PlatformConfig pc;
+  pc.kernels = kernels;
+  pc.users = 8 * kernels;
+  pc.cap_batching = cap_batching;
+  DriverRig rig = MakeDriverRig(pc);
+  CapSel owner_sel = rig.Grant(0);
+  int done = 0;
+  int expected = 0;
+  Cycles t0 = rig.p().sim().Now();
+  for (size_t i = 1; i < rig.clients.size(); ++i) {
+    if (rig.kernel_of_client(i) == rig.kernel_of_client(0)) {
+      continue;  // only spanning obtains: the local ones never touch IKC
+    }
+    ++expected;
+    rig.client(i).env().Obtain(rig.vpe(0), owner_sel, [&done](const SyscallReply& r) {
+      CHECK(r.err == ErrCode::kOk);
+      done++;
+    });
+  }
+  rig.p().RunToCompletion();
+  CHECK(done == expected);
+  ChatterRun run;
+  run.span = rig.p().sim().Now() - t0;
+  run.stats = rig.p().TotalKernelStats();
+  return run;
+}
+
+void AblationCapBatching() {
+  bench::Header("Ablation (e): capability-IKC batching (--cap-batching)",
+                "paper §5.3.2 / Figure 8: kernels are \"mostly handling capability "
+                "operations\" — coalescing that chatter is the before/after here");
+  std::printf("%-10s %12s %12s %9s %9s %9s %8s %10s\n", "kernels", "off [us]", "on [us]",
+              "IKC off", "IKC on", "batches", "ops/b", "DDL hit%");
+  for (uint32_t kernels : bench::Sweep<uint32_t>({4, 8, 16, 32})) {
+    ChatterRun off = ObtainStorm(kernels, 0);
+    ChatterRun on = ObtainStorm(kernels, 1);
+    double ops_per_batch = on.stats.ikc_batches_sent == 0
+                               ? 0.0
+                               : double(on.stats.ikc_batched_ops) /
+                                     double(on.stats.ikc_batches_sent);
+    uint64_t probes = on.stats.ddl_cache_hits + on.stats.ddl_cache_misses;
+    std::printf("%-10u %12.2f %12.2f %9llu %9llu %9llu %8.1f %9.1f%%\n", kernels,
+                CyclesToMicros(off.span), CyclesToMicros(on.span),
+                (unsigned long long)off.stats.ikc_sent, (unsigned long long)on.stats.ikc_sent,
+                (unsigned long long)on.stats.ikc_batches_sent, ops_per_batch,
+                probes == 0 ? 0.0 : 100.0 * double(on.stats.ddl_cache_hits) / double(probes));
+  }
+  bench::Footnote("off is the committed legacy baseline protocol (bit-identical to "
+                  "bench-results/baseline-legacy); on folds same-peer requests into "
+                  "kCapBatch containers and serves repeat remote-DDL decodes from the "
+                  "epoch-invalidated cache");
+}
+
+void BM_CapBatchingObtainStorm(benchmark::State& state) {
+  int cap_batching = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ChatterRun run = ObtainStorm(16, cap_batching);
+    WorkloadResult out;
+    out.Add("ikc_sent", double(run.stats.ikc_sent));
+    out.Add("ikc_batches_sent", double(run.stats.ikc_batches_sent));
+    out.Add("ikc_batched_ops", double(run.stats.ikc_batched_ops));
+    out.Add("ddl_cache_hits", double(run.stats.ddl_cache_hits));
+    bench::Report(state, run.span, out);
+  }
+  state.SetLabel(cap_batching != 0 ? "cap-batching=on" : "cap-batching=off");
+}
+BENCHMARK(BM_CapBatchingObtainStorm)->Arg(0)->Arg(1)->UseManualTime()->Iterations(1)
+    ->Unit(benchmark::kMicrosecond);
+
 void BM_TreeRevokeBatched(benchmark::State& state) {
   bool batched = state.range(0) != 0;
   for (auto _ : state) {
@@ -149,4 +233,4 @@ BENCHMARK(BM_TreeRevokeBatched)->Arg(0)->Arg(1)->UseManualTime()->Iterations(1)
 }  // namespace
 }  // namespace semperos
 
-SEMPEROS_BENCH_MAIN(semperos::AblationBatching, semperos::AblationDdl, semperos::AblationInflight, semperos::AblationContention)
+SEMPEROS_BENCH_MAIN(semperos::AblationBatching, semperos::AblationDdl, semperos::AblationInflight, semperos::AblationContention, semperos::AblationCapBatching)

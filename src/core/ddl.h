@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "base/log.h"
@@ -85,6 +86,23 @@ class DdlKey {
  private:
   uint64_t raw_;
 };
+
+}  // namespace semperos
+
+// DdlKey can key unordered_maps directly. (Specialized here, between the
+// key and its first hashed-container use below.)
+template <>
+struct std::hash<semperos::DdlKey> {
+  size_t operator()(semperos::DdlKey key) const noexcept {
+    // SplitMix64 finalizer: DDL keys are structured, so mix before bucketing.
+    uint64_t z = key.raw() + 0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return static_cast<size_t>(z ^ (z >> 31));
+  }
+};
+
+namespace semperos {
 
 // Membership table: partition (= PE id) -> kernel id. Present at every
 // kernel (paper Figure 2, left). Boot-time assignments use Assign; runtime
@@ -171,18 +189,57 @@ class MembershipTable {
   uint64_t epoch_ = 0;
 };
 
-}  // namespace semperos
+// Epoch-invalidated cache of hot *remote* DDL lookups (--cap-batching).
+//
+// Resolving a remote key costs a full decode + membership walk
+// (TimingModel::ddl_decode) every time, even though the answer only
+// changes when the partition is reassigned. Every reassignment — PE
+// migration handoff or failover takeover — bumps the membership epoch, so
+// the table-wide epoch is a complete invalidation signal: the cache
+// remembers the epoch it was filled under and drops everything the moment
+// the current epoch differs. Kernels additionally call Invalidate() from
+// the paths that change ownership (ApplyMembershipUpdate, failover
+// recovery), which covers learned-owner hints that arrive without an
+// epoch bump visible at this kernel.
+//
+// The cache holds keys only (the lookup result is re-derived from the
+// membership table; what the hit buys is the modeled decode cost), so a
+// stale entry can never produce a wrong routing decision — only a wrong
+// cost — and the epoch guard removes even that.
+class DdlCache {
+ public:
+  // Bounded: wholesale clear on overflow keeps the structure allocation-
+  // stable. 4096 hot keys comfortably covers the working set of the
+  // largest modeled workloads' per-kernel remote traffic.
+  static constexpr size_t kMaxEntries = 4096;
 
-// DdlKey can key unordered_maps directly.
-template <>
-struct std::hash<semperos::DdlKey> {
-  size_t operator()(semperos::DdlKey key) const noexcept {
-    // SplitMix64 finalizer: DDL keys are structured, so mix before bucketing.
-    uint64_t z = key.raw() + 0x9e3779b97f4a7c15ull;
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return static_cast<size_t>(z ^ (z >> 31));
+  // True if `key` was cached under the current epoch ("hit"); otherwise
+  // inserts it and returns false. A changed epoch drops the whole cache
+  // before probing.
+  bool Lookup(DdlKey key, uint64_t current_epoch) {
+    if (current_epoch != epoch_seen_) {
+      keys_.clear();
+      epoch_seen_ = current_epoch;
+    }
+    if (keys_.count(key) != 0) {
+      return true;
+    }
+    if (keys_.size() >= kMaxEntries) {
+      keys_.clear();
+    }
+    keys_.insert(key);
+    return false;
   }
+
+  void Invalidate() { keys_.clear(); }
+
+  size_t size() const { return keys_.size(); }
+
+ private:
+  std::unordered_set<DdlKey> keys_;
+  uint64_t epoch_seen_ = 0;
 };
+
+}  // namespace semperos
 
 #endif  // SEMPEROS_CORE_DDL_H_

@@ -94,6 +94,10 @@ const char* IkcOpName(IkcOp op) {
       return "suspect_kernel";
     case IkcOp::kFailoverDecree:
       return "failover_decree";
+    case IkcOp::kCapBatch:
+      return "cap_batch";
+    case IkcOp::kRelayNotice:
+      return "relay_notice";
   }
   return "?";
 }
@@ -608,7 +612,8 @@ void Kernel::SysObtain(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   obtains_[token] = op;
-  Charge(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send);
+  Charge(t_.syscall_dispatch + DdlDecodeCostVpe(req.peer) +
+         IkcSendCost(KernelOfVpe(req.peer), IkcOp::kObtainReq));
   auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kObtainReq;
   msg->vpe = req.vpe;
@@ -694,7 +699,8 @@ void Kernel::SysOpenSession(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   obtains_[token] = op;
-  Charge(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send);
+  Charge(t_.syscall_dispatch + DdlDecodeCost(svc->cap) +
+         IkcSendCost(svc->kernel, IkcOp::kOpenSessionReq));
   auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kOpenSessionReq;
   msg->vpe = req.vpe;
@@ -757,7 +763,8 @@ void Kernel::SysExchange(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   obtains_[token] = op;
-  Charge(t_.syscall_dispatch + t_.ddl_decode + t_.ikc_send);
+  Charge(t_.syscall_dispatch + DdlDecodeCost(service_cap) +
+         IkcSendCost(owner_kernel, IkcOp::kObtainReq));
   auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kObtainReq;
   msg->vpe = req.vpe;
@@ -850,7 +857,8 @@ void Kernel::SysDelegate(SyscallCtx ctx, const SyscallMsg& req) {
   op.spanning = true;
   uint64_t token = op.token;
   delegates_[token] = op;
-  Charge(t_.syscall_dispatch + t_.exchange_validate + t_.ddl_decode + t_.ikc_send);
+  Charge(t_.syscall_dispatch + t_.exchange_validate + DdlDecodeCostVpe(req.peer) +
+         IkcSendCost(KernelOfVpe(req.peer), IkcOp::kDelegateReq));
   auto msg = NewMsg<IkcMsg>();
   msg->op = IkcOp::kDelegateReq;
   msg->vpe = req.vpe;
@@ -882,16 +890,16 @@ void Kernel::FinishDelegate(DelegateOp op, ErrCode err, DdlKey child_key) {
   ack->op = IkcOp::kDelegateAck;
   ack->child = child_key;
   ack->cap = op.cap;
+  KernelId peer_kernel = KernelOfVpe(op.peer);
   if (ok) {
     parent->AddChild(child_key);
     stats_.delegates++;
-    Charge(t_.tree_insert + t_.ddl_decode + t_.ikc_send);
+    Charge(t_.tree_insert + t_.ddl_decode + IkcSendCost(peer_kernel, IkcOp::kDelegateAck));
   } else {
     stats_.invalid_prevented++;
-    Charge(t_.ikc_send);
+    Charge(IkcSendCost(peer_kernel, IkcOp::kDelegateAck));
   }
   ack->payload.session = ok ? 0 : 1;  // non-zero session field = abort
-  KernelId peer_kernel = KernelOfVpe(op.peer);
   if (peer_kernel == config_.id) {
     // The receiver's partition migrated onto this kernel mid-handshake
     // (the request reached its old owner, which forwarded it here, so the
@@ -1009,7 +1017,7 @@ Cycles Kernel::MarkPass(Capability* cap, RevokeTask* task) {
   task->marked++;
   Cycles cost = t_.revoke_mark_per_cap + t_.ddl_decode;
   for (DdlKey child_key : cap->children()) {
-    cost += t_.ddl_decode;  // decode the edge to find the owning kernel
+    cost += DdlDecodeCost(child_key);  // decode the edge to find the owning kernel
     KernelId transfer_dst = MigratingTo(child_key.pe());
     if (transfer_dst != kInvalidKernel) {
       // The child's partition is in flight to another kernel. Marking the
@@ -1052,7 +1060,8 @@ Cycles Kernel::FlushRevokeRequests(RevokeTask* task) {
       // One message per peer kernel carrying every child key (§5.2 future
       // work); the peer replies once when its whole share is gone.
       task->outstanding++;
-      cost += t_.ikc_send + static_cast<Cycles>(keys.size()) * 30;
+      cost += IkcSendCost(peer, IkcOp::kRevokeBatchReq) +
+              static_cast<Cycles>(keys.size()) * 30;
       auto msg = NewMsg<IkcMsg>();
       msg->op = IkcOp::kRevokeBatchReq;
       msg->caps = keys;
@@ -1065,7 +1074,7 @@ Cycles Kernel::FlushRevokeRequests(RevokeTask* task) {
       // each child capability" (paper §5.2).
       for (DdlKey key : keys) {
         task->outstanding++;
-        cost += t_.ikc_send;
+        cost += IkcSendCost(peer, IkcOp::kRevokeReq);
         auto msg = NewMsg<IkcMsg>();
         msg->op = IkcOp::kRevokeReq;
         msg->cap = key;
@@ -1320,7 +1329,7 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
         auto fwd = NewMsg<IkcMsg>();
         fwd->op = IkcOp::kRevokeReq;
         fwd->cap = key;
-        cost += t_.ddl_decode + t_.ikc_send;
+        cost += DdlDecodeCost(key) + IkcSendCost(owner, IkcOp::kRevokeReq);
         SendIkc(owner, fwd, [maybe_reply](const IkcReply&) { maybe_reply(); });
         continue;
       }
@@ -1454,20 +1463,106 @@ bool Kernel::MaybeForwardIkc(EpId ep, const Message& msg, const IkcMsg& req) {
   if (owner == config_.id) {
     return false;
   }
-  // The sender's membership view is one epoch behind: relay the request to
-  // the partition's current owner and proxy the reply back, so stale
-  // lookups stay correct for the settle round.
+  // The sender's membership view is one epoch behind: the request must
+  // reach the partition's current owner, so stale lookups stay correct for
+  // the settle round.
   stats_.ikc_forwarded++;
-  auto fwd = NewMsg<IkcMsg>(req);
-  fwd->token = 0;  // fresh token for the forward leg
-  uint64_t orig_token = req.token;
-  Charge(t_.ddl_decode + t_.ikc_send);
-  SendIkc(owner, fwd, [this, ep, msg, orig_token](const IkcReply& r) {
-    auto reply = NewMsg<IkcReply>(r);
-    reply->token = orig_token;
+  if (!config_.cap_batching) {
+    // Legacy proxy: forward with a fresh token and relay the reply back
+    // hop by hop.
+    auto fwd = NewMsg<IkcMsg>(req);
+    fwd->token = 0;  // fresh token for the forward leg
+    uint64_t orig_token = req.token;
+    Charge(t_.ddl_decode + t_.ikc_send);
+    SendIkc(owner, fwd, [this, ep, msg, orig_token](const IkcReply& r) {
+      auto reply = NewMsg<IkcReply>(r);
+      reply->token = orig_token;
+      Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+    });
+    return true;
+  }
+  // Pipelined ancestry walk (--cap-batching): relay the request onward with
+  // the origin's token and reply address intact — the final owner answers
+  // the origin directly, cutting one NoC round trip per stale hop. A
+  // fire-and-forget kRelayNotice tells the origin where its request went,
+  // so fault tolerance still covers the re-keyed hop.
+  if (peer_failed_.at(owner) != 0) {
+    // The current owner is quorum-confirmed dead: short-circuit with the
+    // same kUnreachable a recovery abort at the origin would produce.
+    // `msg` is relay-rewritten for multi-hop walks, so this reaches the
+    // origin, not the previous hop.
+    auto reply = NewMsg<IkcReply>();
+    reply->token = req.token;
+    reply->err = ErrCode::kUnreachable;
     Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
-  });
+    return true;
+  }
+  stats_.ikc_relays_pipelined++;
+  auto fwd = NewMsg<IkcMsg>(req);
+  if (fwd->relay_node == kInvalidNode) {
+    // First hop: record the origin's reply address once; later hops keep it.
+    fwd->relay_node = msg.src_node;
+    fwd->relay_ep = msg.reply_ep;
+  }
+  fwd->relay_hops++;
+  auto notice = NewMsg<IkcMsg>();
+  notice->op = IkcOp::kRelayNotice;
+  notice->node = part;
+  notice->new_owner = owner;
+  notice->epoch = config_.membership.PeEpoch(part);
+  notice->relay_token = req.token;
+  notice->relay_hops = fwd->relay_hops;
+  bool self_notice = req.src_kernel == config_.id;
+  Cycles cost = DdlDecodeCostVpe(part) + IkcSendCost(owner, req.op);
+  if (!self_notice && peer_failed_.at(req.src_kernel) == 0) {
+    cost += IkcSendCost(req.src_kernel, IkcOp::kRelayNotice);
+  }
+  Charge(cost);
+  SendIkcRelay(owner, fwd);
+  if (self_notice) {
+    // The walk looped back through its own origin (this kernel's view of
+    // the partition is newer than the forwarder's): a kernel cannot IKC
+    // itself, so apply the notice directly.
+    ApplyRelayNotice(*notice);
+  } else if (peer_failed_.at(req.src_kernel) == 0) {
+    SendIkc(req.src_kernel, notice, [](const IkcReply&) {});
+  }
   return true;
+}
+
+void Kernel::ApplyRelayNotice(const IkcMsg& notice) {
+  // Learned-owner hint ahead of the settle broadcast; epoch-gated (ddl.h
+  // Apply), so a stale notice can never roll the membership back.
+  ApplyMembershipUpdate(notice.node, notice.new_owner, notice.epoch);
+  auto it = ikcs_.find(notice.relay_token);
+  if (it == ikcs_.end()) {
+    return;  // the direct reply already arrived, or recovery aborted it
+  }
+  PendingIkc& pending = it->second;
+  if (notice.relay_hops <= pending.relay_hops) {
+    // Notices from different forwarders are not FIFO relative to each
+    // other; hop counts order them — a late notice from an earlier hop
+    // must not re-key the pending away from the newest known location.
+    return;
+  }
+  pending.relay_hops = notice.relay_hops;
+  pending.peer = notice.new_owner;
+  if (peer_failed_.at(notice.new_owner) != 0) {
+    // Re-keyed onto a kernel that already failed here: the relayed request
+    // died with it. Complete the call exactly like a recovery abort; if
+    // the request was in fact dispatched before the crash, the direct
+    // reply is tolerated as a late reply (see OnIkc).
+    auto cb = std::move(pending.cb);
+    uint64_t token = notice.relay_token;
+    ikcs_.erase(it);
+    stats_.ft_ikcs_aborted++;
+    IkcReply reply;
+    reply.token = token;
+    reply.err = ErrCode::kUnreachable;
+    if (cb) {
+      cb(reply);
+    }
+  }
 }
 
 bool Kernel::MigrationBlocked(NodeId pe) const {
@@ -1753,6 +1848,10 @@ void Kernel::CompleteMigration(uint64_t task_id, ErrCode err) {
 
 void Kernel::ApplyMembershipUpdate(NodeId pe, KernelId new_owner, uint64_t epoch) {
   config_.membership.Apply(pe, new_owner, epoch);
+  // Ownership changed (or at least may have): drop the remote-DDL cache.
+  // The epoch guard inside the cache covers table-wide bumps; this covers
+  // learned-owner hints applied without one visible here.
+  ddl_cache_.Invalidate();
   // Sessions already connected to a service on the moved PE keep working
   // (the PE itself did not move); new OPEN_SESSION requests must route to
   // the kernel that now manages it.
@@ -2008,6 +2107,10 @@ void Kernel::RecoverFromFailure(KernelId dead, uint64_t epoch) {
   peer_down_.at(dead) = true;
   stats_.ft_failovers++;
   ft_verdict_at_ = pe_->sim()->Now();
+  // The takeover below reassigns every partition of the dead range; the
+  // remote-DDL cache must not serve hits across that (the Apply calls here
+  // bypass ApplyMembershipUpdate's invalidation).
+  ddl_cache_.Invalidate();
 
   // The dead group's services are unreachable; stop routing sessions there.
   for (auto& [name, entries] : services_) {
@@ -2178,10 +2281,12 @@ void Kernel::AdoptPe(NodeId pe) {
 }
 
 void Kernel::AbortPendingIkcsTo(KernelId dead) {
-  // Flow-queued requests that never left: their tokens are pending too, so
-  // dropping the queue first keeps the abort loop the single completion
-  // point.
+  // Flow-queued and batch-buffered requests that never left: their tokens
+  // are pending too, so dropping both stages first keeps the abort loop
+  // the single completion point. (A relay buffered for the dead kernel has
+  // no pending here; its origin aborts via its own re-keyed entry.)
   peers_.at(dead).queue.clear();
+  peers_.at(dead).batch.clear();
   std::vector<uint64_t> tokens;
   for (const auto& [token, pending] : ikcs_) {
     if (pending.peer == dead) {
@@ -2358,7 +2463,58 @@ void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
   pending.cb = std::move(cb);
   ikcs_[msg->token] = std::move(pending);
 
+  EnqueueIkc(peer, std::move(msg));
+}
+
+bool Kernel::IsBatchableOp(IkcOp op) {
+  switch (op) {
+    case IkcOp::kObtainReq:
+    case IkcOp::kOpenSessionReq:
+    case IkcOp::kDelegateReq:
+    case IkcOp::kDelegateAck:
+    case IkcOp::kRevokeReq:
+    case IkcOp::kRevokeBatchReq:
+    case IkcOp::kOrphanNotify:
+    case IkcOp::kChildDrop:
+    case IkcOp::kRelayNotice:
+      return true;
+    default:
+      // Control traffic (hello, shutdown, announce, migration, epoch,
+      // fault tolerance) and the container itself always travel solo: their
+      // ordering relative to buffered capability requests is what the FIFO
+      // flush below preserves.
+      return false;
+  }
+}
+
+void Kernel::EnqueueIkc(KernelId peer, std::shared_ptr<IkcMsg> msg) {
+  stats_.ikc_op_sent[static_cast<size_t>(msg->op)]++;
   PeerState& state = peers_[peer];
+  if (config_.cap_batching && IsBatchableOp(msg->op)) {
+    // Buffer in the peer's open batch. The epoch stamp lets the receiver
+    // spot containers whose entries straddle a membership change — routing
+    // is per-op there, so a mixed batch is observable but harmless.
+    msg->batch_epoch = config_.membership.Epoch();
+    state.batch.push_back(std::move(msg));
+    if (state.batch.size() >= config_.batch_max_ops) {
+      FlushBatch(peer);
+    } else if (!state.batch_timer_armed) {
+      state.batch_timer_armed = true;
+      pe_->sim()->Schedule(config_.batch_window, [this, peer] {
+        peers_[peer].batch_timer_armed = false;
+        if (dead_) {
+          return;
+        }
+        FlushBatch(peer);
+      });
+    }
+    return;
+  }
+  // Non-batchable (or batching off): anything buffered for this peer must
+  // leave first — pairwise FIFO between operations is a correctness
+  // precondition (§4.3.1), and messages like kMigrateVpe rely on every
+  // earlier capability request reaching the peer ahead of them.
+  FlushBatch(peer);
   if (state.credits == 0) {
     // All four in-flight slots at the peer are taken (paper §4.1); the
     // request waits here instead of overflowing the peer's receive EP.
@@ -2366,6 +2522,73 @@ void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
   }
   state.queue.push_back(std::move(msg));
   DispatchIkc(peer);
+}
+
+void Kernel::FlushBatch(KernelId peer) {
+  PeerState& state = peers_[peer];
+  if (state.batch.empty()) {
+    return;
+  }
+  std::vector<std::shared_ptr<IkcMsg>> ops = std::move(state.batch);
+  state.batch.clear();
+  std::shared_ptr<IkcMsg> wire;
+  if (ops.size() == 1) {
+    // A batch of one leaves as the bare request: no container overhead on
+    // the wire, and the receiver needs no special casing.
+    wire = std::move(ops.front());
+  } else {
+    wire = NewMsg<IkcMsg>();
+    wire->op = IkcOp::kCapBatch;
+    wire->src_kernel = config_.id;
+    wire->batch = std::move(ops);
+    stats_.ikc_op_sent[static_cast<size_t>(IkcOp::kCapBatch)]++;
+    stats_.ikc_batches_sent++;
+    stats_.ikc_batched_ops += wire->batch.size();
+    stats_.ikc_batch_ops_max =
+        std::max<uint64_t>(stats_.ikc_batch_ops_max, wire->batch.size());
+  }
+  if (state.credits == 0) {
+    stats_.ikc_flow_queued++;
+  }
+  state.queue.push_back(std::move(wire));
+  DispatchIkc(peer);
+}
+
+void Kernel::SendIkcRelay(KernelId peer, std::shared_ptr<IkcMsg> msg) {
+  // Relayed forward of a stale-epoch request: src_kernel and token stay the
+  // origin's (the final owner's reply correlates there, not here), and no
+  // pending entry is registered — this kernel leaves the request's path the
+  // moment the forward is out. The caller verified the peer is alive.
+  CHECK_NE(peer, config_.id);
+  EnqueueIkc(peer, std::move(msg));
+}
+
+Cycles Kernel::IkcSendCost(KernelId peer, IkcOp op) const {
+  if (!config_.cap_batching || !IsBatchableOp(op) || peer == config_.id ||
+      peer >= peers_.size()) {
+    return t_.ikc_send;
+  }
+  // Opening a batch pays the full send (the flush window starts here);
+  // appending to an open one only pays the marshalling.
+  return peers_[peer].batch.empty() ? t_.ikc_send : t_.ikc_batch_op;
+}
+
+Cycles Kernel::DdlDecodeCost(DdlKey key) {
+  if (!config_.cap_batching || key.IsNull() || KernelOf(key) == config_.id) {
+    return t_.ddl_decode;
+  }
+  if (ddl_cache_.Lookup(key, config_.membership.Epoch())) {
+    stats_.ddl_cache_hits++;
+    return t_.ddl_cache_hit;
+  }
+  stats_.ddl_cache_misses++;
+  return t_.ddl_decode;
+}
+
+Cycles Kernel::DdlDecodeCostVpe(VpeId vpe) {
+  // Paths that route by a peer VPE rather than a concrete capability key
+  // probe with the partition's canonical VPE key.
+  return DdlDecodeCost(DdlKey::Make(vpe, vpe, CapType::kVpe, 0));
 }
 
 void Kernel::DispatchIkc(KernelId peer) {
@@ -2407,7 +2630,16 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
     const IkcReply* reply = msg.As<IkcReply>();
     CHECK(reply != nullptr);
     auto it = ikcs_.find(reply->token);
-    CHECK(it != ikcs_.end()) << "IKC reply for unknown token";
+    if (it == ikcs_.end()) {
+      // Pipelined relays (--cap-batching) make this reachable: a pending
+      // re-keyed onto a kernel that then failed was aborted with
+      // kUnreachable, yet the request had in fact been dispatched before
+      // the crash and its direct reply lands here afterwards. Without
+      // relays an unknown token is a protocol bug — keep that loud.
+      CHECK(config_.cap_batching) << "IKC reply for unknown token";
+      stats_.ikc_late_replies++;
+      return;
+    }
     auto cb = std::move(it->second.cb);
     ikcs_.erase(it);
     if (cb) {
@@ -2419,19 +2651,45 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
   const IkcMsg* req = msg.As<IkcMsg>();
   CHECK(req != nullptr);
   stats_.ikc_received++;
+  stats_.ikc_op_received[static_cast<size_t>(req->op)]++;
   // Pull the message out of the DTU: free the slot and return the sender's
   // in-flight credit immediately. The logical reply is deferred — for
   // revocations possibly for a long time — without blocking the channel,
   // which keeps deep alternating revocation chains deadlock-free (§4.3.3).
+  // The credit routes by the *wire* message — a relayed request's rewritten
+  // reply address (see RouteIkcRequest) must never redirect it.
   pe_->dtu().Ack(ep, msg);
   auto credit = NewMsg<IkcCredit>();
   credit->from = config_.id;
   Emit(pe_->sim()->Now(), [this, msg, credit] { pe_->dtu().SendDeferredReply(msg, credit); });
 
-  if (MaybeForwardIkc(ep, msg, *req)) {
+  if (req->op == IkcOp::kCapBatch) {
+    // The container shell is not itself routable — each sub-request routes
+    // (parks, forwards, dispatches) individually below.
+    DispatchIkcRequest(ep, msg, *req);
     return;
   }
-  DispatchIkcRequest(ep, msg, *req);
+  RouteIkcRequest(ep, msg, *req);
+}
+
+void Kernel::RouteIkcRequest(EpId ep, const Message& msg, const IkcMsg& req) {
+  if (config_.cap_batching && req.relay_node != kInvalidNode) {
+    // Relayed request: every deferred reply must reach the walk's origin,
+    // not the previous hop. SendDeferredReply routes purely by the
+    // Message's src_node/reply_ep, so a rewritten copy redirects all of
+    // them — including a further forward's kUnreachable short-circuit and
+    // replies sent after parking.
+    Message dmsg = msg;
+    dmsg.src_node = req.relay_node;
+    dmsg.reply_ep = req.relay_ep;
+    if (!MaybeForwardIkc(ep, dmsg, req)) {
+      DispatchIkcRequest(ep, dmsg, req);
+    }
+    return;
+  }
+  if (!MaybeForwardIkc(ep, msg, req)) {
+    DispatchIkcRequest(ep, msg, req);
+  }
 }
 
 void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& request) {
@@ -2586,6 +2844,35 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       auto reply = NewMsg<IkcReply>();
       reply->token = req->token;
       Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+      break;
+    }
+    case IkcOp::kCapBatch: {
+      // Container (--cap-batching): one wire message, one credit, one
+      // dispatch — then every sub-request routes individually. Per-op
+      // routing is load-bearing: a batch racing an epoch update may mix
+      // entries enqueued under different epochs, and settle-round
+      // forwarding must apply to exactly the stale ones, never to the
+      // whole container.
+      Charge(t_.ikc_dispatch);
+      uint64_t first_epoch = req->batch.empty() ? 0 : req->batch.front()->batch_epoch;
+      for (const std::shared_ptr<IkcMsg>& sub : req->batch) {
+        if (sub->batch_epoch != first_epoch) {
+          stats_.ikc_batch_mixed_epoch++;
+          break;
+        }
+      }
+      for (const std::shared_ptr<IkcMsg>& sub : req->batch) {
+        stats_.ikc_op_received[static_cast<size_t>(sub->op)]++;
+        RouteIkcRequest(ep, msg, *sub);
+      }
+      break;
+    }
+    case IkcOp::kRelayNotice: {
+      ApplyRelayNotice(*req);
+      auto reply = NewMsg<IkcReply>();
+      reply->token = req->token;
+      Emit(Charge(t_.ikc_dispatch + t_.epoch_apply + t_.ikc_send),
+           [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
       break;
     }
   }

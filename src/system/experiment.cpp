@@ -35,6 +35,7 @@ AppRunResult RunApp(const AppRunConfig& config) {
   pc.mode = config.mode;
   pc.timing = timing;
   pc.threads = config.threads;
+  pc.cap_batching = config.cap_batching;
   Platform platform(pc);
 
   FsImage image;
@@ -101,13 +102,14 @@ AppRunResult RunApp(const AppRunConfig& config) {
 }
 
 double SoloRuntimeUs(const std::string& app, uint32_t kernels, uint32_t services,
-                     KernelMode mode) {
+                     KernelMode mode, int cap_batching) {
   AppRunConfig config;
   config.app = app;
   config.kernels = kernels;
   config.services = services;
   config.instances = 1;
   config.mode = mode;
+  config.cap_batching = cap_batching;
   return RunApp(config).mean_runtime_us;
 }
 
@@ -122,6 +124,7 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
   pc.mem_tiles = 1;
   pc.timing = timing;
   pc.threads = config.threads;
+  pc.cap_batching = config.cap_batching;
   Platform platform(pc);
 
   FsImage image;

@@ -41,6 +41,7 @@ struct AppRunConfig {
   uint32_t instances = 512;
   KernelMode mode = KernelMode::kSemperOSMulti;
   uint32_t threads = 1;  // engine threads (PlatformConfig::threads)
+  int cap_batching = -1;  // tri-state ablation knob (PlatformConfig::cap_batching)
 };
 
 struct AppRunResult {
@@ -70,7 +71,7 @@ AppRunResult RunApp(const AppRunConfig& config);
 
 // Solo baseline: one instance on the same system configuration.
 double SoloRuntimeUs(const std::string& app, uint32_t kernels, uint32_t services,
-                     KernelMode mode = KernelMode::kSemperOSMulti);
+                     KernelMode mode = KernelMode::kSemperOSMulti, int cap_batching = -1);
 
 // T_solo / T_parallel (paper §5.3.1): 1.0 = perfect scaling.
 inline double ParallelEfficiency(double solo_us, double parallel_mean_us) {
@@ -92,6 +93,7 @@ struct NginxRunConfig {
   Cycles warmup = 600'000;    // boot + cache settle
   Cycles window = 2'000'000;  // measurement window (1 ms at 2 GHz)
   uint32_t threads = 1;       // engine threads (PlatformConfig::threads)
+  int cap_batching = -1;      // tri-state ablation knob (PlatformConfig::cap_batching)
 };
 
 struct NginxRunResult {

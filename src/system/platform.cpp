@@ -63,6 +63,25 @@ uint32_t ResolveThreads(uint32_t requested) {
   return hw == 0 ? 1 : hw;
 }
 
+bool ResolveCapBatching(int requested) {
+  if (requested >= 0) {
+    return requested != 0;  // explicit on/off: env-immune (pinned tests)
+  }
+  // SEMPEROS_CAP_BATCHING=0|1 switches any platform whose config left the
+  // knob at "auto" — the off-mode CI job and the bench binaries' ablation
+  // plumbing, mirroring SEMPEROS_THREADS above.
+  if (const char* env = std::getenv("SEMPEROS_CAP_BATCHING")) {
+    if (*env != '\0') {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(env, &end, 10);
+      CHECK(end != env && *end == '\0' && parsed <= 1)
+          << "SEMPEROS_CAP_BATCHING must be 0 or 1, got '" << env << "'";
+      return parsed != 0;
+    }
+  }
+  return true;
+}
+
 Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   CHECK_GE(config_.kernels, 1u);
   CHECK_LE(config_.kernels, Kernel::kMaxKernels);
@@ -193,6 +212,9 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
     kc.kernel_nodes = kernel_nodes_;
     kc.max_inflight = config_.max_inflight;
     kc.revoke_batching = config_.revoke_batching;
+    kc.cap_batching = ResolveCapBatching(config_.cap_batching);
+    kc.batch_window = config_.batch_window;
+    kc.batch_max_ops = config_.batch_max_ops;
     kc.pe_types = pe_types_;
     // Quorum leaders report decreed takeovers so the platform's own
     // membership copy (and kernel_of()) mirrors exactly what the kernels
@@ -375,6 +397,18 @@ KernelStats Platform::TotalKernelStats() const {
     total.ft_orphan_roots += s.ft_orphan_roots;
     total.ft_edges_pruned += s.ft_edges_pruned;
     total.ft_ikcs_aborted += s.ft_ikcs_aborted;
+    total.ikc_batches_sent += s.ikc_batches_sent;
+    total.ikc_batched_ops += s.ikc_batched_ops;
+    total.ikc_batch_ops_max = std::max(total.ikc_batch_ops_max, s.ikc_batch_ops_max);
+    total.ikc_batch_mixed_epoch += s.ikc_batch_mixed_epoch;
+    total.ikc_relays_pipelined += s.ikc_relays_pipelined;
+    total.ikc_late_replies += s.ikc_late_replies;
+    total.ddl_cache_hits += s.ddl_cache_hits;
+    total.ddl_cache_misses += s.ddl_cache_misses;
+    for (size_t op = 0; op < kNumIkcOps; ++op) {
+      total.ikc_op_sent[op] += s.ikc_op_sent[op];
+      total.ikc_op_received[op] += s.ikc_op_received[op];
+    }
   }
   return total;
 }

@@ -113,6 +113,7 @@ TrafficResult RunTraffic(const TrafficConfig& config) {
   pc.mem_tiles = 1;
   pc.timing = timing;
   pc.threads = config.threads;
+  pc.cap_batching = config.cap_batching;
   Platform platform(pc);
 
   uint64_t total = config.warmup + config.requests + config.cooldown;

@@ -91,6 +91,7 @@ struct TrafficConfig {
   uint64_t seed = 1;
   uint32_t pipeline = 8;          // per-generator transport credits
   uint32_t threads = 1;           // engine threads (PlatformConfig::threads)
+  int cap_batching = -1;          // tri-state ablation knob (PlatformConfig::cap_batching)
 };
 
 struct TrafficResult {

@@ -56,7 +56,9 @@ WorkloadResult RunAppDriver(const std::string& app, const WorkloadParams& p) {
     config.kernels = 1;  // the M3 baseline is a single-kernel system
   }
   config.threads = p.Threads();
-  double solo = SoloRuntimeUs(app, config.kernels, config.services, config.mode);
+  config.cap_batching = p.CapBatching();
+  double solo =
+      SoloRuntimeUs(app, config.kernels, config.services, config.mode, config.cap_batching);
   AppRunResult r = RunApp(config);
 
   WorkloadResult out;
@@ -115,6 +117,7 @@ void RegisterNginx() {
     config.services = p.U32("services");
     config.servers = p.U32("servers");
     config.threads = p.Threads();
+    config.cap_batching = p.CapBatching();
     NginxRunResult r = RunNginx(config);
     WorkloadResult out;
     out.Note(Fmt("nginx: %u servers, %u kernels, %u services", config.servers, config.kernels,
@@ -206,6 +209,7 @@ void RegisterFailover() {
     config.kernels = p.U32("kernels");
     config.users_per_kernel = std::max(1u, p.U32("instances") / std::max(1u, config.kernels));
     config.threads = p.Threads();
+    config.cap_batching = p.CapBatching();
     const std::string& fk = p.Str("fail-kernel");
     size_t at = fk.find('@');
     config.victim = static_cast<KernelId>(std::stoul(fk.substr(0, at)));
@@ -285,6 +289,7 @@ void RegisterRebalance() {
     config.migrate_pes = p.U32("migrate-pes");
     config.migrate_at = p.U64("migrate-at");
     config.threads = p.Threads();
+    config.cap_batching = p.CapBatching();
     RebalanceResult r = RunRebalance(config);
     WorkloadResult out;
     out.Note(Fmt("rebalance: %u kernels x %u clients, %u PEs migrated at %llu cycles",
@@ -350,6 +355,7 @@ void RegisterTrace() {
     pc.services = p.U32("services");
     pc.users = 1;
     pc.threads = p.Threads();
+    pc.cap_batching = p.CapBatching();
     Platform platform(pc);
     uint32_t index = 0;
     for (NodeId node : platform.service_nodes()) {
@@ -515,6 +521,7 @@ TrafficConfig TrafficConfigFrom(const WorkloadParams& p) {
   config.seed = p.U64("seed");
   config.pipeline = p.U32("pipeline");
   config.threads = p.Threads();
+  config.cap_batching = p.CapBatching();
   return config;
 }
 

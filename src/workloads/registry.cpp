@@ -164,6 +164,19 @@ uint32_t WorkloadParams::Threads() const {
   return static_cast<uint32_t>(v);
 }
 
+int WorkloadParams::CapBatching() const {
+  const std::string& text = Str("cap-batching");
+  if (text == "auto") {
+    return -1;
+  }
+  if (text == "on" || text == "1") {
+    return 1;
+  }
+  CHECK(text == "off" || text == "0")
+      << "--cap-batching=" << text << ": expected auto, on or off";
+  return 0;
+}
+
 double WorkloadResult::Value(const std::string& name) const {
   for (const WorkloadMetric& metric : metrics) {
     if (metric.name == name) {
@@ -265,6 +278,7 @@ WorkloadInvocation ParseWorkloadCli(const std::vector<std::string>& args) {
     invocation.params.Set(param.name, param.default_value);
   }
   invocation.params.Set("threads", "1");
+  invocation.params.Set("cap-batching", "auto");
 
   // Pass 2: globals, then schema-validated workload flags.
   for (const std::string& arg : rest) {
@@ -283,6 +297,14 @@ WorkloadInvocation ParseWorkloadCli(const std::vector<std::string>& args) {
         return Fail(Fmt("--threads=%s: expected a count or 'auto'", value.c_str()));
       }
       invocation.params.Set("threads", value == "auto" ? "0" : value);
+      continue;
+    }
+    if (arg.rfind("--cap-batching=", 0) == 0) {
+      std::string value = arg.substr(15);
+      if (value != "auto" && value != "on" && value != "off" && value != "0" && value != "1") {
+        return Fail(Fmt("--cap-batching=%s: expected auto, on or off", value.c_str()));
+      }
+      invocation.params.Set("cap-batching", value);
       continue;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -357,6 +379,10 @@ std::string FormatWorkloadList() {
   os << "                    bit-identical at any thread count)\n";
   os << "  --stats           print engine windows/handoffs/imbalance after the run\n";
   os << "  --strict          run serial AND parallel, abort on any modeled mismatch\n";
+  os << "  --cap-batching=auto|on|off\n";
+  os << "                    IKC batching + pipelined walks + remote-DDL cache\n";
+  os << "                    ablation (auto = on unless SEMPEROS_CAP_BATCHING=0;\n";
+  os << "                    off = the exact legacy IKC path)\n";
   os << "deprecated aliases: --app=NAME --nginx --micro --failover --chaos --trace=FILE\n";
   return os.str();
 }
@@ -386,6 +412,36 @@ std::string FormatKernelStats(const KernelStats& s) {
               "refusals=%llu\n",
               "", (unsigned long long)s.hb_sent, (unsigned long long)s.ft_suspicions,
               (unsigned long long)s.ft_failovers, (unsigned long long)s.ft_refusals);
+  }
+  if (s.ikc_batches_sent > 0 || s.ikc_relays_pipelined > 0 || s.ddl_cache_hits > 0 ||
+      s.ddl_cache_misses > 0) {
+    os << Fmt("  IKC batching    %10llu  batches (%llu ops, max %llu/batch, "
+              "mixed-epoch %llu)\n",
+              (unsigned long long)s.ikc_batches_sent, (unsigned long long)s.ikc_batched_ops,
+              (unsigned long long)s.ikc_batch_ops_max,
+              (unsigned long long)s.ikc_batch_mixed_epoch);
+    os << Fmt("  pipelined walks %10llu  relays (late replies %llu)\n",
+              (unsigned long long)s.ikc_relays_pipelined,
+              (unsigned long long)s.ikc_late_replies);
+    uint64_t probes = s.ddl_cache_hits + s.ddl_cache_misses;
+    os << Fmt("  remote-DDL cache%10llu  hits / %llu probes (%.1f%%)\n",
+              (unsigned long long)s.ddl_cache_hits, (unsigned long long)probes,
+              probes > 0 ? 100.0 * static_cast<double>(s.ddl_cache_hits) /
+                               static_cast<double>(probes)
+                         : 0.0);
+  }
+  // Per-IKC-type send/receive counters, only for op types that moved at all.
+  bool header = false;
+  for (size_t op = 0; op < kNumIkcOps; ++op) {
+    if (s.ikc_op_sent[op] == 0 && s.ikc_op_received[op] == 0) {
+      continue;
+    }
+    if (!header) {
+      os << "  IKC ops (sent/received by type):\n";
+      header = true;
+    }
+    os << Fmt("    %-16s %10llu / %llu\n", IkcOpName(static_cast<IkcOp>(op)),
+              (unsigned long long)s.ikc_op_sent[op], (unsigned long long)s.ikc_op_received[op]);
   }
   return os.str();
 }
@@ -430,6 +486,11 @@ void StrictCompareKernelStats(const KernelStats& a, const KernelStats& b) {
   StrictCheck(a.caps_deleted == b.caps_deleted, "caps deleted");
   StrictCheck(a.migrations == b.migrations, "migrations");
   StrictCheck(a.ft_failovers == b.ft_failovers, "failovers");
+  StrictCheck(a.ikc_batches_sent == b.ikc_batches_sent, "IKC batches sent");
+  StrictCheck(a.ikc_batched_ops == b.ikc_batched_ops, "IKC batched ops");
+  StrictCheck(a.ikc_relays_pipelined == b.ikc_relays_pipelined, "pipelined relays");
+  StrictCheck(a.ddl_cache_hits == b.ddl_cache_hits, "DDL cache hits");
+  StrictCheck(a.ddl_cache_misses == b.ddl_cache_misses, "DDL cache misses");
 }
 
 }  // namespace

@@ -15,6 +15,10 @@ DriverRig BatchRig(uint32_t kernels, uint32_t users, bool batching) {
   pc.kernels = kernels;
   pc.users = users;
   pc.revoke_batching = batching;
+  // These tests isolate *revoke* batching's message-count effect; the
+  // cap-batching IKC container would fold the per-child REVOKE_REQs too
+  // and wash out the comparison (tests/cap_batching_test.cpp covers it).
+  pc.cap_batching = 0;
   return MakeDriverRig(pc);
 }
 

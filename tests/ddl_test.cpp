@@ -182,6 +182,53 @@ TEST(CapSpace, DuplicateKeyDies) {
   EXPECT_DEATH(space.Create(key, CapType::kMem, 4, 3), "duplicate");
 }
 
+TEST(DdlCache, SecondLookupUnderSameEpochHits) {
+  DdlCache cache;
+  DdlKey key = DdlKey::Make(3, 3, CapType::kMem, 7);
+  EXPECT_FALSE(cache.Lookup(key, 0));  // miss inserts
+  EXPECT_TRUE(cache.Lookup(key, 0));   // hit
+  EXPECT_FALSE(cache.Lookup(DdlKey::Make(4, 4, CapType::kMem, 7), 0));
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(DdlCache, EpochChangeDropsEverything) {
+  DdlCache cache;
+  DdlKey key = DdlKey::Make(3, 3, CapType::kMem, 7);
+  EXPECT_FALSE(cache.Lookup(key, 0));
+  EXPECT_TRUE(cache.Lookup(key, 0));
+  // Any epoch *change* invalidates — newer from a membership bump, and
+  // "older" too (a fresh cache after failover takeover must not trust
+  // entries probed under a different view).
+  EXPECT_FALSE(cache.Lookup(key, 1));
+  EXPECT_TRUE(cache.Lookup(key, 1));
+  EXPECT_FALSE(cache.Lookup(key, 0));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DdlCache, InvalidateClearsWithoutEpochChange) {
+  DdlCache cache;
+  DdlKey key = DdlKey::Make(5, 5, CapType::kSession, 1);
+  EXPECT_FALSE(cache.Lookup(key, 2));
+  cache.Invalidate();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.Lookup(key, 2));  // re-probes as a miss
+}
+
+TEST(DdlCache, OverflowClearsWholesale) {
+  DdlCache cache;
+  // Fill to capacity; the next distinct insert clears the set first, so
+  // the cache stays bounded and allocation-stable.
+  for (uint64_t obj = 0; obj < DdlCache::kMaxEntries; ++obj) {
+    EXPECT_FALSE(cache.Lookup(DdlKey::Make(1, 1, CapType::kMem, obj), 0));
+  }
+  EXPECT_EQ(cache.size(), DdlCache::kMaxEntries);
+  DdlKey straw = DdlKey::Make(2, 2, CapType::kMem, 1);
+  EXPECT_FALSE(cache.Lookup(straw, 0));
+  EXPECT_EQ(cache.size(), 1u);  // only the straw survives
+  EXPECT_TRUE(cache.Lookup(straw, 0));
+  EXPECT_FALSE(cache.Lookup(DdlKey::Make(1, 1, CapType::kMem, 0), 0));
+}
+
 TEST(CapTypeName, AllNamed) {
   for (auto type : {CapType::kNone, CapType::kVpe, CapType::kMem, CapType::kSendGate,
                     CapType::kRecvGate, CapType::kService, CapType::kSession, CapType::kKernel}) {

@@ -9,6 +9,7 @@
 
 #include "audit/cap_audit.h"
 #include "ft/ft.h"
+#include "system/client.h"
 #include "system/experiment.h"
 #include "tests/test_util.h"
 
@@ -191,6 +192,61 @@ TEST(FailoverTest, TwoKernelSystemRefusesRecovery) {
   AuditReport report = AuditPlatform(platform);
   EXPECT_TRUE(report.ok()) << report.ToString();
   EXPECT_EQ(report.kernels_unrecovered, 1u);
+}
+
+TEST(FailoverTest, RecoveryInvalidatesRemoteDdlCache) {
+  // Failover is the other epoch-bump source: the takeover verdict rewrites
+  // the dead kernel's partitions, so every survivor's remote-DDL cache
+  // (--cap-batching) must be dropped even for keys whose partitions did
+  // not change hands — post-recovery lookups have to re-probe.
+  PlatformConfig pc;
+  pc.kernels = 3;
+  pc.users = 3;
+  pc.cap_batching = 1;  // pinned (env-immune): this test is about the cache
+  DriverRig rig = MakeDriverRig(pc);
+
+  size_t c0 = 0;
+  while (rig.p().membership().KernelOf(rig.vpe(c0)) != 0) {
+    ++c0;
+  }
+  size_t prober = 0;
+  while (rig.p().membership().KernelOf(rig.vpe(prober)) != 2) {
+    ++prober;
+  }
+  CapSel root = rig.Grant(c0);
+  VpeId owner = rig.vpe(c0);
+
+  auto obtain = [&rig, prober, owner, root] {
+    bool ok = false;
+    rig.client(prober).env().Obtain(owner, root, [&ok](const SyscallReply& r) {
+      ASSERT_EQ(r.err, ErrCode::kOk);
+      ok = true;
+    });
+    rig.p().RunToCompletion();
+    ASSERT_TRUE(ok);
+  };
+
+  obtain();  // cold: the owner's key enters kernel 2's cache
+  uint64_t hits_cold = rig.p().TotalKernelStats().ddl_cache_hits;
+  obtain();  // warm, same epoch: served by the cache
+  EXPECT_GT(rig.p().TotalKernelStats().ddl_cache_hits, hits_cold);
+
+  // Kill kernel 1 — neither the owner's nor the prober's group — and let
+  // the survivors recover. The takeover bumps the epoch everywhere.
+  FtConfig ft;
+  ft.heartbeat_period = 20'000;
+  ft.heartbeat_timeout = 60'000;
+  ft.monitor_until = rig.p().sim().Now() + 500'000;
+  rig.p().StartFailureDetector(ft);
+  rig.p().KillKernelAt(1, rig.p().sim().Now() + 50'000);
+  rig.p().RunToCompletion();
+  ASSERT_TRUE(rig.p().KernelFailed(1));
+  EXPECT_GE(rig.p().kernel(2)->config().membership.Epoch(), 1u);
+
+  uint64_t misses_recovered = rig.p().TotalKernelStats().ddl_cache_misses;
+  obtain();  // same key, post-recovery epoch: must re-probe as a miss
+  EXPECT_GT(rig.p().TotalKernelStats().ddl_cache_misses, misses_recovered);
+  EXPECT_EQ(rig.p().TotalDrops(), 0u);
 }
 
 // --- DDL range takeover edges ---------------------------------------------

@@ -5,6 +5,7 @@
 
 #include <vector>
 
+#include "system/client.h"
 #include "system/experiment.h"
 #include "tests/test_util.h"
 
@@ -305,6 +306,62 @@ TEST(MigrationTest, RejectsInvalidDestinations) {
   ErrCode range_err = ErrCode::kOk;
   k0->AdminMigratePe(rig.vpe(0), 7, [&range_err](ErrCode err) { range_err = err; });
   EXPECT_EQ(range_err, ErrCode::kInvalidArgs);
+}
+
+TEST(MigrationTest, EpochBumpInvalidatesRemoteDdlCache) {
+  // The remote-DDL cache (--cap-batching) must drop everything when a
+  // migration bumps the membership epoch: a key cached under the old view
+  // could route to the wrong kernel afterwards, so the post-bump lookup
+  // has to re-probe even though the key itself did not move.
+  PlatformConfig pc;
+  pc.kernels = 3;
+  pc.users = 6;
+  pc.cap_batching = 1;  // pinned (env-immune): this test is about the cache
+  DriverRig rig = MakeDriverRig(pc);
+
+  size_t c0 = 0;
+  while (rig.p().membership().KernelOf(rig.vpe(c0)) != 0) {
+    ++c0;
+  }
+  size_t prober = 0;
+  while (rig.p().membership().KernelOf(rig.vpe(prober)) != 2) {
+    ++prober;
+  }
+  size_t mover = 0;
+  while (rig.p().membership().KernelOf(rig.vpe(mover)) != 1) {
+    ++mover;
+  }
+  CapSel root = rig.Grant(c0);
+  VpeId owner = rig.vpe(c0);
+
+  auto obtain = [&rig, prober, owner, root] {
+    bool ok = false;
+    rig.client(prober).env().Obtain(owner, root, [&ok](const SyscallReply& r) {
+      ASSERT_EQ(r.err, ErrCode::kOk);
+      ok = true;
+    });
+    rig.p().RunToCompletion();
+    ASSERT_TRUE(ok);
+  };
+
+  obtain();  // cold: the owner's key enters kernel 2's cache
+  uint64_t hits_cold = rig.p().TotalKernelStats().ddl_cache_hits;
+  obtain();  // warm, same epoch: served by the cache
+  EXPECT_GT(rig.p().TotalKernelStats().ddl_cache_hits, hits_cold);
+
+  // An *unrelated* PE migrates; the owner's partition does not move, but
+  // the epoch does.
+  rig.Migrate(rig.vpe(mover), 0);
+  EXPECT_GE(rig.p().kernel(2)->config().membership.Epoch(), 1u);
+
+  uint64_t misses_settled = rig.p().TotalKernelStats().ddl_cache_misses;
+  obtain();  // same key, new epoch: must re-probe as a miss
+  EXPECT_GT(rig.p().TotalKernelStats().ddl_cache_misses, misses_settled);
+
+  for (KernelId k = 0; k < 3; ++k) {
+    EXPECT_EQ(rig.p().kernel(k)->PendingOps(), 0u) << "kernel " << k;
+  }
+  EXPECT_EQ(rig.p().TotalDrops(), 0u);
 }
 
 TEST(RebalanceTest, WorkloadCompletesWithZeroLeaks) {

@@ -64,8 +64,24 @@ void ExpectSameStats(const KernelStats& a, const KernelStats& b, const char* wha
   SEMPEROS_EXPECT_FIELD(ft_orphan_roots);
   SEMPEROS_EXPECT_FIELD(ft_edges_pruned);
   SEMPEROS_EXPECT_FIELD(ft_ikcs_aborted);
+  SEMPEROS_EXPECT_FIELD(ikc_batches_sent);
+  SEMPEROS_EXPECT_FIELD(ikc_batched_ops);
+  SEMPEROS_EXPECT_FIELD(ikc_batch_ops_max);
+  SEMPEROS_EXPECT_FIELD(ikc_batch_mixed_epoch);
+  SEMPEROS_EXPECT_FIELD(ikc_relays_pipelined);
+  SEMPEROS_EXPECT_FIELD(ikc_late_replies);
+  SEMPEROS_EXPECT_FIELD(ddl_cache_hits);
+  SEMPEROS_EXPECT_FIELD(ddl_cache_misses);
   SEMPEROS_EXPECT_FIELD(threads_in_use);
   SEMPEROS_EXPECT_FIELD(threads_in_use_max);
+  for (size_t op = 0; op < kNumIkcOps; ++op) {
+    EXPECT_EQ(a.ikc_op_sent[op], b.ikc_op_sent[op])
+        << what << ": ikc_op_sent[" << IkcOpName(static_cast<IkcOp>(op))
+        << "] diverged from serial";
+    EXPECT_EQ(a.ikc_op_received[op], b.ikc_op_received[op])
+        << what << ": ikc_op_received[" << IkcOpName(static_cast<IkcOp>(op))
+        << "] diverged from serial";
+  }
 #undef SEMPEROS_EXPECT_FIELD
 }
 

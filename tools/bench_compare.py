@@ -18,11 +18,19 @@ engine change did not regress events/sec / messages/sec.
 Usage:
     tools/bench_compare.py BASELINE_DIR NEW_DIR [--threshold 0.25]
     tools/bench_compare.py OLD_DIR NEW_DIR --wallclock [--threshold 0.5]
+    tools/bench_compare.py OLD_DIR NEW_DIR --allow-rebaselined BENCH_foo.json
 
 Exits non-zero if any compared benchmark regressed by more than THRESHOLD
 (relative time increase), or if a compared baseline file or benchmark
 disappeared. New benchmarks (not in the baseline) are reported but do not
 fail the gate — commit a refreshed baseline to cover them.
+
+An *intentional* rebaseline (a timing-model change that legitimately moves
+a file's numbers) must be declared explicitly: `--allow-rebaselined FILE`
+exempts that file from the regression and counter-identity checks but still
+requires it to exist with the same benchmark set, and prints what moved.
+An allow-listed file that did not actually change is an error — a stale
+allow-list must not linger and silently waive a future regression.
 """
 
 import argparse
@@ -85,6 +93,13 @@ def main():
     parser.add_argument("--wallclock", action="store_true",
                         help="compare the wall-clock files (bench_simcore) "
                              "instead of the modeled figure/table files")
+    parser.add_argument("--allow-rebaselined", action="append", default=[],
+                        metavar="FILE", dest="allow_rebaselined",
+                        help="baseline file (e.g. BENCH_failover.json) whose "
+                             "numbers are intentionally rebaselined this run; "
+                             "repeatable. Exempt from drift checks, but must "
+                             "still exist, keep its benchmark set, and "
+                             "actually differ")
     args = parser.parse_args()
     threshold = args.threshold
     if threshold is None:
@@ -105,9 +120,14 @@ def main():
               file=sys.stderr)
         return 2
 
-    failures = []
+    allowed = set(args.allow_rebaselined)
+    unknown_allowed = allowed - {p.name for p in baseline_files}
+    failures = [f"--allow-rebaselined {name}: no such baseline file"
+                for name in sorted(unknown_allowed)]
     compared = 0
     for base_path in baseline_files:
+        rebaselined = base_path.name in allowed
+        rebaseline_moved = False
         new_path = args.new_dir / base_path.name
         if not new_path.exists():
             failures.append(f"{base_path.name}: missing from {args.new_dir}")
@@ -116,6 +136,7 @@ def main():
         new = load_benchmarks(new_path)
         for name, base_fields in sorted(base.items()):
             if name not in new:
+                # A rebaseline may move numbers, never drop coverage.
                 failures.append(f"{base_path.name}: benchmark '{name}' disappeared")
                 continue
             compared += 1
@@ -125,14 +146,17 @@ def main():
             if base_time > 0:
                 ratio = new_time / base_time
                 marker = ""
-                if ratio > 1.0 + threshold:
+                if ratio > 1.0 + threshold and not rebaselined:
                     marker = "  <-- REGRESSION"
                     failures.append(
                         f"{base_path.name}: '{name}' {base_time:.1f} -> {new_time:.1f} ns "
                         f"({(ratio - 1.0) * 100.0:+.1f}%)")
+                if abs(ratio - 1.0) > COUNTER_RTOL:
+                    rebaseline_moved = True
                 if marker or abs(ratio - 1.0) > 0.01:
+                    note = marker if marker else ("  (rebaselined)" if rebaselined else "")
                     print(f"{base_path.name}: {name}: {base_time:.1f} -> {new_time:.1f} ns "
-                          f"({(ratio - 1.0) * 100.0:+.1f}%){marker}")
+                          f"({(ratio - 1.0) * 100.0:+.1f}%){note}")
             if args.wallclock:
                 continue
             # Modeled counters (efficiency percentages, ops/s, ...) must be
@@ -145,11 +169,18 @@ def main():
                     continue
                 b, n = base_fields[field], new_fields[field]
                 if abs(n - b) > COUNTER_RTOL * max(1.0, abs(b)):
-                    failures.append(
-                        f"{base_path.name}: '{name}' counter '{field}' changed: "
-                        f"{b!r} -> {n!r}  <-- MODELED DRIFT")
+                    rebaseline_moved = True
+                    if not rebaselined:
+                        failures.append(
+                            f"{base_path.name}: '{name}' counter '{field}' changed: "
+                            f"{b!r} -> {n!r}  <-- MODELED DRIFT")
         for name in sorted(set(new) - set(base)):
+            rebaseline_moved = True
             print(f"{base_path.name}: new benchmark '{name}' (not gated; refresh the baseline)")
+        if rebaselined and not rebaseline_moved:
+            failures.append(
+                f"--allow-rebaselined {base_path.name}: file is identical to the "
+                f"baseline — drop the stale allow-list entry")
 
     kind = "wall-clock" if args.wallclock else "simulated-time"
     print(f"\ncompared {compared} benchmarks against {len(baseline_files)} baseline files")
