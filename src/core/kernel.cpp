@@ -7,12 +7,29 @@
 
 #include "base/log.h"
 #include "dtu/msg_pool.h"
+#include "obs/trace.h"
 
 namespace semperos {
 
 namespace {
 
 const char* kTag = "kernel";
+
+// Records a completed span; callers already verified `tr` is non-null and
+// the operation is traced.
+void RecordSpan(obs::Tracer* tr, uint64_t trace, uint64_t span, uint64_t parent,
+                Cycles start, Cycles end, uint32_t entity, obs::SpanKind kind, uint16_t op) {
+  obs::Span s;
+  s.trace_id = trace;
+  s.span_id = span;
+  s.parent_id = parent;
+  s.start = start;
+  s.end = end;
+  s.entity = entity;
+  s.kind = kind;
+  s.op = op;
+  tr->Record(s);
+}
 
 }  // namespace
 
@@ -374,6 +391,10 @@ void Kernel::OnSyscall(EpId ep, const Message& msg) {
   ctx.recv_ep = ep;
   ctx.msg = msg;
   ctx.valid = true;
+  if (obs::Tracer* tr = tracer(); tr != nullptr && msg.body->trace_id != 0) {
+    ctx.trace_span = tr->NextSpanId(pe_->node());
+    ctx.trace_start = pe_->sim()->Now();
+  }
 
   if (shutting_down_) {
     Finish(t_.syscall_dispatch + t_.syscall_reply,
@@ -402,6 +423,8 @@ void Kernel::OnSyscall(EpId ep, const Message& msg) {
     return;
   }
 
+  // Messages the handler sends on this call's behalf nest under its span.
+  cur_trace_ = TraceCtx{msg.body->trace_id, ctx.trace_span};
   switch (req->op) {
     case SyscallOp::kNoop:
       SysNoop(ctx, *req);
@@ -431,6 +454,7 @@ void Kernel::OnSyscall(EpId ep, const Message& msg) {
       SysRegisterService(ctx, *req);
       break;
   }
+  cur_trace_ = TraceCtx{};
 }
 
 void Kernel::ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel, const CapPayload& payload,
@@ -452,6 +476,15 @@ void Kernel::ReplySyscall(SyscallCtx ctx, ErrCode err, CapSel sel, const CapPayl
   reply->sel = sel;
   reply->cap = payload;
   reply->payload = std::move(opaque);
+  if (obs::Tracer* tr = tracer(); tr != nullptr && ctx.trace_span != 0) {
+    uint64_t trace = ctx.msg.body->trace_id;
+    // The reply's transit span hangs under the syscall span.
+    reply->trace_id = trace;
+    reply->trace_parent = ctx.trace_span;
+    RecordSpan(tr, trace, ctx.trace_span, ctx.msg.body->trace_parent, ctx.trace_start,
+               pe_->sim()->Now(), pe_->node(), obs::SpanKind::kSyscall,
+               static_cast<uint16_t>(req->op));
+  }
   pe_->dtu().Reply(ctx.recv_ep, ctx.msg, reply);
 }
 
@@ -1268,6 +1301,13 @@ void Kernel::DrainRevokeQueue() {
 }
 
 void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
+  // May run deferred from the revoke queue, outside the dispatch that
+  // opened the handler span — restore the context from the handling entry
+  // so fanned-out REVOKE_REQs stay linked.
+  TraceCtx saved_trace = cur_trace_;
+  if (auto hit = ikc_handling_.find({msg.src_node, req.token}); hit != ikc_handling_.end()) {
+    cur_trace_ = TraceCtx{hit->second.trace, hit->second.span};
+  }
   Capability* cap = caps_.Find(req.cap);
   if (cap == nullptr) {
     // Already revoked by an overlapping operation — the subtree is gone.
@@ -1275,6 +1315,7 @@ void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
     reply->token = req.token;
     reply->err = ErrCode::kOk;
     Emit(Charge(t_.ikc_dispatch + t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
+    cur_trace_ = saved_trace;
     return;
   }
   if (cap->marked()) {
@@ -1287,6 +1328,7 @@ void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
       Emit(Charge(t_.ikc_send), [this, ep, msg, reply] { ReplyIkc(ep, msg, reply); });
     });
     Charge(t_.ikc_dispatch);
+    cur_trace_ = saved_trace;
     return;
   }
 
@@ -1299,12 +1341,17 @@ void Kernel::ProcessRevokeReq(EpId ep, Message msg, const IkcMsg& req) {
   cost += FlushRevokeRequests(task);
   Charge(cost);
   CheckRevokeComplete(task);
+  cur_trace_ = saved_trace;
 }
 
 void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
   // Batched variant: revoke every key, reply once when all of them —
   // including their remote subtrees — are gone. Each key runs as an
   // admin-style sub-task feeding a shared countdown.
+  TraceCtx saved_trace = cur_trace_;
+  if (auto hit = ikc_handling_.find({msg.src_node, req.token}); hit != ikc_handling_.end()) {
+    cur_trace_ = TraceCtx{hit->second.trace, hit->second.span};
+  }
   auto remaining = std::make_shared<uint32_t>(static_cast<uint32_t>(req.caps.size()) + 1);
   uint64_t token = req.token;
   auto maybe_reply = [this, remaining, ep, msg, token] {
@@ -1349,6 +1396,7 @@ void Kernel::ProcessRevokeBatch(EpId ep, Message msg, const IkcMsg& req) {
   }
   Charge(cost);
   maybe_reply();
+  cur_trace_ = saved_trace;
 }
 
 // ---------------------------------------------------------------------------
@@ -1623,6 +1671,12 @@ void Kernel::AdminMigratePe(NodeId pe, KernelId dst, std::function<void(ErrCode)
   task->pe = pe;
   task->dst = dst;
   task->done = std::move(done);
+  if (obs::Tracer* tr = tracer(); tr != nullptr) {
+    // Migrations are platform-initiated: they root their own trace.
+    task->trace = tr->NewTraceId(pe_->node());
+    task->trace_span = tr->NextSpanId(pe_->node());
+    task->trace_start = pe_->sim()->Now();
+  }
   uint64_t id = task->id;
   migrate_tasks_[id] = std::move(task);
   // Freeze bookkeeping, then poll until the moving partition quiesced.
@@ -1649,6 +1703,9 @@ void Kernel::StartMigrateTransfer(uint64_t task_id) {
   CHECK(it != migrate_tasks_.end());
   MigrateTask* task = it->second.get();
   task->phase = MigrateTask::Phase::kTransfer;
+  // The transfer IKC (and, via the pending restore, the settle round's
+  // EPOCH_UPDATEs) nest under the migration span.
+  cur_trace_ = TraceCtx{task->trace, task->trace_span};
 
   VpeState& vpe = vpes_.At(task->pe);
   auto payload = std::make_shared<MigratePayload>();
@@ -1690,6 +1747,7 @@ void Kernel::StartMigrateTransfer(uint64_t task_id) {
   Charge(static_cast<Cycles>(payload->caps.size()) * t_.migrate_pack_per_cap + t_.ikc_send);
   SendIkc(task->dst, msg,
           [this, task_id](const IkcReply& reply) { FinishMigrateTransfer(task_id, reply); });
+  cur_trace_ = TraceCtx{};
 }
 
 void Kernel::OnMigrateVpe(EpId ep, const Message& msg, const IkcMsg& req) {
@@ -1838,6 +1896,11 @@ void Kernel::CompleteMigration(uint64_t task_id, ErrCode err) {
     stats_.migrations++;
     LOG_INFO(kTag) << "kernel " << config_.id << " migrated PE " << task->pe << " to kernel "
                    << task->dst << " (epoch " << task->epoch << ")";
+  }
+  if (task->trace != 0) {
+    RecordSpan(tracer(), task->trace, task->trace_span, /*parent=*/0, task->trace_start,
+               pe_->sim()->Now(), pe_->node(), obs::SpanKind::kMigration,
+               static_cast<uint16_t>(task->pe));
   }
   auto done = std::move(task->done);
   migrate_tasks_.erase(it);
@@ -2107,6 +2170,17 @@ void Kernel::RecoverFromFailure(KernelId dead, uint64_t epoch) {
   peer_down_.at(dead) = true;
   stats_.ft_failovers++;
   ft_verdict_at_ = pe_->sim()->Now();
+  TraceCtx saved_trace = cur_trace_;
+  if (obs::Tracer* tr = tracer(); tr != nullptr) {
+    if (ft_trace_ == 0) {
+      // Recovery roots its own trace; spans until the pending counter
+      // drains back to zero (FtRecoveryStepDone records it).
+      ft_trace_ = tr->NewTraceId(pe_->node());
+      ft_span_ = tr->NextSpanId(pe_->node());
+      ft_trace_start_ = pe_->sim()->Now();
+    }
+    cur_trace_ = TraceCtx{ft_trace_, ft_span_};
+  }
   // The takeover below reassigns every partition of the dead range; the
   // remote-DDL cache must not serve hits across that (the Apply calls here
   // bypass ApplyMembershipUpdate's invalidation).
@@ -2204,6 +2278,7 @@ void Kernel::RecoverFromFailure(KernelId dead, uint64_t epoch) {
     // orphaned subtrees dangling so the auditor has something to catch.
     ft_pending_recovery_ += 1;
     FtRecoveryStepDone();
+    cur_trace_ = saved_trace;
     return;
   }
   ft_pending_recovery_ += static_cast<uint32_t>(orphan_roots.size()) + 1;
@@ -2231,12 +2306,19 @@ void Kernel::RecoverFromFailure(KernelId dead, uint64_t epoch) {
     CheckRevokeComplete(task);
   }
   FtRecoveryStepDone();  // sentinel: recovery with zero orphans is done now
+  cur_trace_ = saved_trace;
 }
 
 void Kernel::FtRecoveryStepDone() {
   CHECK_GT(ft_pending_recovery_, 0u);
   if (--ft_pending_recovery_ == 0) {
     ft_recovered_at_ = pe_->sim()->Now();
+    if (ft_trace_ != 0) {
+      RecordSpan(tracer(), ft_trace_, ft_span_, /*parent=*/0, ft_trace_start_,
+                 pe_->sim()->Now(), pe_->node(), obs::SpanKind::kFailover, /*op=*/0);
+      ft_trace_ = 0;
+      ft_span_ = 0;
+    }
     LOG_INFO(kTag) << "kernel " << config_.id << " recovery complete";
   }
 }
@@ -2299,15 +2381,25 @@ void Kernel::AbortPendingIkcsTo(KernelId dead) {
     if (it == ikcs_.end()) {
       continue;  // unwound by an earlier abort's callback
     }
-    auto cb = std::move(it->second.cb);
+    PendingIkc pending = std::move(it->second);
     ikcs_.erase(it);
     stats_.ft_ikcs_aborted++;
     IkcReply reply;
     reply.token = token;
     reply.err = ErrCode::kUnreachable;
-    if (cb) {
-      cb(reply);
+    TraceCtx saved_trace = cur_trace_;
+    if (pending.trace_span != 0) {
+      // The round trip ends here — aborted, but the span still closes so
+      // the request's tree has no dangling parent link.
+      RecordSpan(tracer(), pending.trace, pending.trace_span, pending.trace_parent,
+                 pending.trace_start, pe_->sim()->Now(), pe_->node(), obs::SpanKind::kIkcRtt,
+                 pending.trace_op);
+      cur_trace_ = TraceCtx{pending.trace, pending.trace_parent};
     }
+    if (pending.cb) {
+      pending.cb(reply);
+    }
+    cur_trace_ = saved_trace;
   }
 }
 
@@ -2461,6 +2553,17 @@ void Kernel::SendIkc(KernelId peer, std::shared_ptr<IkcMsg> msg,
   pending.token = msg->token;
   pending.peer = peer;
   pending.cb = std::move(cb);
+  if (obs::Tracer* tr = tracer(); tr != nullptr && cur_trace_.trace != 0) {
+    pending.trace = cur_trace_.trace;
+    pending.trace_parent = cur_trace_.parent;
+    pending.trace_span = tr->NextSpanId(pe_->node());
+    pending.trace_start = pe_->sim()->Now();
+    pending.trace_op = static_cast<uint16_t>(msg->op);
+    // Everything the remote kernel does on this call's behalf nests under
+    // the round-trip span — that is how trees cross kernels.
+    msg->trace_id = pending.trace;
+    msg->trace_parent = pending.trace_span;
+  }
   ikcs_[msg->token] = std::move(pending);
 
   EnqueueIkc(peer, std::move(msg));
@@ -2495,6 +2598,9 @@ void Kernel::EnqueueIkc(KernelId peer, std::shared_ptr<IkcMsg> msg) {
     // spot containers whose entries straddle a membership change — routing
     // is per-op there, so a mixed batch is observable but harmless.
     msg->batch_epoch = config_.membership.Epoch();
+    if (state.batch.empty()) {
+      state.batch_opened = pe_->sim()->Now();
+    }
     state.batch.push_back(std::move(msg));
     if (state.batch.size() >= config_.batch_max_ops) {
       FlushBatch(peer);
@@ -2546,6 +2652,22 @@ void Kernel::FlushBatch(KernelId peer) {
     stats_.ikc_batched_ops += wire->batch.size();
     stats_.ikc_batch_ops_max =
         std::max<uint64_t>(stats_.ikc_batch_ops_max, wire->batch.size());
+    // The container inherits the first traced sub-request's context (one
+    // wire message, one transit span); each sub keeps its own context, so
+    // every tree stays connected through the coalescing. The kBatch span
+    // makes the flush-window wait visible, sized by the batch.
+    for (const std::shared_ptr<IkcMsg>& sub : wire->batch) {
+      if (sub->trace_id != 0) {
+        wire->trace_id = sub->trace_id;
+        wire->trace_parent = sub->trace_parent;
+        break;
+      }
+    }
+    if (obs::Tracer* tr = tracer(); tr != nullptr && wire->trace_id != 0) {
+      RecordSpan(tr, wire->trace_id, tr->NextSpanId(pe_->node()), wire->trace_parent,
+                 state.batch_opened, pe_->sim()->Now(), pe_->node(), obs::SpanKind::kBatch,
+                 static_cast<uint16_t>(wire->batch.size()));
+    }
   }
   if (state.credits == 0) {
     stats_.ikc_flow_queued++;
@@ -2560,6 +2682,13 @@ void Kernel::SendIkcRelay(KernelId peer, std::shared_ptr<IkcMsg> msg) {
   // pending entry is registered — this kernel leaves the request's path the
   // moment the forward is out. The caller verified the peer is alive.
   CHECK_NE(peer, config_.id);
+  if (obs::Tracer* tr = tracer(); tr != nullptr && msg->trace_id != 0) {
+    // Zero-length marker: the hop's transit and final service get their own
+    // spans; this records *that* the walk bounced through this kernel.
+    Cycles now = pe_->sim()->Now();
+    RecordSpan(tr, msg->trace_id, tr->NextSpanId(pe_->node()), msg->trace_parent, now, now,
+               pe_->node(), obs::SpanKind::kRelay, static_cast<uint16_t>(msg->op));
+  }
   EnqueueIkc(peer, std::move(msg));
 }
 
@@ -2613,6 +2742,16 @@ void Kernel::ReplyIkc(EpId recv_ep, const Message& msg, std::shared_ptr<IkcReply
   // The request's slot was already freed at dispatch (see OnIkc); logical
   // replies travel as reply-typed messages that need no slot.
   (void)recv_ep;
+  // Close the handler span opened at dispatch (possibly long ago, for
+  // suspended revocations) and hand the reply its trace context.
+  if (auto it = ikc_handling_.find({msg.src_node, reply->token}); it != ikc_handling_.end()) {
+    const IkcHandling& h = it->second;
+    reply->trace_id = h.trace;
+    reply->trace_parent = h.span;
+    RecordSpan(tracer(), h.trace, h.span, h.parent, h.start, pe_->sim()->Now(), pe_->node(),
+               obs::SpanKind::kIkc, h.op);
+    ikc_handling_.erase(it);
+  }
   pe_->dtu().SendDeferredReply(msg, std::move(reply));
 }
 
@@ -2640,11 +2779,19 @@ void Kernel::OnIkc(EpId ep, const Message& msg) {
       stats_.ikc_late_replies++;
       return;
     }
-    auto cb = std::move(it->second.cb);
+    PendingIkc pending = std::move(it->second);
     ikcs_.erase(it);
-    if (cb) {
-      cb(*reply);
+    if (pending.trace_span != 0) {
+      RecordSpan(tracer(), pending.trace, pending.trace_span, pending.trace_parent,
+                 pending.trace_start, pe_->sim()->Now(), pe_->node(), obs::SpanKind::kIkcRtt,
+                 pending.trace_op);
+      // The continuation acts for the enclosing operation again.
+      cur_trace_ = TraceCtx{pending.trace, pending.trace_parent};
     }
+    if (pending.cb) {
+      pending.cb(*reply);
+    }
+    cur_trace_ = TraceCtx{};
     return;
   }
 
@@ -2694,6 +2841,23 @@ void Kernel::RouteIkcRequest(EpId ep, const Message& msg, const IkcMsg& req) {
 
 void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& request) {
   const IkcMsg* req = &request;
+  // Open the handler span; ReplyIkc closes it by (requester node, token).
+  // The container itself never replies — its sub-requests open their own
+  // entries when the loop below re-enters here per sub.
+  TraceCtx saved_trace = cur_trace_;
+  obs::Tracer* tr = tracer();
+  if (tr != nullptr && req->trace_id != 0 && req->op != IkcOp::kCapBatch) {
+    IkcHandling h;
+    h.trace = req->trace_id;
+    h.parent = req->trace_parent;
+    h.span = tr->NextSpanId(pe_->node());
+    h.start = pe_->sim()->Now();
+    h.op = static_cast<uint16_t>(req->op);
+    ikc_handling_[{msg.src_node, req->token}] = h;
+    cur_trace_ = TraceCtx{h.trace, h.span};
+  } else {
+    cur_trace_ = TraceCtx{};
+  }
   switch (req->op) {
     case IkcOp::kHello: {
       auto reply = NewMsg<IkcReply>();
@@ -2876,6 +3040,7 @@ void Kernel::DispatchIkcRequest(EpId ep, const Message& msg, const IkcMsg& reque
       break;
     }
   }
+  cur_trace_ = saved_trace;
 }
 
 // ---------------------------------------------------------------------------
@@ -2889,6 +3054,15 @@ void Kernel::AskParty(NodeId node, std::shared_ptr<AskMsg> ask,
   pending.token = ask->token;
   pending.node = node;
   pending.cb = std::move(cb);
+  if (obs::Tracer* tr = tracer(); tr != nullptr && cur_trace_.trace != 0) {
+    pending.trace = cur_trace_.trace;
+    pending.trace_parent = cur_trace_.parent;
+    pending.trace_span = tr->NextSpanId(pe_->node());
+    pending.trace_start = pe_->sim()->Now();
+    pending.trace_op = static_cast<uint16_t>(ask->op);
+    ask->trace_id = pending.trace;
+    ask->trace_parent = pending.trace_span;
+  }
   asks_[ask->token] = std::move(pending);
 
   AskWindow& window = ask_windows_[node];
@@ -2908,10 +3082,9 @@ void Kernel::OnAskReply(const Message& msg) {
   CHECK(reply != nullptr);
   auto it = asks_.find(reply->token);
   CHECK(it != asks_.end()) << "ask reply for unknown token";
-  auto cb = std::move(it->second.cb);
-  NodeId asked_node = it->second.node;
+  PendingAsk pending = std::move(it->second);
   asks_.erase(it);
-  AskWindow& window = ask_windows_[asked_node];
+  AskWindow& window = ask_windows_[pending.node];
   window.inflight--;
   if (!window.queue.empty()) {
     auto fn = std::move(window.queue.front());
@@ -2919,9 +3092,16 @@ void Kernel::OnAskReply(const Message& msg) {
     window.inflight++;
     fn();
   }
-  if (cb) {
-    cb(*reply);
+  if (pending.trace_span != 0) {
+    RecordSpan(tracer(), pending.trace, pending.trace_span, pending.trace_parent,
+               pending.trace_start, pe_->sim()->Now(), pe_->node(), obs::SpanKind::kAsk,
+               pending.trace_op);
+    cur_trace_ = TraceCtx{pending.trace, pending.trace_parent};
   }
+  if (pending.cb) {
+    pending.cb(*reply);
+  }
+  cur_trace_ = TraceCtx{};
 }
 
 }  // namespace semperos

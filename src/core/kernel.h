@@ -46,6 +46,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "base/status.h"
@@ -182,6 +183,12 @@ struct MigrateTask {
   // snapshot; they re-run once the handoff resolved — routed to the new
   // owner on success, applied locally on refusal.
   std::vector<std::function<void()>> deferred_unlinks;
+  // Observability: migrations originate at the platform, so they root their
+  // own trace; the kMigration span covers freeze -> settled. The transfer
+  // IKC and the settle-round EPOCH_UPDATEs nest under it.
+  uint64_t trace = 0;
+  uint64_t trace_span = 0;
+  Cycles trace_start = 0;
 };
 
 class Kernel : public Program {
@@ -355,6 +362,12 @@ class Kernel : public Program {
     EpId recv_ep = 0;
     Message msg;
     bool valid = false;
+    // Observability: the kSyscall span covering this call's service. The id
+    // is preallocated at arrival so IKCs/asks issued on the call's behalf
+    // can parent under it; ReplySyscall records the completed span. The
+    // trace id and the user-side parent live in msg.body.
+    uint64_t trace_span = 0;
+    Cycles trace_start = 0;
   };
 
   struct ObtainOp {
@@ -392,6 +405,14 @@ class Kernel : public Program {
     uint64_t token = 0;
     NodeId node = kInvalidNode;
     std::function<void(const AskReply&)> cb;
+    // Observability: the kAsk span (round trip to the party) plus the trace
+    // context to restore before `cb` runs, so spans caused by the
+    // continuation stay linked to the request.
+    uint64_t trace = 0;
+    uint64_t trace_parent = 0;
+    uint64_t trace_span = 0;
+    Cycles trace_start = 0;
+    uint16_t trace_op = 0;
   };
 
   // IKC request awaiting its reply. Carries the addressed peer so a failure
@@ -405,6 +426,14 @@ class Kernel : public Program {
     KernelId peer = kInvalidKernel;
     uint32_t relay_hops = 0;
     std::function<void(const IkcReply&)> cb;
+    // Observability: the kIkcRtt span (request out -> reply callback). Its
+    // id travels as the request's trace_parent, so everything the remote
+    // kernel does on this call's behalf nests under the round trip.
+    uint64_t trace = 0;
+    uint64_t trace_parent = 0;
+    uint64_t trace_span = 0;
+    Cycles trace_start = 0;
+    uint16_t trace_op = 0;
   };
 
   // Per-peer-kernel flow control state (§4.1) plus the open request batch
@@ -415,7 +444,37 @@ class Kernel : public Program {
     std::deque<std::shared_ptr<IkcMsg>> queue;
     std::vector<std::shared_ptr<IkcMsg>> batch;
     bool batch_timer_armed = false;
+    Cycles batch_opened = 0;  // obs: when the open batch started buffering
   };
+
+  // ===== Observability (src/obs) =====
+  // The causal trace context of the operation currently executing on this
+  // kernel: `trace` names the request, `parent` the enclosing span. Set at
+  // every dispatch point (syscall, IKC request/reply, ask reply) and
+  // stashed into the pending-operation objects across suspensions, so
+  // messages sent by asynchronous continuations stay linked.
+  struct TraceCtx {
+    uint64_t trace = 0;
+    uint64_t parent = 0;
+  };
+  // An IKC request in service, keyed by (requester node, token): the kIkc
+  // handler span opens at dispatch and closes centrally in ReplyIkc, which
+  // also stamps the reply's trace context. Relays rewrite the Message's
+  // src_node to the walk's origin before dispatch, so the key is stable
+  // from dispatch to (possibly long-deferred) reply.
+  struct IkcHandling {
+    uint64_t trace = 0;
+    uint64_t parent = 0;
+    uint64_t span = 0;
+    Cycles start = 0;
+    uint16_t op = 0;
+  };
+  obs::Tracer* tracer() const { return pe_ != nullptr ? pe_->tracer() : nullptr; }
+  // Stamps cur_trace_ onto an outgoing message body (0s when untraced).
+  void StampTrace(MsgBody* body) const {
+    body->trace_id = cur_trace_.trace;
+    body->trace_parent = cur_trace_.parent;
+  }
 
   // ===== Message handlers =====
   void OnSyscall(EpId ep, const Message& msg);
@@ -634,6 +693,15 @@ class Kernel : public Program {
   CapSpace caps_;
   uint64_t next_obj_ = 1;
   uint64_t next_token_ = 1;
+
+  // ===== Observability state =====
+  TraceCtx cur_trace_;
+  std::map<std::pair<NodeId, uint64_t>, IkcHandling> ikc_handling_;
+  // Failover recovery span: opened when the first verdict is applied here,
+  // recorded when ft_pending_recovery_ drains back to zero.
+  uint64_t ft_trace_ = 0;
+  uint64_t ft_span_ = 0;
+  Cycles ft_trace_start_ = 0;
 
   std::unordered_map<uint64_t, ObtainOp> obtains_;
   std::unordered_map<uint64_t, DelegateOp> delegates_;

@@ -1,6 +1,7 @@
 #include "core/userlib.h"
 
 #include "dtu/msg_pool.h"
+#include "obs/trace.h"
 
 namespace semperos {
 
@@ -34,6 +35,16 @@ void UserEnv::Syscall(std::shared_ptr<SyscallMsg> msg,
   syscalls_issued_++;
   msg->vpe = vpe();
   msg->token = next_token_++;
+  if (obs::Tracer* tr = pe_->tracer(); tr != nullptr) {
+    // Root trace unless an enclosing ctx (SetTraceContext) adopts the call.
+    sys_trace_ = ctx_trace_ != 0 ? ctx_trace_ : tr->NewTraceId(pe_->node());
+    sys_parent_ = ctx_parent_;
+    sys_span_ = tr->NextSpanId(pe_->node());
+    sys_start_ = pe_->sim()->Now();
+    sys_op_ = static_cast<uint16_t>(msg->op);
+    msg->trace_id = sys_trace_;
+    msg->trace_parent = sys_span_;
+  }
   syscall_msg_ = msg;
   uint64_t token = msg->token;
   Status st = pe_->dtu().Send(user_ep::kSyscallSend, std::move(msg), user_ep::kSyscallReply);
@@ -76,6 +87,7 @@ void UserEnv::ArmSyscallWatchdog(uint64_t token) {
       // the full retry budget; any reply ever arriving clears the state.
       syscall_unreachable_ = true;
       syscall_pending_ = false;
+      CloseSyscallSpan();
       auto cb = std::move(syscall_cb_);
       syscall_cb_ = nullptr;
       syscall_msg_ = nullptr;
@@ -120,12 +132,33 @@ void UserEnv::OnSyscallReply(const Message& msg) {
     return;
   }
   syscall_pending_ = false;
+  CloseSyscallSpan();
   auto cb = std::move(syscall_cb_);
   syscall_cb_ = nullptr;
   syscall_msg_ = nullptr;  // only retained for migration/crash retries
   if (cb) {
     cb(*reply);
   }
+}
+
+void UserEnv::CloseSyscallSpan() {
+  obs::Tracer* tr = pe_->tracer();
+  if (tr == nullptr || sys_span_ == 0) {
+    return;
+  }
+  obs::Span span;
+  span.trace_id = sys_trace_;
+  span.span_id = sys_span_;
+  span.parent_id = sys_parent_;
+  span.start = sys_start_;
+  span.end = pe_->sim()->Now();
+  span.entity = pe_->node();
+  span.kind = obs::SpanKind::kRequest;
+  span.op = sys_op_;
+  tr->Record(span);
+  sys_trace_ = 0;
+  sys_span_ = 0;
+  sys_parent_ = 0;
 }
 
 void UserEnv::OpenSession(const std::string& name, std::function<void(const SyscallReply&)> cb) {
@@ -204,12 +237,20 @@ void UserEnv::OnAsk(const Message& msg) {
   Message copy = msg;
   work_.push_back([this, copy] {
     const AskMsg& a = *copy.As<AskMsg>();
+    // Syscalls the handler issues nest under the kernel's ask span.
+    SetTraceContext(a.trace_id, a.trace_parent);
     auto reply_fn = [this, copy](AskReply reply_value) {
+      const AskMsg* req = copy.As<AskMsg>();
       auto reply = NewMsg<AskReply>(std::move(reply_value));
-      reply->token = copy.As<AskMsg>()->token;
+      reply->token = req->token;
+      // The reply inherits the ask's trace ctx so its wire transit nests
+      // under the kernel's kAsk round-trip span.
+      reply->trace_id = req->trace_id;
+      reply->trace_parent = req->trace_parent;
       // Answering costs the party `ask_cost_` cycles on its own core.
       pe_->exec().Post(ask_cost_, [this, copy, reply] {
         pe_->dtu().Reply(user_ep::kAsk, copy, reply);
+        SetTraceContext(0, 0);
         work_busy_ = false;
         PumpWork();
       });
@@ -264,6 +305,10 @@ void UserEnv::OnRequest(const Message& msg) {
   Message copy = msg;
   work_.push_back([this, copy] {
     CHECK(request_handler_) << "service PE " << vpe() << " has no request handler";
+    if (copy.body != nullptr) {
+      // Syscalls the handler issues nest under the request's trace.
+      SetTraceContext(copy.body->trace_id, copy.body->trace_parent);
+    }
     request_handler_(copy);
   });
   PumpWork();
@@ -271,6 +316,7 @@ void UserEnv::OnRequest(const Message& msg) {
 
 void UserEnv::ReplyRequest(const Message& msg, MsgRef body) {
   pe_->dtu().Reply(user_ep::kServiceRecv, msg, std::move(body));
+  SetTraceContext(0, 0);
   work_busy_ = false;
   PumpWork();
 }

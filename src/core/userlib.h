@@ -77,6 +77,16 @@ class UserEnv {
   // Occupies this PE's core for `cost` cycles (compute phases).
   void Compute(Cycles cost, InlineFn then) { pe_->Compute(cost, std::move(then)); }
 
+  // ---- Observability (src/obs) ----
+  // Joins subsequently issued syscalls to an enclosing trace — a service
+  // handling a traced client request sets the request's ctx here so its
+  // syscalls nest under the serve span instead of opening fresh root
+  // traces. trace == 0 restores per-call root minting (the default).
+  void SetTraceContext(uint64_t trace, uint64_t parent) {
+    ctx_trace_ = trace;
+    ctx_parent_ = parent;
+  }
+
   uint64_t syscalls_issued() const { return syscalls_issued_; }
   uint64_t syscall_retries() const { return syscall_retries_; }
 
@@ -103,10 +113,25 @@ class UserEnv {
   void OnRequest(const Message& msg);
   void PumpWork();
   void ArmSyscallWatchdog(uint64_t token);
+  // Records the open syscall round trip as a kRequest span (no-op when
+  // untraced or no call is open).
+  void CloseSyscallSpan();
 
   ProcessingElement* pe_;
   NodeId kernel_node_;
   Cycles ask_cost_;
+
+  // Observability: enclosing ctx (SetTraceContext) and the open syscall
+  // round-trip span. The latter closes as a kRequest span when the final
+  // reply lands (or the crash watchdog gives up); migration and crash
+  // re-sends stay inside the same span — they ARE the request's latency.
+  uint64_t ctx_trace_ = 0;
+  uint64_t ctx_parent_ = 0;
+  uint64_t sys_trace_ = 0;
+  uint64_t sys_span_ = 0;
+  uint64_t sys_parent_ = 0;
+  Cycles sys_start_ = 0;
+  uint16_t sys_op_ = 0;
 
   uint64_t next_token_ = 1;
   uint64_t syscalls_issued_ = 0;

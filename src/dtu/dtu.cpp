@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "base/log.h"
+#include "obs/trace.h"
 
 namespace semperos {
 
@@ -153,6 +154,7 @@ Status Dtu::Send(EpId ep, MsgRef body, EpId reply_ep) {
   msg.label = e.label;
   msg.is_reply = false;
   msg.body = std::move(body);
+  StampTrace(msg);
 
   uint32_t bytes = msg.body ? msg.body->WireSize() : 16;
   NodeId dst_node = e.dst_node;
@@ -180,6 +182,7 @@ Status Dtu::SendTo(NodeId dst_node, EpId dst_ep, MsgRef body, EpId reply_ep, uin
   msg.label = label;
   msg.is_reply = false;
   msg.body = std::move(body);
+  StampTrace(msg);
 
   uint32_t bytes = msg.body ? msg.body->WireSize() : 16;
   Dtu* remote = fabric_->At(dst_node);
@@ -210,6 +213,7 @@ Status Dtu::Reply(EpId recv_ep, const Message& msg, MsgRef body) {
   reply.label = msg.label;
   reply.is_reply = true;
   reply.body = std::move(body);
+  StampTrace(reply);
 
   NodeId dst_node = msg.src_node;
   EpId credit_ep = msg.src_send_ep;
@@ -244,6 +248,7 @@ Status Dtu::SendDeferredReply(const Message& msg, MsgRef body) {
   reply.label = msg.label;
   reply.is_reply = true;
   reply.body = std::move(body);
+  StampTrace(reply);
 
   NodeId dst_node = msg.src_node;
   EpId dst_ep = msg.reply_ep;
@@ -291,6 +296,7 @@ void Dtu::Deliver(EpId ep, Message msg) {
     // they never compete for request slots and cannot be dropped.
     if (e.type == EpType::kReceive && e.handler) {
       stats_.msgs_received++;
+      RecordTransit(msg);
       e.handler(ep, msg);
     } else {
       stats_.msgs_dropped++;
@@ -314,8 +320,33 @@ void Dtu::Deliver(EpId ep, Message msg) {
   }
   e.occupied++;
   stats_.msgs_received++;
+  RecordTransit(msg);
   CHECK(e.handler) << "recv EP " << ep << " on node " << node_ << " has no handler";
   e.handler(ep, msg);
+}
+
+void Dtu::StampTrace(Message& msg) const {
+  if (fabric_->tracer() == nullptr || msg.body == nullptr || msg.body->trace_id == 0) {
+    return;
+  }
+  msg.trace_sent = sim_->Now();
+}
+
+void Dtu::RecordTransit(const Message& msg) {
+  obs::Tracer* tracer = fabric_->tracer();
+  if (tracer == nullptr || msg.body == nullptr || msg.body->trace_id == 0) {
+    return;
+  }
+  obs::Span span;
+  span.trace_id = msg.body->trace_id;
+  span.parent_id = msg.body->trace_parent;
+  span.span_id = tracer->NextSpanId(node_);
+  span.start = msg.trace_sent;
+  span.end = sim_->Now();
+  span.entity = node_;
+  span.kind = obs::SpanKind::kTransit;
+  span.op = static_cast<uint16_t>(msg.body->kind());
+  tracer->Record(span);
 }
 
 void Dtu::ReturnCredit(EpId send_ep) {

@@ -36,6 +36,10 @@ namespace semperos {
 
 class Dtu;
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 // Maps NodeId -> Dtu for message delivery; owned by the platform.
 class DtuFabric {
  public:
@@ -45,9 +49,16 @@ class DtuFabric {
   Dtu* At(NodeId node) const { return dtus_.at(node); }
   Noc* noc() const { return noc_; }
 
+  // Observability (src/obs): when attached, every DTU records a wire-transit
+  // span per delivered traced message. Null = tracing off (the default);
+  // the per-message cost is then one pointer test.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   Noc* noc_;
   std::vector<Dtu*> dtus_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 struct MemPerms {
@@ -172,6 +183,13 @@ class Dtu {
   // Called by the fabric when a message arrives at this DTU.
   void Deliver(EpId ep, Message msg);
   void ReturnCredit(EpId send_ep);
+
+  // Observability hooks. Stamp: record when a traced message hits the wire;
+  // RecordTransit: close the wire-transit span at delivery, on the receiving
+  // entity (race-free under the parallel engine — delivery runs on the
+  // destination's shard). Both are no-ops without an attached tracer.
+  void StampTrace(Message& msg) const;
+  void RecordTransit(const Message& msg);
 
   Status MemAccess(EpId mem_ep, uint64_t offset, uint64_t bytes, bool write, InlineFn done);
 

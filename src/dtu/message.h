@@ -52,6 +52,15 @@ class MsgBody {
   // matches a small fixed-size control message (one cache line).
   virtual uint32_t WireSize() const { return 64; }
 
+  // Observability (src/obs): causal trace context. The sender stamps both
+  // before handing the body to the DTU; 0 means untraced. Carried by every
+  // protocol — this is how parent links cross kernels inside the existing
+  // payloads (syscalls, IKCs and their batch containers, asks, service
+  // requests). Not part of the modeled wire size: tracing is observational
+  // and must not change modeled results.
+  uint64_t trace_id = 0;
+  uint64_t trace_parent = 0;
+
  private:
   MsgKind kind_;
 };
@@ -76,6 +85,7 @@ struct Message {
   EpId reply_ep = kNoReplyEp;      // receive endpoint at sender for replies
   uint64_t label = 0;              // receiver-assigned channel label
   bool is_reply = false;           // true if this is a reply message
+  Cycles trace_sent = 0;           // obs: cycle the DTU put it on the wire
   MsgRef body;
 
   template <typename T>

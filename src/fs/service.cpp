@@ -279,6 +279,12 @@ void FsService::ReplyMeta(const Message& msg, ErrCode err, uint64_t size, uint32
   reply->size = size;
   reply->entries = entries;
   reply->revoked = revoked;
+  if (msg.body != nullptr) {
+    // The reply inherits the request's trace ctx: its wire transit nests
+    // under whatever span issued the fs request.
+    reply->trace_id = msg.body->trace_id;
+    reply->trace_parent = msg.body->trace_parent;
+  }
   env_->ReplyRequest(msg, reply);
 }
 

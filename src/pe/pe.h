@@ -23,6 +23,10 @@
 
 namespace semperos {
 
+namespace obs {
+class Tracer;
+}  // namespace obs
+
 enum class PeType : uint8_t {
   kUser,     // runs one application VPE
   kKernel,   // runs a SemperOS kernel
@@ -87,6 +91,12 @@ class ProcessingElement {
   // Occupies the core for `cost` cycles, then runs `then`.
   void Compute(Cycles cost, InlineFn then) { exec_.Post(cost, std::move(then)); }
 
+  // Observability (src/obs): the platform attaches one shared Tracer to
+  // every PE; programs (kernel, user env, services, load generators) reach
+  // it through here. Null = tracing disabled.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   Simulation* sim_;
   NodeId node_;
@@ -94,6 +104,7 @@ class ProcessingElement {
   Dtu dtu_;
   Executor exec_;
   std::unique_ptr<Program> program_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace semperos

@@ -36,6 +36,11 @@ AppRunResult RunApp(const AppRunConfig& config) {
   pc.timing = timing;
   pc.threads = config.threads;
   pc.cap_batching = config.cap_batching;
+  pc.trace = config.trace;
+  if (!config.trace_out.empty()) {
+    pc.trace.enabled = true;  // asking for a trace file implies tracing
+  }
+  pc.timeline = config.timeline;
   Platform platform(pc);
 
   FsImage image;
@@ -98,6 +103,21 @@ AppRunResult RunApp(const AppRunConfig& config) {
     }
     result.mean_service_utilization = svc_util / std::max<size_t>(1, config.services);
   }
+  // The tracer/timeline are owned by the platform (destroyed at return), so
+  // spans and samples are summarized and flushed to disk here.
+  if (obs::Tracer* tracer = platform.tracer(); tracer != nullptr) {
+    result.spans_recorded = tracer->recorded();
+    result.spans_dropped = tracer->dropped();
+    result.trace_fingerprint = tracer->Fingerprint();
+    if (!config.trace_out.empty()) {
+      CHECK(tracer->WriteChromeTrace(config.trace_out))
+          << "failed to write trace to " << config.trace_out;
+    }
+  }
+  if (!config.metrics_out.empty() && platform.timeline() != nullptr) {
+    CHECK(platform.timeline()->WriteJson(config.metrics_out))
+        << "failed to write metrics timeline to " << config.metrics_out;
+  }
   return result;
 }
 
@@ -125,6 +145,11 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
   pc.timing = timing;
   pc.threads = config.threads;
   pc.cap_batching = config.cap_batching;
+  pc.trace = config.trace;
+  if (!config.trace_out.empty()) {
+    pc.trace.enabled = true;
+  }
+  pc.timeline = config.timeline;
   Platform platform(pc);
 
   FsImage image;
@@ -158,9 +183,28 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
     return total;
   };
 
-  platform.sim().RunUntil(platform.sim().Now() + config.warmup);
+  // RunNginx drives the clock itself (no RunToCompletion), so when the
+  // metrics timeline is armed it chunks the run at sample boundaries here.
+  // Same events, same order — sampling never schedules anything.
+  obs::MetricsTimeline* tl = platform.timeline();
+  auto run_for = [&platform, tl](Cycles span) {
+    const Cycles until = platform.sim().Now() + span;
+    if (tl == nullptr) {
+      platform.sim().RunUntil(until);
+      return;
+    }
+    while (platform.sim().Now() < until) {
+      platform.sim().RunUntil(std::min(until, platform.sim().Now() + tl->config().interval));
+      tl->Sample(platform.sim().Now(), platform.TotalKernelStats());
+    }
+  };
+  if (tl != nullptr) {
+    tl->Sample(platform.sim().Now(), platform.TotalKernelStats());
+  }
+
+  run_for(config.warmup);
   uint64_t at_warm = total_completed();
-  platform.sim().RunUntil(platform.sim().Now() + config.window);
+  run_for(config.window);
   uint64_t at_end = total_completed();
   CHECK_EQ(platform.TotalDrops(), 0u);
 
@@ -172,6 +216,19 @@ NginxRunResult RunNginx(const NginxRunConfig& config) {
   if (platform.parallel()) {
     result.engine_parallel = true;
     result.engine_stats = platform.engine_stats();
+  }
+  if (obs::Tracer* tracer = platform.tracer(); tracer != nullptr) {
+    result.spans_recorded = tracer->recorded();
+    result.spans_dropped = tracer->dropped();
+    result.trace_fingerprint = tracer->Fingerprint();
+    if (!config.trace_out.empty()) {
+      CHECK(tracer->WriteChromeTrace(config.trace_out))
+          << "failed to write trace to " << config.trace_out;
+    }
+  }
+  if (!config.metrics_out.empty() && tl != nullptr) {
+    CHECK(tl->WriteJson(config.metrics_out))
+        << "failed to write metrics timeline to " << config.metrics_out;
   }
   return result;
 }

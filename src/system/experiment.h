@@ -42,6 +42,13 @@ struct AppRunConfig {
   KernelMode mode = KernelMode::kSemperOSMulti;
   uint32_t threads = 1;  // engine threads (PlatformConfig::threads)
   int cap_batching = -1;  // tri-state ablation knob (PlatformConfig::cap_batching)
+  // Observability (src/obs): forwarded to PlatformConfig. The tracer and
+  // timeline die with the platform inside RunApp, so file emission happens
+  // there too when these paths are set.
+  obs::TraceConfig trace;
+  obs::TimelineConfig timeline;
+  std::string trace_out;    // Chrome trace_event JSON (implies trace.enabled)
+  std::string metrics_out;  // metrics timeline JSON (needs timeline.interval)
 };
 
 struct AppRunResult {
@@ -63,6 +70,12 @@ struct AppRunResult {
   // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
   bool engine_parallel = false;
   EngineStats engine_stats;
+  // Tracing observability (zero when config.trace left disabled). The
+  // fingerprint is order-insensitive over the canonical merge, so it is
+  // bit-identical across reruns and thread counts.
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  uint64_t trace_fingerprint = 0;
 };
 
 // Runs `instances` copies of the app's trace on a (kernels x services)
@@ -94,6 +107,11 @@ struct NginxRunConfig {
   Cycles window = 2'000'000;  // measurement window (1 ms at 2 GHz)
   uint32_t threads = 1;       // engine threads (PlatformConfig::threads)
   int cap_batching = -1;      // tri-state ablation knob (PlatformConfig::cap_batching)
+  // Observability (src/obs): same contract as AppRunConfig.
+  obs::TraceConfig trace;
+  obs::TimelineConfig timeline;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 struct NginxRunResult {
@@ -103,6 +121,10 @@ struct NginxRunResult {
   // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
   bool engine_parallel = false;
   EngineStats engine_stats;
+  // Tracing observability (zero when config.trace left disabled).
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  uint64_t trace_fingerprint = 0;
 };
 
 NginxRunResult RunNginx(const NginxRunConfig& config);

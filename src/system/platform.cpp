@@ -82,6 +82,25 @@ bool ResolveCapBatching(int requested) {
   return true;
 }
 
+obs::TraceConfig ResolveTraceConfig(obs::TraceConfig requested) {
+  if (requested.enabled) {
+    return requested;  // explicit on: env-immune
+  }
+  // SEMPEROS_TRACE=0|1 switches any platform whose config left tracing
+  // off — the CI bit-identity job's plumbing, mirroring SEMPEROS_THREADS
+  // and SEMPEROS_CAP_BATCHING above.
+  if (const char* env = std::getenv("SEMPEROS_TRACE")) {
+    if (*env != '\0') {
+      char* end = nullptr;
+      unsigned long parsed = std::strtoul(env, &end, 10);
+      CHECK(end != env && *end == '\0' && parsed <= 1)
+          << "SEMPEROS_TRACE must be 0 or 1, got '" << env << "'";
+      requested.enabled = parsed != 0;
+    }
+  }
+  return requested;
+}
+
 Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   CHECK_GE(config_.kernels, 1u);
   CHECK_LE(config_.kernels, Kernel::kMaxKernels);
@@ -128,6 +147,18 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
 
   fabric_ = std::make_unique<DtuFabric>(noc_.get());
   membership_ = MembershipTable(noc_->NodeCount());
+
+  // --- Observability (src/obs): one shared Tracer for the whole platform,
+  // --- handed to every PE and the fabric below. Constructed before the PEs
+  // --- so nothing ever observes a half-attached recorder.
+  obs::TraceConfig trace_config = ResolveTraceConfig(config_.trace);
+  if (trace_config.enabled) {
+    tracer_ = std::make_unique<obs::Tracer>(noc_->NodeCount(), trace_config);
+    fabric_->set_tracer(tracer_.get());
+  }
+  if (config_.timeline.enabled()) {
+    timeline_ = std::make_unique<obs::MetricsTimeline>(config_.timeline);
+  }
 
   // --- Layout: contiguous groups, one kernel each (paper §3.1) ---
   // Users/services/loadgens are distributed round-robin over kernels
@@ -176,6 +207,7 @@ Platform::Platform(PlatformConfig config) : config_(std::move(config)) {
   for (NodeId node = 0; node < plan.size(); ++node) {
     pes_.push_back(std::make_unique<ProcessingElement>(SimForNode(node), fabric_.get(), node,
                                                        plan[node].type));
+    pes_.back()->set_tracer(tracer_.get());
     switch (plan[node].type) {
       case PeType::kUser:
         user_nodes_.push_back(node);
@@ -352,7 +384,22 @@ void Platform::StartFailureDetector(FtConfig ft) {
 }
 
 uint64_t Platform::RunToCompletion(uint64_t max_events) {
-  uint64_t ran = sim_.RunUntilIdle(max_events);
+  uint64_t ran = 0;
+  if (timeline_ != nullptr) {
+    // Chunked run for the metrics timeline: execute whole sample intervals
+    // with RunUntil and read the counters between chunks, on this (the
+    // driving) thread. The executed event stream is byte-for-byte what
+    // RunUntilIdle would run — Sample() never schedules anything; the only
+    // difference is the final clock landing on a sample boundary.
+    const Cycles interval = timeline_->config().interval;
+    timeline_->Sample(sim_.Now(), TotalKernelStats());
+    while (!sim_.Idle() && ran < max_events) {
+      ran += sim_.RunUntil(sim_.Now() + interval, max_events - ran);
+      timeline_->Sample(sim_.Now(), TotalKernelStats());
+    }
+  } else {
+    ran = sim_.RunUntilIdle(max_events);
+  }
   CHECK(sim_.Idle()) << "simulation exceeded event budget";
   uint64_t drops = TotalDrops();
   CHECK_EQ(drops, 0u) << "DTU messages were lost — flow-control protocol violated";
@@ -362,53 +409,9 @@ uint64_t Platform::RunToCompletion(uint64_t max_events) {
 KernelStats Platform::TotalKernelStats() const {
   KernelStats total;
   for (const Kernel* k : kernels_) {
-    const KernelStats& s = k->stats();
-    total.syscalls += s.syscalls;
-    total.obtains += s.obtains;
-    total.delegates += s.delegates;
-    total.revokes += s.revokes;
-    total.derives += s.derives;
-    total.activates += s.activates;
-    total.sessions_opened += s.sessions_opened;
-    total.spanning_obtains += s.spanning_obtains;
-    total.spanning_delegates += s.spanning_delegates;
-    total.spanning_revokes += s.spanning_revokes;
-    total.ikc_sent += s.ikc_sent;
-    total.ikc_received += s.ikc_received;
-    total.ikc_flow_queued += s.ikc_flow_queued;
-    total.caps_created += s.caps_created;
-    total.caps_deleted += s.caps_deleted;
-    total.orphans_cleaned += s.orphans_cleaned;
-    total.pointless_denials += s.pointless_denials;
-    total.invalid_prevented += s.invalid_prevented;
-    total.revoke_reqs_queued += s.revoke_reqs_queued;
-    total.migrations += s.migrations;
-    total.caps_migrated += s.caps_migrated;
-    total.ikc_forwarded += s.ikc_forwarded;
-    total.epoch_updates += s.epoch_updates;
-    total.syscalls_frozen += s.syscalls_frozen;
-    total.hb_sent += s.hb_sent;
-    total.hb_acked += s.hb_acked;
-    total.ft_suspicions += s.ft_suspicions;
-    total.ft_votes += s.ft_votes;
-    total.ft_failovers += s.ft_failovers;
-    total.ft_refusals += s.ft_refusals;
-    total.ft_pes_adopted += s.ft_pes_adopted;
-    total.ft_orphan_roots += s.ft_orphan_roots;
-    total.ft_edges_pruned += s.ft_edges_pruned;
-    total.ft_ikcs_aborted += s.ft_ikcs_aborted;
-    total.ikc_batches_sent += s.ikc_batches_sent;
-    total.ikc_batched_ops += s.ikc_batched_ops;
-    total.ikc_batch_ops_max = std::max(total.ikc_batch_ops_max, s.ikc_batch_ops_max);
-    total.ikc_batch_mixed_epoch += s.ikc_batch_mixed_epoch;
-    total.ikc_relays_pipelined += s.ikc_relays_pipelined;
-    total.ikc_late_replies += s.ikc_late_replies;
-    total.ddl_cache_hits += s.ddl_cache_hits;
-    total.ddl_cache_misses += s.ddl_cache_misses;
-    for (size_t op = 0; op < kNumIkcOps; ++op) {
-      total.ikc_op_sent[op] += s.ikc_op_sent[op];
-      total.ikc_op_received[op] += s.ikc_op_received[op];
-    }
+    // Registry-driven summation (obs/metrics.h): complete by construction,
+    // so a newly added KernelStats field can never be silently missing.
+    obs::AccumulateKernelStats(&total, k->stats());
   }
   return total;
 }

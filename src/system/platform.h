@@ -26,6 +26,8 @@
 #include "core/timing.h"
 #include "dtu/dtu.h"
 #include "noc/noc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "pe/pe.h"
 #include "sim/engine.h"
 #include "sim/simulation.h"
@@ -49,6 +51,12 @@ inline constexpr uint32_t kForceSerialThreads = UINT32_MAX;
 // the off-mode CI job's plumbing), 0 forces off, 1 forces on. Explicit
 // values are env-immune, so pinned legacy-mode tests stay pinned.
 bool ResolveCapBatching(int requested);
+
+// Resolves the tracing knob: an explicitly enabled TraceConfig always wins;
+// otherwise SEMPEROS_TRACE=1 in the environment turns tracing on (the CI
+// proof that gated benchmarks are bit-identical with the flight recorder
+// armed — no binary rebuild, no flag plumbing through google-benchmark).
+obs::TraceConfig ResolveTraceConfig(obs::TraceConfig requested);
 
 struct PlatformConfig {
   uint32_t kernels = 1;
@@ -81,6 +89,15 @@ struct PlatformConfig {
   // threads=1 on all supported workloads (asserted by the equivalence
   // suite and `semperos_sim --strict`).
   uint32_t threads = 1;
+  // Observability (src/obs): span tracing is off by default (the disabled
+  // cost is one pointer test per traced site); SEMPEROS_TRACE=1 flips any
+  // platform whose config left it off, mirroring the knobs above. The
+  // metrics timeline samples every kernel counter each `timeline.interval`
+  // simulated cycles (0 = disarmed). Both are observational only — the
+  // executed event stream and all modeled results are bit-identical with
+  // them on or off.
+  obs::TraceConfig trace;
+  obs::TimelineConfig timeline;
 };
 
 class Platform {
@@ -168,6 +185,9 @@ class Platform {
 
   // Runs the simulation until no events remain and checks hardware
   // invariants (no dropped messages anywhere). Returns events executed.
+  // With the metrics timeline armed the run is chunked at sample
+  // boundaries (RunUntil between samples) — same events, same order, same
+  // final state; the timeline only reads counters between chunks.
   uint64_t RunToCompletion(uint64_t max_events = 2'000'000'000ull);
 
   // Sums a kernel statistic across kernels.
@@ -176,6 +196,14 @@ class Platform {
   // Total messages dropped by any DTU (must stay 0; the kernels'
   // flow-control protocol guarantees it).
   uint64_t TotalDrops() const;
+
+  // --- Observability (src/obs) ---
+
+  // The shared flight recorder, attached to every PE and the DTU fabric at
+  // construction. Null when tracing is disabled (and not env-forced).
+  obs::Tracer* tracer() { return tracer_.get(); }
+  // The sampled counter timeline; null when disarmed.
+  obs::MetricsTimeline* timeline() { return timeline_.get(); }
 
  private:
   // Queue owning node `n`'s events: the legacy queue, or its shard's.
@@ -186,6 +214,8 @@ class Platform {
   std::vector<uint32_t> shard_of_node_;  // empty on the legacy path
   std::unique_ptr<Noc> noc_;
   std::unique_ptr<DtuFabric> fabric_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::MetricsTimeline> timeline_;
   std::vector<std::unique_ptr<ProcessingElement>> pes_;
   std::vector<Kernel*> kernels_;  // owned by their PEs
   std::vector<NodeId> kernel_nodes_;

@@ -1,6 +1,7 @@
 #include "traffic/traffic.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
 
@@ -44,9 +45,26 @@ void OpenLoopGen::Setup() {
     Cycles arrival = base_ + schedule_[index];
     Cycles now = pe_->sim()->Now();
     CHECK_GE(now, arrival);
-    if (index >= measure_from_ && index < measure_from_ + measure_count_) {
+    bool measured = index >= measure_from_ && index < measure_from_ + measure_count_;
+    if (measured) {
       latency_.Record(now - arrival);
       last_measured_completion_ = now;
+    }
+    if (obs::Tracer* tr = pe_->tracer(); tr != nullptr) {
+      // Close the root span: arrival -> completion, i.e. exactly the
+      // open-loop latency this harness reports.
+      obs::Span root;
+      root.trace_id = trace_of_.at(index);
+      root.span_id = root_span_of_.at(index);
+      root.parent_id = 0;
+      root.start = arrival;
+      root.end = now;
+      root.entity = pe_->node();
+      root.kind = obs::SpanKind::kRequest;
+      tr->Record(root);
+      if (measured) {
+        measured_traces_.push_back({root.trace_id, now - arrival});
+      }
     }
     PumpSend();
   });
@@ -74,6 +92,32 @@ void OpenLoopGen::PumpSend() {
   while (next_send_ < next_arrival_ && next_send_ - next_resp_ < pipeline_) {
     auto req = NewMsg<NginxRequestMsg>();
     req->seq = ++next_send_;  // seq is 1-based schedule index
+    if (obs::Tracer* tr = pe_->tracer(); tr != nullptr) {
+      uint64_t index = next_send_ - 1;
+      if (trace_of_.empty()) {
+        trace_of_.reserve(schedule_.size());
+        root_span_of_.reserve(schedule_.size());
+      }
+      trace_of_.push_back(tr->NewTraceId(pe_->node()));
+      root_span_of_.push_back(tr->NextSpanId(pe_->node()));
+      req->trace_id = trace_of_.back();
+      req->trace_parent = root_span_of_.back();
+      Cycles arrival = base_ + schedule_[index];
+      Cycles now = pe_->sim()->Now();
+      if (now > arrival) {
+        // Client-side credit wait: the open-loop queueing delay between
+        // the scheduled arrival and the wire.
+        obs::Span queue;
+        queue.trace_id = trace_of_.back();
+        queue.span_id = tr->NextSpanId(pe_->node());
+        queue.parent_id = root_span_of_.back();
+        queue.start = arrival;
+        queue.end = now;
+        queue.entity = pe_->node();
+        queue.kind = obs::SpanKind::kQueue;
+        tr->Record(queue);
+      }
+    }
     Status st = pe_->dtu().Send(user_ep::kSyscallSend, req, user_ep::kSyscallReply);
     CHECK(st.ok()) << "open-loop send failed: " << st.name();
   }
@@ -114,6 +158,8 @@ TrafficResult RunTraffic(const TrafficConfig& config) {
   pc.timing = timing;
   pc.threads = config.threads;
   pc.cap_batching = config.cap_batching;
+  pc.trace = config.trace;
+  pc.timeline = config.timeline;
   Platform platform(pc);
 
   uint64_t total = config.warmup + config.requests + config.cooldown;
@@ -197,6 +243,53 @@ TrafficResult RunTraffic(const TrafficConfig& config) {
   if (platform.parallel()) {
     result.engine_parallel = true;
     result.engine_stats = platform.engine_stats();
+  }
+  if (obs::Tracer* tr = platform.tracer(); tr != nullptr) {
+    // Tail exemplars: sort measured requests by latency and keep the
+    // slowest `tail_exemplars` of each percentile bucket, with full span
+    // trees and critical-path breakdowns. The sort key (latency, trace id)
+    // is unique, so the selection is deterministic.
+    std::vector<std::pair<Cycles, uint64_t>> done;
+    done.reserve(result.measured);
+    for (OpenLoopGen* gen : gens) {
+      for (const OpenLoopGen::MeasuredTrace& m : gen->measured_traces()) {
+        done.push_back({m.latency, m.trace_id});
+      }
+    }
+    std::sort(done.begin(), done.end());
+    struct Bucket {
+      const char* name;
+      double pct;
+    };
+    constexpr Bucket kBuckets[] = {
+        {"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}, {"p999", 0.999}, {"max", 1.0}};
+    size_t prev = 0;
+    for (const Bucket& b : kBuckets) {
+      size_t edge = std::min(
+          done.size(), static_cast<size_t>(std::ceil(b.pct * static_cast<double>(done.size()))));
+      size_t from = edge > prev + config.tail_exemplars ? edge - config.tail_exemplars : prev;
+      for (size_t i = from; i < edge; ++i) {
+        TrafficResult::Exemplar ex;
+        ex.bucket = b.name;
+        ex.latency = done[i].first;
+        ex.spans = tr->SpansOf(done[i].second);
+        ex.path = tr->ComputeCriticalPath(done[i].second);
+        result.exemplars.push_back(std::move(ex));
+      }
+      prev = edge;
+    }
+    result.spans_dropped = tr->dropped();
+    result.trace_fingerprint = tr->Fingerprint();
+    result.spans_recorded = tr->recorded();
+    if (!config.trace_out.empty()) {
+      CHECK(tr->WriteChromeTrace(config.trace_out))
+          << "traffic: can't write trace to " << config.trace_out;
+    }
+  }
+  if (obs::MetricsTimeline* tl = platform.timeline();
+      tl != nullptr && !config.metrics_out.empty()) {
+    CHECK(tl->WriteJson(config.metrics_out))
+        << "traffic: can't write metrics timeline to " << config.metrics_out;
   }
   return result;
 }

@@ -26,6 +26,8 @@
 #include <vector>
 
 #include "core/kernel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "traffic/arrivals.h"
 #include "traffic/histogram.h"
@@ -51,6 +53,14 @@ class OpenLoopGen : public Program {
   uint64_t injected() const { return next_send_; }
   uint64_t completed() const { return next_resp_; }
   const LatencyHistogram& latency() const { return latency_; }
+  // Observability (traced runs): trace id + latency per measured request,
+  // in completion order. The exemplar selection in RunTraffic picks the
+  // tail of each percentile bucket from these.
+  struct MeasuredTrace {
+    uint64_t trace_id = 0;
+    Cycles latency = 0;
+  };
+  const std::vector<MeasuredTrace>& measured_traces() const { return measured_traces_; }
   // Absolute cycle timestamps of the measurement window edges (0 if empty).
   Cycles first_measured_arrival() const;
   Cycles last_measured_arrival() const;
@@ -72,6 +82,11 @@ class OpenLoopGen : public Program {
   uint64_t next_resp_ = 0;     // next schedule index to complete (FIFO)
   Cycles last_measured_completion_ = 0;
   LatencyHistogram latency_;
+  // Traced runs only: schedule index -> ids of the open request trace/root
+  // span (responses complete in index order, so lookups are by index).
+  std::vector<uint64_t> trace_of_;
+  std::vector<uint64_t> root_span_of_;
+  std::vector<MeasuredTrace> measured_traces_;
 };
 
 struct TrafficConfig {
@@ -92,6 +107,15 @@ struct TrafficConfig {
   uint32_t pipeline = 8;          // per-generator transport credits
   uint32_t threads = 1;           // engine threads (PlatformConfig::threads)
   int cap_batching = -1;          // tri-state ablation knob (PlatformConfig::cap_batching)
+  // Observability (src/obs): span tracing + counter timeline, forwarded to
+  // PlatformConfig. With tracing on, every request gets a root span, the
+  // measured tail is retained as exemplars, and the merged-span fingerprint
+  // lands in the result (determinism suites pin it across thread counts).
+  obs::TraceConfig trace;
+  obs::TimelineConfig timeline;
+  uint32_t tail_exemplars = 2;    // slowest K retained per percentile bucket
+  std::string trace_out;          // Chrome trace JSON path ("" = don't write)
+  std::string metrics_out;        // timeline JSON path ("" = don't write)
 };
 
 struct TrafficResult {
@@ -116,6 +140,21 @@ struct TrafficResult {
   // Sharded-engine observability (threads >= 2 only; see sim/engine.h).
   bool engine_parallel = false;
   EngineStats engine_stats;
+  // Span tracing (traced runs only; see src/obs). The fingerprint is the
+  // canonical merged-span FNV-1a — bit-identical across reruns and thread
+  // counts. Exemplars are the slowest tail_exemplars requests of each
+  // percentile bucket, each with its full span tree and critical-path
+  // breakdown (path.total == the request's measured latency, structurally).
+  struct Exemplar {
+    std::string bucket;  // "p50" | "p90" | "p99" | "p999" | "max"
+    Cycles latency = 0;
+    obs::CriticalPath path;
+    std::vector<obs::Span> spans;
+  };
+  uint64_t trace_fingerprint = 0;
+  uint64_t spans_recorded = 0;
+  uint64_t spans_dropped = 0;
+  std::vector<Exemplar> exemplars;
 };
 
 TrafficResult RunTraffic(const TrafficConfig& config);

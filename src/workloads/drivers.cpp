@@ -43,6 +43,38 @@ ParamSpec Services(const char* def) {
   return {"services", ParamType::kU32, def, "m3fs service PEs", {}};
 }
 
+// Copies the global observability flags (--trace-out, --metrics-out,
+// --metrics-interval) onto any experiment config that carries the obs
+// fields (AppRunConfig, NginxRunConfig, TrafficConfig). Asking for a trace
+// file implies tracing; asking for a metrics file arms the timeline with a
+// default interval when none was given.
+constexpr Cycles kDefaultMetricsInterval = 100'000;
+
+template <typename Config>
+void ApplyObsParams(const WorkloadParams& p, Config* config) {
+  config->trace_out = p.Str("trace-out");
+  if (!config->trace_out.empty()) {
+    config->trace.enabled = true;
+  }
+  config->metrics_out = p.Str("metrics-out");
+  config->timeline.interval = p.U64("metrics-interval");
+  if (!config->metrics_out.empty() && config->timeline.interval == 0) {
+    config->timeline.interval = kDefaultMetricsInterval;
+  }
+}
+
+// Folds the tracer summary into the printed notes. The fingerprint is the
+// quantity the determinism suites compare across reruns and thread counts.
+void NoteTraceSummary(WorkloadResult* out, uint64_t recorded, uint64_t dropped,
+                      uint64_t fingerprint) {
+  if (recorded == 0 && dropped == 0) {
+    return;
+  }
+  out->Note(Fmt("  trace: %llu spans (%llu dropped), fingerprint %016llx",
+                (unsigned long long)recorded, (unsigned long long)dropped,
+                (unsigned long long)fingerprint));
+}
+
 // ---- trace-replay apps (Figures 6-9, Table 4) ----
 
 WorkloadResult RunAppDriver(const std::string& app, const WorkloadParams& p) {
@@ -57,6 +89,7 @@ WorkloadResult RunAppDriver(const std::string& app, const WorkloadParams& p) {
   }
   config.threads = p.Threads();
   config.cap_batching = p.CapBatching();
+  ApplyObsParams(p, &config);
   double solo =
       SoloRuntimeUs(app, config.kernels, config.services, config.mode, config.cap_batching);
   AppRunResult r = RunApp(config);
@@ -83,6 +116,7 @@ WorkloadResult RunAppDriver(const std::string& app, const WorkloadParams& p) {
   out.kernel_stats = r.kernel_stats;
   out.engine_parallel = r.engine_parallel;
   out.engine_stats = r.engine_stats;
+  NoteTraceSummary(&out, r.spans_recorded, r.spans_dropped, r.trace_fingerprint);
   return out;
 }
 
@@ -118,6 +152,7 @@ void RegisterNginx() {
     config.servers = p.U32("servers");
     config.threads = p.Threads();
     config.cap_batching = p.CapBatching();
+    ApplyObsParams(p, &config);
     NginxRunResult r = RunNginx(config);
     WorkloadResult out;
     out.Note(Fmt("nginx: %u servers, %u kernels, %u services", config.servers, config.kernels,
@@ -126,6 +161,7 @@ void RegisterNginx() {
     out.Add("requests_per_sec", r.requests_per_sec, "/s");
     out.engine_parallel = r.engine_parallel;
     out.engine_stats = r.engine_stats;
+    NoteTraceSummary(&out, r.spans_recorded, r.spans_dropped, r.trace_fingerprint);
     return out;
   };
   WorkloadRegistry::Global().Register(std::move(spec));
@@ -522,7 +558,30 @@ TrafficConfig TrafficConfigFrom(const WorkloadParams& p) {
   config.pipeline = p.U32("pipeline");
   config.threads = p.Threads();
   config.cap_batching = p.CapBatching();
+  ApplyObsParams(p, &config);
+  config.tail_exemplars = p.U32("tail-exemplars");
   return config;
+}
+
+// One line per retained tail exemplar: the total-by-construction critical
+// path decomposition (queueing vs transit vs kernel service vs IKC wait ...)
+// of that request's span tree.
+void NoteExemplars(WorkloadResult* out, const std::vector<TrafficResult::Exemplar>& exemplars) {
+  for (const TrafficResult::Exemplar& e : exemplars) {
+    std::string breakdown;
+    for (size_t k = 0; k < static_cast<size_t>(obs::SpanKind::kNumKinds); ++k) {
+      if (e.path.by_kind[k] == 0 || k == static_cast<size_t>(obs::SpanKind::kRequest)) {
+        continue;
+      }
+      breakdown += Fmt(" %s=%llu", obs::SpanKindName(static_cast<obs::SpanKind>(k)),
+                       (unsigned long long)e.path.by_kind[k]);
+    }
+    breakdown += Fmt(" self=%llu", (unsigned long long)e.path.self);
+    out->Note(Fmt("  exemplar %-4s %10.1f us  trace %llx: %u spans, depth %u, cycles%s",
+                  e.bucket.c_str(), CyclesToMicros(e.latency),
+                  (unsigned long long)e.path.trace_id, e.path.spans, e.path.depth,
+                  breakdown.c_str()));
+  }
 }
 
 void RegisterTraffic() {
@@ -597,6 +656,8 @@ void RegisterTraffic() {
                  config.servers, config.kernels, config.services));
     out.Note(Fmt("  latency fingerprint: %016llx",
                  (unsigned long long)r.latency.Fingerprint()));
+    NoteTraceSummary(&out, r.spans_recorded, r.spans_dropped, r.trace_fingerprint);
+    NoteExemplars(&out, r.exemplars);
     out.Add("injected", static_cast<double>(r.injected));
     out.Add("completed", static_cast<double>(r.completed));
     out.Add("measured", static_cast<double>(r.measured));

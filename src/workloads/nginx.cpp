@@ -4,6 +4,7 @@
 
 #include "base/log.h"
 #include "dtu/msg_pool.h"
+#include "obs/trace.h"
 
 namespace semperos {
 
@@ -19,7 +20,7 @@ void NginxServer::Setup() {
   env_->SetupEps(/*is_service=*/false);
   pe_->dtu().ConfigureRecv(kNginxServerRecvEp, 16,
                            [this](EpId, const Message& msg) {
-                             pending_.push_back(msg);
+                             pending_.push_back({msg, pe_->sim()->Now()});
                              Pump();
                            });
 }
@@ -37,9 +38,18 @@ void NginxServer::Pump() {
     return;
   }
   busy_ = true;
-  Message request = pending_.front();
+  Pending next = std::move(pending_.front());
   pending_.pop_front();
-  RunOp(0, request);
+  if (obs::Tracer* tr = pe_->tracer();
+      tr != nullptr && next.msg.body != nullptr && next.msg.body->trace_id != 0) {
+    serve_trace_ = next.msg.body->trace_id;
+    serve_parent_ = next.msg.body->trace_parent;
+    serve_span_ = tr->NextSpanId(pe_->node());
+    serve_start_ = next.arrival;
+    // Syscalls issued while serving nest under the serve span.
+    env_->SetTraceContext(serve_trace_, serve_span_);
+  }
+  RunOp(0, next.msg);
 }
 
 void NginxServer::RunOp(size_t idx, const Message& request) {
@@ -54,6 +64,8 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
       auto req = NewMsg<FsRequest>();
       req->op = FsOp::kStat;
       req->path = op.path;
+      req->trace_id = serve_trace_;
+      req->trace_parent = serve_span_;
       env_->Request(req, [next](const Message&) { next(); });
       return;
     }
@@ -93,6 +105,8 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
       auto req = NewMsg<FsRequest>();
       req->op = FsOp::kUnlink;
       req->path = op.path;
+      req->trace_id = serve_trace_;
+      req->trace_parent = serve_span_;
       env_->Request(req, [next](const Message&) { next(); });
       return;
     }
@@ -100,6 +114,8 @@ void NginxServer::RunOp(size_t idx, const Message& request) {
       auto req = NewMsg<FsRequest>();
       req->op = FsOp::kClose;
       req->fid = open_.fid;
+      req->trace_id = serve_trace_;
+      req->trace_parent = serve_span_;
       env_->Request(req, [next](const Message&) { next(); });
       return;
     }
@@ -117,6 +133,24 @@ void NginxServer::FinishRequest(const Message& request) {
   const NginxRequestMsg* req = request.As<NginxRequestMsg>();
   auto response = NewMsg<NginxResponseMsg>();
   response->seq = req != nullptr ? req->seq : 0;
+  if (serve_span_ != 0) {
+    // The response's wire transit nests under the serve span.
+    response->trace_id = serve_trace_;
+    response->trace_parent = serve_span_;
+    obs::Span serve;
+    serve.trace_id = serve_trace_;
+    serve.span_id = serve_span_;
+    serve.parent_id = serve_parent_;
+    serve.start = serve_start_;
+    serve.end = pe_->sim()->Now();
+    serve.entity = pe_->node();
+    serve.kind = obs::SpanKind::kServe;
+    pe_->tracer()->Record(serve);
+    serve_trace_ = 0;
+    serve_span_ = 0;
+    serve_parent_ = 0;
+    env_->SetTraceContext(0, 0);
+  }
   pe_->dtu().Reply(kNginxServerRecvEp, request, response);
   busy_ = false;
   Pump();

@@ -69,16 +69,29 @@ class NginxServer : public Program {
     uint32_t handed = 0;
   };
 
+  // Requests queue with their DTU arrival time: the serve span starts at
+  // arrival, so time spent waiting behind the serial server loop shows up
+  // as kServe self time in the critical-path breakdown.
+  struct Pending {
+    Message msg;
+    Cycles arrival = 0;
+  };
+
   Trace request_trace_;
   NodeId kernel_node_;
   TimingModel t_;
   std::string service_name_;
   std::unique_ptr<UserEnv> env_;
   CapSel session_sel_ = kInvalidSel;
-  std::deque<Message> pending_;
+  std::deque<Pending> pending_;
   bool busy_ = false;
   OpenState open_;
   uint64_t served_ = 0;
+  // Observability: the open serve span (traced requests only).
+  uint64_t serve_trace_ = 0;
+  uint64_t serve_span_ = 0;
+  uint64_t serve_parent_ = 0;
+  Cycles serve_start_ = 0;
 };
 
 class LoadGen : public Program {

@@ -8,6 +8,7 @@
 #include <sstream>
 
 #include "base/log.h"
+#include "obs/metrics.h"
 #include "system/platform.h"
 
 namespace semperos {
@@ -279,6 +280,10 @@ WorkloadInvocation ParseWorkloadCli(const std::vector<std::string>& args) {
   }
   invocation.params.Set("threads", "1");
   invocation.params.Set("cap-batching", "auto");
+  invocation.params.Set("trace-out", "");
+  invocation.params.Set("metrics-out", "");
+  invocation.params.Set("metrics-interval", "0");
+  invocation.params.Set("tail-exemplars", "2");
 
   // Pass 2: globals, then schema-validated workload flags.
   for (const std::string& arg : rest) {
@@ -305,6 +310,32 @@ WorkloadInvocation ParseWorkloadCli(const std::vector<std::string>& args) {
         return Fail(Fmt("--cap-batching=%s: expected auto, on or off", value.c_str()));
       }
       invocation.params.Set("cap-batching", value);
+      continue;
+    }
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      invocation.params.Set("trace-out", arg.substr(12));
+      continue;
+    }
+    if (arg.rfind("--metrics-out=", 0) == 0) {
+      invocation.params.Set("metrics-out", arg.substr(14));
+      continue;
+    }
+    if (arg.rfind("--metrics-interval=", 0) == 0) {
+      std::string value = arg.substr(19);
+      uint64_t n = 0;
+      if (!ParseU64(value, &n)) {
+        return Fail(Fmt("--metrics-interval=%s: expected a cycle count", value.c_str()));
+      }
+      invocation.params.Set("metrics-interval", value);
+      continue;
+    }
+    if (arg.rfind("--tail-exemplars=", 0) == 0) {
+      std::string value = arg.substr(17);
+      uint64_t n = 0;
+      if (!ParseU64(value, &n)) {
+        return Fail(Fmt("--tail-exemplars=%s: expected a count", value.c_str()));
+      }
+      invocation.params.Set("tail-exemplars", value);
       continue;
     }
     if (arg.rfind("--", 0) != 0) {
@@ -383,66 +414,32 @@ std::string FormatWorkloadList() {
   os << "                    IKC batching + pipelined walks + remote-DDL cache\n";
   os << "                    ablation (auto = on unless SEMPEROS_CAP_BATCHING=0;\n";
   os << "                    off = the exact legacy IKC path)\n";
+  os << "  --trace-out=FILE  record causal spans and write a Chrome/Perfetto\n";
+  os << "                    trace_event JSON (also enables tracing; tracing is\n";
+  os << "                    observational only — modeled cycles never change;\n";
+  os << "                    honored by the app, nginx and traffic workloads)\n";
+  os << "  --metrics-out=FILE --metrics-interval=CYCLES\n";
+  os << "                    sample the kernel metric registry on the simulated\n";
+  os << "                    clock and write a metrics timeline JSON\n";
+  os << "  --tail-exemplars=K  span trees kept per latency bucket (traffic only)\n";
   os << "deprecated aliases: --app=NAME --nginx --micro --failover --chaos --trace=FILE\n";
   return os.str();
 }
 
 std::string FormatKernelStats(const KernelStats& s) {
+  // Registry-driven (obs/metrics.h): every KernelStats field — including the
+  // per-IKC-op arrays — is emitted through one descriptor table, so a newly
+  // added counter can never be silently missing from the dump. Counters that
+  // never moved are elided to keep the output readable.
   std::ostringstream os;
-  os << "kernel statistics (summed over kernels):\n";
-  os << Fmt("  syscalls        %10llu\n", (unsigned long long)s.syscalls);
-  os << Fmt("  obtains         %10llu  (spanning %llu)\n", (unsigned long long)s.obtains,
-            (unsigned long long)s.spanning_obtains);
-  os << Fmt("  delegates       %10llu  (spanning %llu)\n", (unsigned long long)s.delegates,
-            (unsigned long long)s.spanning_delegates);
-  os << Fmt("  revokes         %10llu  (spanning %llu)\n", (unsigned long long)s.revokes,
-            (unsigned long long)s.spanning_revokes);
-  os << Fmt("  derives         %10llu\n", (unsigned long long)s.derives);
-  os << Fmt("  activations     %10llu\n", (unsigned long long)s.activates);
-  os << Fmt("  sessions        %10llu\n", (unsigned long long)s.sessions_opened);
-  os << Fmt("  IKC messages    %10llu  (flow-queued %llu)\n", (unsigned long long)s.ikc_sent,
-            (unsigned long long)s.ikc_flow_queued);
-  os << Fmt("  caps created    %10llu, deleted %llu\n", (unsigned long long)s.caps_created,
-            (unsigned long long)s.caps_deleted);
-  os << Fmt("  anomaly paths   %10s  orphans=%llu pointless=%llu invalid=%llu\n", "",
-            (unsigned long long)s.orphans_cleaned, (unsigned long long)s.pointless_denials,
-            (unsigned long long)s.invalid_prevented);
-  if (s.hb_sent > 0 || s.ft_failovers > 0 || s.ft_refusals > 0) {
-    os << Fmt("  fault tolerance %10s  heartbeats=%llu suspicions=%llu failovers=%llu "
-              "refusals=%llu\n",
-              "", (unsigned long long)s.hb_sent, (unsigned long long)s.ft_suspicions,
-              (unsigned long long)s.ft_failovers, (unsigned long long)s.ft_refusals);
-  }
-  if (s.ikc_batches_sent > 0 || s.ikc_relays_pipelined > 0 || s.ddl_cache_hits > 0 ||
-      s.ddl_cache_misses > 0) {
-    os << Fmt("  IKC batching    %10llu  batches (%llu ops, max %llu/batch, "
-              "mixed-epoch %llu)\n",
-              (unsigned long long)s.ikc_batches_sent, (unsigned long long)s.ikc_batched_ops,
-              (unsigned long long)s.ikc_batch_ops_max,
-              (unsigned long long)s.ikc_batch_mixed_epoch);
-    os << Fmt("  pipelined walks %10llu  relays (late replies %llu)\n",
-              (unsigned long long)s.ikc_relays_pipelined,
-              (unsigned long long)s.ikc_late_replies);
-    uint64_t probes = s.ddl_cache_hits + s.ddl_cache_misses;
-    os << Fmt("  remote-DDL cache%10llu  hits / %llu probes (%.1f%%)\n",
-              (unsigned long long)s.ddl_cache_hits, (unsigned long long)probes,
-              probes > 0 ? 100.0 * static_cast<double>(s.ddl_cache_hits) /
-                               static_cast<double>(probes)
-                         : 0.0);
-  }
-  // Per-IKC-type send/receive counters, only for op types that moved at all.
-  bool header = false;
-  for (size_t op = 0; op < kNumIkcOps; ++op) {
-    if (s.ikc_op_sent[op] == 0 && s.ikc_op_received[op] == 0) {
-      continue;
+  os << "kernel statistics (summed over kernels; gauges take the max):\n";
+  obs::ForEachKernelMetric(s, [&os](const obs::MetricValue& m) {
+    if (m.value == 0) {
+      return;
     }
-    if (!header) {
-      os << "  IKC ops (sent/received by type):\n";
-      header = true;
-    }
-    os << Fmt("    %-16s %10llu / %llu\n", IkcOpName(static_cast<IkcOp>(op)),
-              (unsigned long long)s.ikc_op_sent[op], (unsigned long long)s.ikc_op_received[op]);
-  }
+    os << Fmt("  %-28s %12llu%s\n", m.name, (unsigned long long)m.value,
+              m.kind == obs::MetricKind::kGauge ? "  (gauge)" : "");
+  });
   return os.str();
 }
 
@@ -452,18 +449,14 @@ std::string FormatEngineStats(bool parallel, const EngineStats& s) {
     os << "engine statistics: serial engine (run with --threads>=2 for counters)\n";
     return os.str();
   }
+  // Same registry treatment as the kernel counters (per-shard event loads
+  // come through as shard_events.N), plus the derived imbalance ratio.
   os << "engine statistics (sharded parallel engine):\n";
-  os << Fmt("  windows executed  %10llu  (fast-forwarded %llu)\n", (unsigned long long)s.windows,
-            (unsigned long long)s.fast_forwards);
-  os << Fmt("  cross handoffs    %10llu  (sends %llu, schedules %llu)\n",
-            (unsigned long long)s.handoffs, (unsigned long long)s.handoff_sends,
-            (unsigned long long)s.handoff_schedules);
-  os << Fmt("  driver events     %10llu\n", (unsigned long long)s.driver_events);
-  os << Fmt("  shard imbalance   %10.2fx  (max/mean events over %zu shards)\n",
+  obs::ForEachEngineMetric(s, [&os](const obs::MetricValue& m) {
+    os << Fmt("  %-28s %12llu\n", m.name, (unsigned long long)m.value);
+  });
+  os << Fmt("  %-28s %11.2fx  (max/mean events over %zu shards)\n", "shard_imbalance",
             s.ImbalanceRatio(), s.shard_events.size());
-  for (size_t i = 0; i < s.shard_events.size(); ++i) {
-    os << Fmt("    shard %zu events %10llu\n", i, (unsigned long long)s.shard_events[i]);
-  }
   return os.str();
 }
 
@@ -476,21 +469,20 @@ void StrictCheck(bool ok, const std::string& field) {
 }
 
 void StrictCompareKernelStats(const KernelStats& a, const KernelStats& b) {
-  StrictCheck(a.syscalls == b.syscalls, "kernel syscalls");
-  StrictCheck(a.obtains == b.obtains, "kernel obtains");
-  StrictCheck(a.revokes == b.revokes, "kernel revokes");
-  StrictCheck(a.spanning_obtains == b.spanning_obtains, "spanning obtains");
-  StrictCheck(a.spanning_revokes == b.spanning_revokes, "spanning revokes");
-  StrictCheck(a.ikc_sent == b.ikc_sent, "IKCs sent");
-  StrictCheck(a.caps_created == b.caps_created, "caps created");
-  StrictCheck(a.caps_deleted == b.caps_deleted, "caps deleted");
-  StrictCheck(a.migrations == b.migrations, "migrations");
-  StrictCheck(a.ft_failovers == b.ft_failovers, "failovers");
-  StrictCheck(a.ikc_batches_sent == b.ikc_batches_sent, "IKC batches sent");
-  StrictCheck(a.ikc_batched_ops == b.ikc_batched_ops, "IKC batched ops");
-  StrictCheck(a.ikc_relays_pipelined == b.ikc_relays_pipelined, "pipelined relays");
-  StrictCheck(a.ddl_cache_hits == b.ddl_cache_hits, "DDL cache hits");
-  StrictCheck(a.ddl_cache_misses == b.ddl_cache_misses, "DDL cache misses");
+  // Walk the metric registry so EVERY KernelStats field — including the
+  // per-IKC-op arrays — is under strict equality. Previously this was a
+  // hand-picked subset, which let a drifting counter hide if nobody
+  // remembered to list it here.
+  std::vector<obs::MetricValue> expected;
+  obs::ForEachKernelMetric(a, [&expected](const obs::MetricValue& m) { expected.push_back(m); });
+  size_t i = 0;
+  obs::ForEachKernelMetric(b, [&expected, &i](const obs::MetricValue& m) {
+    CHECK(i < expected.size());
+    StrictCheck(std::string(expected[i].name) == m.name, "kernel metric order");
+    StrictCheck(expected[i].value == m.value, std::string("kernel ") + m.name);
+    ++i;
+  });
+  StrictCheck(i == expected.size(), "kernel metric count");
 }
 
 }  // namespace

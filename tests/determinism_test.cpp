@@ -6,6 +6,9 @@
 // subtly shifted benchmark curve.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+
 #include "system/experiment.h"
 #include "workloads/rebalance.h"
 
@@ -68,6 +71,39 @@ TEST(Determinism, AppRunsAreBitIdentical) {
   EXPECT_DOUBLE_EQ(a.max_runtime_us, b.max_runtime_us);
   EXPECT_DOUBLE_EQ(a.cap_ops_per_sec, b.cap_ops_per_sec);
   ExpectSameStats(a.kernel_stats, b.kernel_stats);
+}
+
+TEST(Determinism, TracedRunsAreDriftFreeAndFingerprintStable) {
+  // Tracing is observational only: every modeled output of a traced run
+  // must be bit-identical to the untraced run (zero modeled-cycle drift),
+  // and the span-tree fingerprint must be bit-identical across reruns.
+  AppRunConfig config;
+  config.app = "postmark";
+  config.kernels = 4;
+  config.services = 4;
+  config.instances = 16;
+  AppRunResult untraced = RunApp(config);
+  config.trace.enabled = true;
+  AppRunResult a = RunApp(config);
+  AppRunResult b = RunApp(config);
+
+  EXPECT_EQ(untraced.makespan, a.makespan);
+  EXPECT_EQ(untraced.events, a.events);
+  EXPECT_EQ(untraced.total_cap_ops, a.total_cap_ops);
+  EXPECT_DOUBLE_EQ(untraced.mean_runtime_us, a.mean_runtime_us);
+  ExpectSameStats(untraced.kernel_stats, a.kernel_stats);
+
+  EXPECT_GT(a.spans_recorded, 0u);
+  EXPECT_EQ(a.spans_dropped, 0u);
+  EXPECT_EQ(a.spans_recorded, b.spans_recorded);
+  EXPECT_EQ(a.trace_fingerprint, b.trace_fingerprint);
+  // SEMPEROS_TRACE=1 (the CI bit-identity job) arms the control run too —
+  // only check "disabled records nothing" when the env leaves it disabled.
+  const char* env = std::getenv("SEMPEROS_TRACE");
+  if (env == nullptr || *env == '\0' || std::string(env) == "0") {
+    EXPECT_EQ(untraced.spans_recorded, 0u);  // nothing records when disabled
+    EXPECT_EQ(untraced.trace_fingerprint, 0u);
+  }
 }
 
 TEST(Determinism, RebalanceRunsAreBitIdentical) {

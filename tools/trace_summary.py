@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Summarize a SemperOS Chrome trace_event JSON (semperos_sim --trace-out=FILE).
+
+Reads the export written by obs::Tracer::WriteChromeTrace and prints:
+  - per-kind span counts and total covered cycles,
+  - a span-tree depth histogram over all traces,
+  - the top-N slowest requests with their critical-path breakdown
+    (queueing vs DTU transit vs kernel service vs IKC wait ...).
+
+The critical-path walk mirrors obs::ComputeCriticalPathOver: children are
+visited in start order, time covered by a child is attributed recursively,
+time between children is the enclosing span's self time — so the per-kind
+sums add up to the root span's duration exactly.
+
+Usage: tools/trace_summary.py TRACE.json [--top=N]
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def load_spans(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    spans = []
+    for ev in doc.get("traceEvents", []):
+        if ev.get("ph") != "X":
+            continue
+        args = ev.get("args", {})
+        spans.append(
+            {
+                "cat": ev["cat"],
+                "name": ev["name"],
+                "entity": ev["pid"],
+                "start": ev["ts"],
+                "dur": ev["dur"],
+                "trace": int(args["trace"], 16),
+                "span": int(args["span"], 16),
+                "parent": int(args["parent"], 16),
+            }
+        )
+    return spans, doc.get("otherData", {})
+
+
+def critical_path(spans):
+    """Per-kind cycle attribution for one trace's span list."""
+    by_id = {s["span"]: s for s in spans}
+    children = defaultdict(list)
+    roots = []
+    for s in spans:
+        if s["parent"] in by_id:
+            children[s["parent"]].append(s)
+        else:
+            roots.append(s)
+    for kids in children.values():
+        kids.sort(key=lambda s: (s["start"], s["span"]))
+
+    by_kind = defaultdict(int)
+    info = {"spans": len(spans), "depth": 0, "connected": len(roots) == 1}
+    if not roots:
+        return None
+    root = min(roots, key=lambda s: (s["start"], s["span"]))
+
+    # Mirrors obs::ComputeCriticalPathOver: within [lo, hi] of a span,
+    # children claim their intervals in start order (overlap goes to the
+    # earlier sibling), the gaps are the span's self time, attributed to
+    # its kind. The per-kind sums therefore add up to the root duration.
+    def walk(span, lo, hi, depth):
+        info["depth"] = max(info["depth"], depth)
+        cursor = lo
+        for child in children.get(span["span"], []):
+            c_start = max(child["start"], cursor, lo)
+            c_end = min(child["start"] + child["dur"], hi)
+            if c_end <= c_start:
+                continue  # fully overlapped by an earlier sibling, or clipped
+            if c_start > cursor:
+                by_kind[span["cat"]] += c_start - cursor
+            walk(child, c_start, c_end, depth + 1)
+            cursor = max(cursor, c_end)
+        if hi > cursor:
+            by_kind[span["cat"]] += hi - cursor
+
+    walk(root, root["start"], root["start"] + root["dur"], 1)
+    info["root"] = root
+    info["by_kind"] = {k: v for k, v in by_kind.items() if v > 0}
+    info["total"] = root["dur"]
+    return info
+
+
+def main(argv):
+    top = 5
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--top="):
+            top = int(arg.split("=", 1)[1])
+        elif arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        else:
+            paths.append(arg)
+    if len(paths) != 1:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    spans, other = load_spans(paths[0])
+    if not spans:
+        print("no spans in %s" % paths[0])
+        return 0
+
+    print(
+        "%s: %d spans, %s dropped"
+        % (paths[0], len(spans), other.get("dropped", "?"))
+    )
+
+    by_kind = defaultdict(lambda: [0, 0])  # kind -> [count, cycles]
+    traces = defaultdict(list)
+    for s in spans:
+        by_kind[s["cat"]][0] += 1
+        by_kind[s["cat"]][1] += s["dur"]
+        traces[s["trace"]].append(s)
+
+    print("\nper-kind span counts (cycles are per-span sums, not exclusive):")
+    for kind in sorted(by_kind, key=lambda k: -by_kind[k][1]):
+        count, cycles = by_kind[kind]
+        print("  %-12s %8d spans %14d cycles" % (kind, count, cycles))
+
+    depth_histogram = defaultdict(int)
+    paths_info = []
+    for tid, tspans in traces.items():
+        info = critical_path(tspans)
+        if info is None:
+            continue
+        depth_histogram[info["depth"]] += 1
+        paths_info.append((tid, info))
+
+    print("\nspan-tree depth histogram (%d traces):" % len(paths_info))
+    for depth in sorted(depth_histogram):
+        print("  depth %2d: %8d traces" % (depth, depth_histogram[depth]))
+
+    disconnected = sum(1 for _, info in paths_info if not info["connected"])
+    if disconnected:
+        print("\nWARNING: %d traces have a disconnected span tree" % disconnected)
+
+    paths_info.sort(key=lambda item: (-item[1]["total"], item[0]))
+    print("\ntop %d critical paths (cycles):" % top)
+    for tid, info in paths_info[:top]:
+        breakdown = " ".join(
+            "%s=%d" % (k, v) for k, v in sorted(info["by_kind"].items(), key=lambda kv: -kv[1])
+        )
+        print(
+            "  trace %012x total=%d spans=%d depth=%d | %s"
+            % (tid, info["total"], info["spans"], info["depth"], breakdown)
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
